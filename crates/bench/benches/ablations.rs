@@ -1,0 +1,80 @@
+//! Ablation benches: A1 (per-tuple argmin in the Chain Algorithm),
+//! A2 (FD-binding in Generic-Join, footnote 1), A4 (planning overhead:
+//! bound computation vs execution).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdjoin_bench::log_sizes;
+use fdjoin_bounds::llp::solve_llp;
+use fdjoin_core::{chain_join, chain_join_no_argmin, generic_join, GjOptions};
+use fdjoin_instances::fig1_adversarial;
+use fdjoin_query::examples;
+use std::time::Duration;
+
+fn a1_argmin(c: &mut Criterion) {
+    let q = examples::fig1_udf();
+    let mut g = c.benchmark_group("a1_argmin");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for exp in [8u32, 10] {
+        let n = 1u64 << exp;
+        let db = fig1_adversarial(n);
+        g.bench_with_input(BenchmarkId::new("argmin_on", n), &db, |b, db| {
+            b.iter(|| chain_join(&q, db).unwrap().output.len())
+        });
+        g.bench_with_input(BenchmarkId::new("argmin_off", n), &db, |b, db| {
+            b.iter(|| chain_join_no_argmin(&q, db).unwrap().output.len())
+        });
+    }
+    g.finish();
+}
+
+fn a2_fd_binding(c: &mut Criterion) {
+    let q = examples::fig1_udf();
+    let mut g = c.benchmark_group("a2_fd_binding");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let db = fig1_adversarial(512);
+    g.bench_function("gj_plain", |b| {
+        b.iter(|| generic_join(&q, &db, &GjOptions::default()).0.len())
+    });
+    g.bench_function("gj_fd_bind", |b| {
+        b.iter(|| {
+            generic_join(&q, &db, &GjOptions { bind_fds: true, var_order: None }).0.len()
+        })
+    });
+    g.finish();
+}
+
+fn a4_planning_overhead(c: &mut Criterion) {
+    // The data-independent planning phase (lattice + exact LLP solve) — the
+    // cost amortized away by data complexity.
+    let mut g = c.benchmark_group("a4_planning");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, q) in [
+        ("triangle", examples::triangle()),
+        ("fig1", examples::fig1_udf()),
+        ("fig9", examples::fig9_query()),
+    ] {
+        let db = fdjoin_instances::random_instance(
+            &q,
+            &mut rand_seeded(),
+            16,
+            90,
+        );
+        let pres = q.lattice_presentation();
+        let logs = log_sizes(&q, &db);
+        g.bench_function(BenchmarkId::new("llp_solve", name), |b| {
+            b.iter(|| solve_llp(&pres.lattice, &pres.inputs, &logs).value)
+        });
+        g.bench_function(BenchmarkId::new("lattice_build", name), |b| {
+            b.iter(|| q.lattice_presentation().lattice.len())
+        });
+    }
+    g.finish();
+}
+
+fn rand_seeded() -> impl rand::Rng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(1)
+}
+
+criterion_group!(benches, a1_argmin, a2_fd_binding, a4_planning_overhead);
+criterion_main!(benches);

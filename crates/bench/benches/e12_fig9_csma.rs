@@ -1,0 +1,31 @@
+//! E12 (Fig 9 / Example 5.31): CSMA on the query that admits *no* SM-proof
+//! sequence — the case only the conditional algorithm handles within the
+//! GLVV `N^{3/2}` budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdjoin_bigint::rat;
+use fdjoin_core::{csma_join, generic_join, GjOptions};
+use fdjoin_instances::normal_worst_case;
+use fdjoin_query::examples;
+use std::time::Duration;
+
+fn bench_fig9(c: &mut Criterion) {
+    let q = examples::fig9_query();
+    let mut g = c.benchmark_group("e12_fig9");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    for nlog in [2i64, 4] {
+        let db =
+            normal_worst_case(&q, &vec![rat(nlog, 1); 3], &rat(3 * nlog / 2, 1)).unwrap();
+        let n = 1u64 << nlog;
+        g.bench_with_input(BenchmarkId::new("csma", n), &db, |b, db| {
+            b.iter(|| csma_join(&q, db).unwrap().output.len())
+        });
+        g.bench_with_input(BenchmarkId::new("generic_join", n), &db, |b, db| {
+            b.iter(|| generic_join(&q, db, &GjOptions::default()).0.len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E1 (Eq. 1 / Fig 1): wall-clock for the UDF query on the adversarial and
+//! tight instances — Chain Algorithm vs Generic-Join vs binary plans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdjoin_core::{binary_join, chain_join, generic_join, GjOptions};
+use fdjoin_instances::{fig1_adversarial, fig1_tight};
+use fdjoin_query::examples;
+use std::time::Duration;
+
+fn bench_adversarial(c: &mut Criterion) {
+    let q = examples::fig1_udf();
+    let mut g = c.benchmark_group("e1_adversarial");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for exp in [8u32, 10] {
+        let n = 1u64 << exp;
+        let db = fig1_adversarial(n);
+        g.bench_with_input(BenchmarkId::new("chain", n), &db, |b, db| {
+            b.iter(|| chain_join(&q, db).unwrap().output.len())
+        });
+        g.bench_with_input(BenchmarkId::new("generic_join", n), &db, |b, db| {
+            b.iter(|| generic_join(&q, db, &GjOptions::default()).0.len())
+        });
+        g.bench_with_input(BenchmarkId::new("binary_join", n), &db, |b, db| {
+            b.iter(|| binary_join(&q, db, None).0.len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_tight(c: &mut Criterion) {
+    let q = examples::fig1_udf();
+    let mut g = c.benchmark_group("e1_tight");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for s in [8u64, 16] {
+        let db = fig1_tight(s);
+        let n = s * s;
+        g.bench_with_input(BenchmarkId::new("chain", n), &db, |b, db| {
+            b.iter(|| chain_join(&q, db).unwrap().output.len())
+        });
+        g.bench_with_input(BenchmarkId::new("generic_join", n), &db, |b, db| {
+            b.iter(|| generic_join(&q, db, &GjOptions::default()).0.len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_adversarial, bench_tight);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E2 (Eq. 2): CSMA on degree-bounded triangles — the CLLP budget (and the
+//! wall-clock) shrink with the degree bound `d`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdjoin_core::{csma_join_with, CsmaOptions, UserDegreeBound};
+use fdjoin_instances::bounded_degree_triangle;
+use fdjoin_query::examples;
+use std::time::Duration;
+
+fn bench_degree_sweep(c: &mut Criterion) {
+    let q = examples::triangle();
+    let n = 256u64;
+    let mut g = c.benchmark_group("e2_degree_triangle");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for d in [2u64, 16, 256] {
+        let db = bounded_degree_triangle(n, d);
+        let real_d = db.relation("R").max_degree(1) as u64;
+        let opts = CsmaOptions {
+            degree_bounds: vec![UserDegreeBound { atom: 0, on: vec![0], max_degree: real_d }],
+        };
+        g.bench_with_input(BenchmarkId::new("csma_with_degree", d), &db, |b, db| {
+            b.iter(|| csma_join_with(&q, db, &opts).unwrap().output.len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_degree_sweep);
+criterion_main!(benches);

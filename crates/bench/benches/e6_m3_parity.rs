@@ -1,0 +1,28 @@
+//! E6 (Fig 3 / Example 5.12): the M3 parity instance — output is exactly
+//! `N²`; CSMA and the Chain Algorithm both run within the (tight) `N²`
+//! budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdjoin_core::{chain_join, csma_join};
+use fdjoin_instances::m3_parity;
+use fdjoin_query::examples;
+use std::time::Duration;
+
+fn bench_parity(c: &mut Criterion) {
+    let q = examples::m3_query();
+    let mut g = c.benchmark_group("e6_m3_parity");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [16u64, 32, 64] {
+        let db = m3_parity(n);
+        g.bench_with_input(BenchmarkId::new("csma", n), &db, |b, db| {
+            b.iter(|| csma_join(&q, db).unwrap().output.len())
+        });
+        g.bench_with_input(BenchmarkId::new("chain", n), &db, |b, db| {
+            b.iter(|| chain_join(&q, db).unwrap().output.len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parity);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E7 (Fig 4 / Examples 5.18–5.25): SMA on the canonical `N^{4/3}` worst
+//! case — where the chain bound (`N^{3/2}`) is provably not tight.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdjoin_bigint::rat;
+use fdjoin_core::{chain_join, generic_join, sma_join, GjOptions};
+use fdjoin_instances::normal_worst_case;
+use fdjoin_query::examples;
+use std::time::Duration;
+
+fn bench_fig4(c: &mut Criterion) {
+    let q = examples::fig4_query();
+    let mut g = c.benchmark_group("e7_fig4");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    for nlog in [3i64, 6] {
+        let db =
+            normal_worst_case(&q, &vec![rat(nlog, 1); 4], &rat(4 * nlog / 3, 1)).unwrap();
+        let n = 1u64 << nlog;
+        g.bench_with_input(BenchmarkId::new("sma", n), &db, |b, db| {
+            b.iter(|| sma_join(&q, db).unwrap().output.len())
+        });
+        g.bench_with_input(BenchmarkId::new("chain", n), &db, |b, db| {
+            b.iter(|| chain_join(&q, db).unwrap().output.len())
+        });
+        g.bench_with_input(BenchmarkId::new("generic_join", n), &db, |b, db| {
+            b.iter(|| generic_join(&q, db, &GjOptions::default()).0.len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

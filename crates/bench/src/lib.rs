@@ -1,0 +1,102 @@
+//! Shared experiment harness: instance sweeps, exponent fitting, and table
+//! printing, used by both the `experiments` binary (paper-vs-measured
+//! tables) and the Criterion benches (wall-clock).
+
+use fdjoin_bigint::Rational;
+use fdjoin_query::Query;
+use fdjoin_storage::Database;
+
+/// Least-squares slope of `log2(work)` against `log2(n)` — the measured
+/// exponent of a work curve.
+pub fn fit_exponent(points: &[(f64, f64)]) -> f64 {
+    let k = points.len() as f64;
+    assert!(k >= 2.0, "need at least two points to fit");
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0f64, 0f64, 0f64, 0f64);
+    for &(n, w) in points {
+        let x = n.log2();
+        let y = w.max(1.0).log2();
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    (k * sxy - sx * sy) / (k * sxx - sx * sx)
+}
+
+/// `log₂ |R_j|` per atom for the actual database.
+pub fn log_sizes(q: &Query, db: &Database) -> Vec<Rational> {
+    q.atoms()
+        .iter()
+        .map(|a| Rational::log2_approx(db.relation(&a.name).len().max(1) as u64, 16))
+        .collect()
+}
+
+/// A measured experiment row for the report tables.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Input scale (e.g. `N`).
+    pub n: u64,
+    /// Labelled work/size measurements, in column order.
+    pub values: Vec<(&'static str, f64)>,
+}
+
+/// Print a table of rows with a title.
+pub fn print_table(title: &str, rows: &[Row]) {
+    println!("\n  {title}");
+    if rows.is_empty() {
+        return;
+    }
+    print!("  {:>8}", "N");
+    for (label, _) in &rows[0].values {
+        print!(" {label:>14}");
+    }
+    println!();
+    for r in rows {
+        print!("  {:>8}", r.n);
+        for (_, v) in &r.values {
+            if v.fract() == 0.0 && *v < 1e12 {
+                print!(" {:>14}", *v as u64);
+            } else {
+                print!(" {v:>14.3}");
+            }
+        }
+        println!();
+    }
+}
+
+/// Extract the series for one labelled column as `(n, value)` pairs.
+pub fn series(rows: &[Row], label: &str) -> Vec<(f64, f64)> {
+    rows.iter()
+        .map(|r| {
+            let v = r
+                .values
+                .iter()
+                .find(|(l, _)| *l == label)
+                .unwrap_or_else(|| panic!("no column {label}"))
+                .1;
+            (r.n as f64, v)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponent_fit_recovers_power_laws() {
+        let quad: Vec<(f64, f64)> =
+            (4..10).map(|k| (2f64.powi(k), 4f64.powi(k))).collect();
+        assert!((fit_exponent(&quad) - 2.0).abs() < 1e-9);
+        let mixed: Vec<(f64, f64)> =
+            (4..10).map(|k| (2f64.powi(k), 2f64.powi(k * 3 / 2))).collect();
+        let e = fit_exponent(&mixed);
+        assert!((1.3..1.6).contains(&e), "{e}");
+    }
+
+    #[test]
+    fn series_extraction() {
+        let rows = vec![Row { n: 4, values: vec![("a", 1.0), ("b", 2.0)] }];
+        assert_eq!(series(&rows, "b"), vec![(4.0, 2.0)]);
+    }
+}

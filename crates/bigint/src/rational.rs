@@ -1,0 +1,402 @@
+//! Exact rational numbers over [`BigInt`], always kept in lowest terms with a
+//! positive denominator.
+
+use crate::BigInt;
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An exact rational number `num / den` with `den > 0` and `gcd(num, den) = 1`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl Rational {
+    /// The rational zero.
+    pub fn zero() -> Self {
+        Rational { num: BigInt::zero(), den: BigInt::one() }
+    }
+
+    /// The rational one.
+    pub fn one() -> Self {
+        Rational { num: BigInt::one(), den: BigInt::one() }
+    }
+
+    /// Construct `num / den`, normalizing sign and reducing. Panics if `den == 0`.
+    pub fn from_frac(num: BigInt, den: BigInt) -> Self {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        let (num, den) = if den.is_negative() { (-num, -den) } else { (num, den) };
+        let g = num.gcd(&den);
+        if g.is_zero() {
+            return Rational::zero();
+        }
+        Rational { num: &num / &g, den: &den / &g }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// Returns `true` if this is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` if strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Returns `true` if strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Returns `true` if the denominator is one.
+    pub fn is_integer(&self) -> bool {
+        self.den == BigInt::one()
+    }
+
+    /// Sign as `-1`, `0`, `1`.
+    pub fn signum(&self) -> i8 {
+        self.num.signum()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Multiplicative inverse. Panics on zero.
+    pub fn recip(&self) -> Rational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rational::from_frac(self.den.clone(), self.num.clone())
+    }
+
+    /// Largest integer `<= self`.
+    pub fn floor(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_negative() {
+            &q - &BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Smallest integer `>= self`.
+    pub fn ceil(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_positive() {
+            &q + &BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Lossy `f64` value (display, plotting, slope fits only).
+    pub fn to_f64(&self) -> f64 {
+        // Scale to keep both parts in f64 range for very large operands.
+        let nb = self.num.bits() as i64;
+        let db = self.den.bits() as i64;
+        if nb < 1000 && db < 1000 {
+            return self.num.to_f64() / self.den.to_f64();
+        }
+        let shift = (nb.max(db) - 512).max(0) as u64;
+        self.num.shr(shift).to_f64() / self.den.shr(shift).to_f64()
+    }
+
+    /// `floor(2^self)` computed exactly, for non-negative `self` with a
+    /// denominator that fits in `u32`.
+    ///
+    /// These exponents are LP optima (small rationals like `3/2` or `4/3`
+    /// scaled by integer log-cardinalities), so the exact path always applies
+    /// in practice. For a negative exponent the value is in `(0,1)` so the
+    /// floor is `0` (or `1` when `self == 0`).
+    pub fn exp2_floor(&self) -> BigInt {
+        if self.is_negative() {
+            return BigInt::zero();
+        }
+        let p = self.num.to_u64().expect("exp2_floor: exponent numerator too large");
+        let q = self.den.to_u64().expect("exp2_floor: exponent denominator too large");
+        assert!(q <= u32::MAX as u64, "exp2_floor: denominator too large");
+        // floor(2^(p/q)) = floor((2^p)^(1/q)).
+        BigInt::pow2(p).nth_root(q as u32)
+    }
+
+    /// `ceil(2^self)`; exact under the same conditions as [`Self::exp2_floor`].
+    pub fn exp2_ceil(&self) -> BigInt {
+        if self.is_negative() {
+            return BigInt::one();
+        }
+        let fl = self.exp2_floor();
+        // 2^self is an integer iff self is a non-negative integer.
+        if self.is_integer() {
+            fl
+        } else {
+            &fl + &BigInt::one()
+        }
+    }
+
+    /// Exact `log2(n)` if `n` is a power of two, else `None`.
+    pub fn log2_exact(n: u64) -> Option<Rational> {
+        if n == 0 || !n.is_power_of_two() {
+            return None;
+        }
+        Some(Rational::from(BigInt::from(n.trailing_zeros() as i64)))
+    }
+
+    /// Dyadic approximation of `log2(n)` with `frac_bits` fractional bits,
+    /// rounded up (so cardinality constraints remain valid upper bounds).
+    ///
+    /// Exact whenever `n` is a power of two.
+    pub fn log2_approx(n: u64, frac_bits: u32) -> Rational {
+        assert!(n > 0, "log2 of zero");
+        if let Some(exact) = Rational::log2_exact(n) {
+            return exact;
+        }
+        // Integer part.
+        let int_part = 63 - n.leading_zeros() as u64;
+        // Fractional part: repeatedly square the mantissa in fixed point.
+        let mut frac_num: u64 = 0;
+        let mut x = n as u128;
+        let mut scale = 1u128 << int_part;
+        for _ in 0..frac_bits {
+            // x/scale in [1,2); square it.
+            x = x * x;
+            scale = scale * scale;
+            frac_num <<= 1;
+            if x >= 2 * scale {
+                frac_num |= 1;
+                scale *= 2;
+            }
+            // Renormalize to keep the mantissa within 64 bits of precision.
+            let excess = (128 - (x.leading_zeros() as i64) - 64).max(0) as u32;
+            x >>= excess;
+            scale >>= excess;
+        }
+        let num = BigInt::from(int_part).shl(frac_bits as u64);
+        let num = &(&num + &BigInt::from(frac_num)) + &BigInt::one(); // round up
+        Rational::from_frac(num, BigInt::pow2(frac_bits as u64))
+    }
+}
+
+impl From<BigInt> for Rational {
+    fn from(v: BigInt) -> Self {
+        Rational { num: v, den: BigInt::one() }
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational::from(BigInt::from(v))
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d with b,d > 0  <=>  a*d vs c*b.
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl Add for &Rational {
+    type Output = Rational;
+    fn add(self, other: &Rational) -> Rational {
+        Rational::from_frac(
+            &(&self.num * &other.den) + &(&other.num * &self.den),
+            &self.den * &other.den,
+        )
+    }
+}
+
+impl Sub for &Rational {
+    type Output = Rational;
+    fn sub(self, other: &Rational) -> Rational {
+        Rational::from_frac(
+            &(&self.num * &other.den) - &(&other.num * &self.den),
+            &self.den * &other.den,
+        )
+    }
+}
+
+impl Mul for &Rational {
+    type Output = Rational;
+    fn mul(self, other: &Rational) -> Rational {
+        Rational::from_frac(&self.num * &other.num, &self.den * &other.den)
+    }
+}
+
+impl Div for &Rational {
+    type Output = Rational;
+    fn div(self, other: &Rational) -> Rational {
+        assert!(!other.is_zero(), "rational division by zero");
+        Rational::from_frac(&self.num * &other.den, &self.den * &other.num)
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { num: -self.num, den: self.den }
+    }
+}
+
+impl Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        self.clone().neg()
+    }
+}
+
+impl AddAssign<&Rational> for Rational {
+    fn add_assign(&mut self, other: &Rational) {
+        *self = &*self + other;
+    }
+}
+
+impl SubAssign<&Rational> for Rational {
+    fn sub_assign(&mut self, other: &Rational) {
+        *self = &*self - other;
+    }
+}
+
+impl<'a> Sum<&'a Rational> for Rational {
+    fn sum<I: Iterator<Item = &'a Rational>>(iter: I) -> Rational {
+        let mut acc = Rational::zero();
+        for r in iter {
+            acc += r;
+        }
+        acc
+    }
+}
+
+impl Sum<Rational> for Rational {
+    fn sum<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        let mut acc = Rational::zero();
+        for r in iter {
+            acc += &r;
+        }
+        acc
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_integer() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rat;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(rat(2, 4), rat(1, 2));
+        assert_eq!(rat(-2, -4), rat(1, 2));
+        assert_eq!(rat(2, -4), rat(-1, 2));
+        assert_eq!(rat(0, 7), Rational::zero());
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(&rat(1, 2) + &rat(1, 3), rat(5, 6));
+        assert_eq!(&rat(1, 2) - &rat(1, 3), rat(1, 6));
+        assert_eq!(&rat(2, 3) * &rat(3, 4), rat(1, 2));
+        assert_eq!(&rat(1, 2) / &rat(1, 4), rat(2, 1));
+        assert_eq!(-rat(1, 2), rat(-1, 2));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(rat(1, 2) < rat(2, 3));
+        assert!(rat(-1, 2) < rat(1, 3));
+        assert!(rat(-1, 2) > rat(-2, 3));
+        assert_eq!(rat(3, 6).cmp(&rat(1, 2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(rat(7, 2).floor(), BigInt::from(3i64));
+        assert_eq!(rat(7, 2).ceil(), BigInt::from(4i64));
+        assert_eq!(rat(-7, 2).floor(), BigInt::from(-4i64));
+        assert_eq!(rat(-7, 2).ceil(), BigInt::from(-3i64));
+        assert_eq!(rat(6, 2).floor(), BigInt::from(3i64));
+        assert_eq!(rat(6, 2).ceil(), BigInt::from(3i64));
+    }
+
+    #[test]
+    fn exp2_floor_exact_cases() {
+        // 2^(3/2) = 2.828..., floor 2; ceil 3.
+        assert_eq!(rat(3, 2).exp2_floor(), BigInt::from(2i64));
+        assert_eq!(rat(3, 2).exp2_ceil(), BigInt::from(3i64));
+        // 2^4 = 16.
+        assert_eq!(rat(4, 1).exp2_floor(), BigInt::from(16i64));
+        assert_eq!(rat(4, 1).exp2_ceil(), BigInt::from(16i64));
+        // 2^(10/3) = 10.07..., floor 10.
+        assert_eq!(rat(10, 3).exp2_floor(), BigInt::from(10i64));
+        // Negative exponent: value in (0,1).
+        assert_eq!(rat(-3, 2).exp2_floor(), BigInt::zero());
+        assert_eq!(rat(-3, 2).exp2_ceil(), BigInt::one());
+        // Large: 2^(30/2) = 2^15.
+        assert_eq!(rat(30, 2).exp2_floor(), BigInt::from(1i64 << 15));
+    }
+
+    #[test]
+    fn log2_exact_and_approx() {
+        assert_eq!(Rational::log2_exact(1024), Some(rat(10, 1)));
+        assert_eq!(Rational::log2_exact(1000), None);
+        let approx = Rational::log2_approx(1000, 20);
+        let truth = (1000f64).log2();
+        assert!((approx.to_f64() - truth).abs() < 1e-4, "{approx} vs {truth}");
+        // Rounded up: approx >= truth.
+        assert!(approx.to_f64() >= truth);
+        assert_eq!(Rational::log2_approx(4096, 20), rat(12, 1));
+    }
+
+    #[test]
+    fn sums() {
+        let v = vec![rat(1, 2), rat(1, 3), rat(1, 6)];
+        let s: Rational = v.iter().sum();
+        assert_eq!(s, Rational::one());
+    }
+
+    #[test]
+    fn to_f64_huge_operands() {
+        let big = Rational::from_frac(BigInt::pow2(2000), BigInt::pow2(1999));
+        assert!((big.to_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(rat(3, 2).to_string(), "3/2");
+        assert_eq!(rat(4, 2).to_string(), "2");
+        assert_eq!(rat(-1, 3).to_string(), "-1/3");
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests: BigInt/Rational arithmetic against i128 reference
+//! semantics and algebraic laws.
+
+use fdjoin_bigint::{rat, BigInt, Rational};
+use proptest::prelude::*;
+
+fn bi(v: i128) -> BigInt {
+    BigInt::from(v)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_i128(a in -1_000_000_000_000i128..1_000_000_000_000, b in -1_000_000_000_000i128..1_000_000_000_000) {
+        prop_assert_eq!(&bi(a) + &bi(b), bi(a + b));
+    }
+
+    #[test]
+    fn sub_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(&bi(a as i128) - &bi(b as i128), bi(a as i128 - b as i128));
+    }
+
+    #[test]
+    fn mul_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(&bi(a as i128) * &bi(b as i128), bi(a as i128 * b as i128));
+    }
+
+    #[test]
+    fn div_rem_matches_i128(a in any::<i64>(), b in any::<i64>().prop_filter("nonzero", |v| *v != 0)) {
+        let (q, r) = bi(a as i128).div_rem(&bi(b as i128));
+        prop_assert_eq!(q, bi(a as i128 / b as i128));
+        prop_assert_eq!(r, bi(a as i128 % b as i128));
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in any::<i64>(), b in any::<i64>().prop_filter("nonzero", |v| *v != 0)) {
+        let (a, b) = (bi(a as i128), bi(b as i128));
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn mul_associative_large(a in any::<i64>(), b in any::<i64>(), c in any::<i64>()) {
+        let (a, b, c) = (bi(a as i128), bi(b as i128), bi(c as i128));
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn gcd_divides_both(a in any::<i64>(), b in any::<i64>()) {
+        let (a, b) = (bi(a as i128), bi(b as i128));
+        let g = a.gcd(&b);
+        if !g.is_zero() {
+            prop_assert!(a.div_rem(&g).1.is_zero());
+            prop_assert!(b.div_rem(&g).1.is_zero());
+        } else {
+            prop_assert!(a.is_zero() && b.is_zero());
+        }
+    }
+
+    #[test]
+    fn shl_shr_roundtrip(a in any::<i64>(), k in 0u64..200) {
+        let a = bi(a as i128);
+        prop_assert_eq!(a.shl(k).shr(k), a);
+    }
+
+    #[test]
+    fn nth_root_bracket(a in 0i128..1_000_000_000_000_000, n in 1u32..6) {
+        let v = bi(a);
+        let r = v.nth_root(n);
+        prop_assert!(r.pow(n) <= v);
+        let r1 = &r + &BigInt::one();
+        prop_assert!(r1.pow(n) > v);
+    }
+
+    #[test]
+    fn string_roundtrip(a in any::<i128>()) {
+        let v = bi(a);
+        let parsed: BigInt = v.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn rational_field_laws(
+        an in -1000i64..1000, ad in 1i64..100,
+        bn in -1000i64..1000, bd in 1i64..100,
+        cn in -1000i64..1000, cd in 1i64..100,
+    ) {
+        let (a, b, c) = (rat(an, ad), rat(bn, bd), rat(cn, cd));
+        // Commutativity / associativity / distributivity.
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        // Additive inverse.
+        prop_assert_eq!(&a + &(-a.clone()), Rational::zero());
+        // Multiplicative inverse.
+        if !b.is_zero() {
+            prop_assert_eq!(&(&a / &b) * &b, a);
+        }
+    }
+
+    #[test]
+    fn rational_order_total(
+        an in -1000i64..1000, ad in 1i64..100,
+        bn in -1000i64..1000, bd in 1i64..100,
+    ) {
+        let (a, b) = (rat(an, ad), rat(bn, bd));
+        let fa = an as f64 / ad as f64;
+        let fb = bn as f64 / bd as f64;
+        if (fa - fb).abs() > 1e-9 {
+            prop_assert_eq!(a < b, fa < fb);
+        }
+    }
+
+    #[test]
+    fn floor_ceil_bracket(an in -10_000i64..10_000, ad in 1i64..500) {
+        let a = rat(an, ad);
+        let fl = Rational::from(a.floor());
+        let ce = Rational::from(a.ceil());
+        prop_assert!(fl <= a && a <= ce);
+        prop_assert!(&a - &fl < Rational::one());
+        prop_assert!(&ce - &a < Rational::one());
+    }
+
+    #[test]
+    fn exp2_floor_bracket(p in 0i64..40, q in 1i64..12) {
+        let e = rat(p, q);
+        let fl = e.exp2_floor();
+        let truth = 2f64.powf(p as f64 / q as f64);
+        let fl_f = fl.to_f64();
+        prop_assert!(fl_f <= truth + 1e-6);
+        prop_assert!((&fl + &BigInt::one()).to_f64() > truth - 1e-6);
+    }
+
+    #[test]
+    fn log2_approx_close(n in 1u64..1_000_000) {
+        let approx = Rational::log2_approx(n, 24);
+        let truth = (n as f64).log2();
+        prop_assert!((approx.to_f64() - truth).abs() < 1e-4);
+        prop_assert!(approx.to_f64() + 1e-12 >= truth);
+    }
+}

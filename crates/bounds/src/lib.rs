@@ -1,0 +1,30 @@
+//! Output-size bounds for join queries with functional dependencies.
+//!
+//! Implements the paper's bound machinery end-to-end, exactly:
+//!
+//! - [`agm`]: the AGM bound (Theorem 2.1) and `AGM(Q⁺)` (Sec. 2);
+//! - [`llp`]: the Lattice LP (Eq. 5) whose optimum is the GLVV bound
+//!   (Proposition 3.4), with dual certificates (Lemma 3.9);
+//! - [`chain`]: the chain bound (Theorem 5.3), good-chain constructions
+//!   (Corollaries 5.9/5.11), and the tightness condition (Theorem 5.14);
+//! - [`smproof`]: SM-proof search and the goodness labeling (Sec. 5.2);
+//! - [`cllp`]: the conditional LLP with degree bounds (Sec. 5.3.1);
+//! - [`csm`]: CSM proof-sequence construction (Theorem 5.34);
+//! - [`normal`]: co-atomic hypergraphs and the normal-lattice decision
+//!   procedure (Sec. 4 / Theorem 4.9);
+//! - [`LatticeFn`]: polymatroids, Möbius/CMI inversion, normality of
+//!   functions, step decompositions, Lovász monotonization.
+
+pub mod agm;
+pub mod chain;
+pub mod cllp;
+pub mod csm;
+pub mod llp;
+pub mod normal;
+mod polymatroid;
+pub mod smproof;
+
+pub use cllp::{CllpSolution, DegreePair};
+pub use csm::{CsmRule, CsmSequence};
+pub use llp::LlpSolution;
+pub use polymatroid::LatticeFn;

@@ -1,0 +1,135 @@
+//! Traditional left-deep binary hash-join plans — the "query plan" baseline
+//! whose intermediate results blow up to `Ω(N²)` on the paper's motivating
+//! instances (Sec. 1.1).
+
+use crate::{Expander, Stats};
+use fdjoin_lattice::VarSet;
+use fdjoin_query::Query;
+use fdjoin_storage::{Database, HashIndex, Relation, Value};
+
+/// Evaluate `q` with pairwise hash joins in the given atom order (default:
+/// body order), then expansion + FD verification. Output columns are all
+/// query variables in ascending id.
+pub fn binary_join(q: &Query, db: &Database, atom_order: Option<&[usize]>) -> (Relation, Stats) {
+    let mut stats = Stats::default();
+    let ex = Expander::new(q, db);
+    let default_order: Vec<usize> = (0..q.atoms().len()).collect();
+    let order: &[usize] = atom_order.unwrap_or(&default_order);
+
+    // Left-deep: acc ⋈ atom ⋈ atom ⋈ …
+    let first = &q.atoms()[order[0]];
+    let mut acc = db.relation(&first.name).project(&first.vars);
+    for &ai in &order[1..] {
+        let atom = &q.atoms()[ai];
+        let rel = db.relation(&atom.name);
+        let shared: Vec<u32> = atom
+            .vars
+            .iter()
+            .copied()
+            .filter(|&v| acc.col_of(v).is_some())
+            .collect();
+        let fresh: Vec<u32> = atom
+            .vars
+            .iter()
+            .copied()
+            .filter(|&v| acc.col_of(v).is_none())
+            .collect();
+        let index = HashIndex::build(rel, &shared);
+        let mut out_vars: Vec<u32> = acc.vars().to_vec();
+        out_vars.extend(&fresh);
+        let mut next = Relation::new(out_vars);
+        let acc_shared_cols: Vec<usize> =
+            shared.iter().map(|&v| acc.col_of(v).unwrap()).collect();
+        let rel_fresh_cols: Vec<usize> =
+            fresh.iter().map(|&v| rel.col_of(v).unwrap()).collect();
+        let mut key = vec![0 as Value; shared.len()];
+        let mut buf: Vec<Value> = Vec::new();
+        for row in acc.rows() {
+            for (slot, &c) in key.iter_mut().zip(&acc_shared_cols) {
+                *slot = row[c];
+            }
+            stats.probes += 1;
+            for &ri in index.get(&key) {
+                let rrow = rel.row(ri as usize);
+                buf.clear();
+                buf.extend_from_slice(row);
+                buf.extend(rel_fresh_cols.iter().map(|&c| rrow[c]));
+                next.push_row(&buf);
+                stats.intermediate_tuples += 1;
+            }
+        }
+        next.sort_dedup();
+        acc = next;
+    }
+
+    // Expand to all variables and verify FDs / UDF predicates.
+    let nv = q.n_vars();
+    let target = VarSet::full(nv as u32);
+    let all: Vec<u32> = (0..nv as u32).collect();
+    let mut out = Relation::new(all);
+    let mut vals = vec![0 as Value; nv];
+    for row in acc.rows() {
+        for (&v, &x) in acc.vars().iter().zip(row) {
+            vals[v as usize] = x;
+        }
+        let mut bound = acc.var_set();
+        if ex.expand_tuple(&mut bound, &mut vals, target, &mut stats)
+            && ex.verify_fds(bound, &vals, &mut stats)
+        {
+            out.push_row(&vals);
+            stats.output_tuples += 1;
+        }
+    }
+    out.sort_dedup();
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_join;
+
+    #[test]
+    fn matches_naive_on_triangle() {
+        let q = fdjoin_query::examples::triangle();
+        let mut db = Database::new();
+        db.insert(
+            "R",
+            Relation::from_rows(vec![0, 1], [[1, 2], [1, 3], [2, 3]]),
+        );
+        db.insert("S", Relation::from_rows(vec![1, 2], [[2, 3], [3, 1]]));
+        db.insert("T", Relation::from_rows(vec![2, 0], [[3, 1], [1, 1], [1, 2]]));
+        let (expect, _) = naive_join(&q, &db);
+        let (got, _) = binary_join(&q, &db, None);
+        assert_eq!(got, expect);
+        // Any atom order gives the same answer.
+        let (got2, _) = binary_join(&q, &db, Some(&[2, 0, 1]));
+        assert_eq!(got2, expect);
+    }
+
+    #[test]
+    fn intermediate_blowup_is_visible() {
+        // The Sec. 1.1 blowup instance: R={(i,1)}, S={(1,1)}, T={(1,i)}.
+        // Joining R ⋈ S ⋈ T materializes N² intermediates before the UDFs
+        // filter them.
+        let q = fdjoin_query::examples::fig1_udf();
+        let n = 32u64;
+        let mut db = Database::new();
+        let r: Vec<[u64; 2]> = (1..=n).map(|i| [i, 1]).collect();
+        let t: Vec<[u64; 2]> = (1..=n).map(|i| [1, i]).collect();
+        db.insert("R", Relation::from_rows(vec![0, 1], r));
+        db.insert("S", Relation::from_rows(vec![1, 2], [[1, 1]]));
+        db.insert("T", Relation::from_rows(vec![2, 3], t));
+        db.udfs.register(VarSet::from_vars([0, 2]), 3, |v| v[0]); // u = x
+        db.udfs.register(VarSet::from_vars([1, 3]), 0, |v| v[1]); // x = u
+        let (out, stats) = binary_join(&q, &db, None);
+        // Output: for each x, tuple (x,1,1,x) — u=f(x,z)=x, x=g(y,u)=u ✓.
+        assert_eq!(out.len(), n as usize);
+        assert!(
+            stats.intermediate_tuples >= n * n,
+            "binary join must materialize the quadratic intermediate ({} < {})",
+            stats.intermediate_tuples,
+            n * n
+        );
+    }
+}

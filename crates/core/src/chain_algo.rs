@@ -1,0 +1,330 @@
+//! The Chain Algorithm (Algorithm 1, Sec. 5.1).
+//!
+//! Climbs a good chain `0̂ ≺ C₁ ≺ … ≺ C_k = 1̂`, maintaining
+//! `Q_i = (⋈_j Π_{R_j ∧ C_i}(R_j))⁺`. The crucial step (Theorem 5.7's
+//! accounting) is per-tuple: for each `t ∈ Q_{i-1}` it picks the relation
+//! `j* = argmin_j |t ⋈ Π_{R_j ∧ C_i}(R_j)|` — the choice *depends on `t`* —
+//! iterates that smallest extension set, expands each candidate to the
+//! closure `C_i` via FDs, and verifies it against every other covering
+//! relation.
+
+use crate::{Expander, Stats};
+use fdjoin_bigint::Rational;
+use fdjoin_bounds::chain::{best_chain_bound, chain_bound, Chain, ChainBound};
+use fdjoin_lattice::VarSet;
+use fdjoin_query::Query;
+use fdjoin_storage::{Database, Relation, Value};
+use std::fmt;
+
+/// Why the Chain Algorithm could not run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChainError {
+    /// No candidate chain is good with a finite bound (isolated vertices in
+    /// every chain hypergraph).
+    NoGoodChain,
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::NoGoodChain => {
+                write!(f, "no good chain with a finite chain bound exists for this query")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// Result of a chain-algorithm run, including the chosen chain and its
+/// bound for reporting.
+#[derive(Debug)]
+pub struct ChainJoinOutput {
+    /// The query answer over all variables (ascending id order).
+    pub output: Relation,
+    /// Work counters.
+    pub stats: Stats,
+    /// The chain that was executed.
+    pub chain: Chain,
+    /// `log₂` of the chain bound for the actual input sizes.
+    pub log_bound: Rational,
+}
+
+/// Run the Chain Algorithm with an automatically selected chain (the best
+/// over all maximal chains plus the Corollary 5.9/5.11 constructions).
+pub fn chain_join(q: &Query, db: &Database) -> Result<ChainJoinOutput, ChainError> {
+    let pres = q.lattice_presentation();
+    let log_sizes = atom_log_sizes(q, db);
+    let best = best_chain_bound(&pres.lattice, &pres.inputs, &log_sizes)
+        .ok_or(ChainError::NoGoodChain)?;
+    Ok(execute(q, db, &pres, best, true))
+}
+
+/// Ablation A1: like [`chain_join`] but *without* the per-tuple `argmin`
+/// relation choice — always iterates the first covering relation. This is
+/// the "crucial fact" of Sec. 5.1 turned off; Theorem 5.7's accounting
+/// breaks and the runtime can degrade to the worse relation's degree.
+pub fn chain_join_no_argmin(q: &Query, db: &Database) -> Result<ChainJoinOutput, ChainError> {
+    let pres = q.lattice_presentation();
+    let log_sizes = atom_log_sizes(q, db);
+    let best = best_chain_bound(&pres.lattice, &pres.inputs, &log_sizes)
+        .ok_or(ChainError::NoGoodChain)?;
+    Ok(execute(q, db, &pres, best, false))
+}
+
+/// Run the Chain Algorithm on a caller-supplied chain (must be good for the
+/// inputs with a finite bound).
+pub fn chain_join_with(
+    q: &Query,
+    db: &Database,
+    chain: &Chain,
+) -> Result<ChainJoinOutput, ChainError> {
+    let pres = q.lattice_presentation();
+    let log_sizes = atom_log_sizes(q, db);
+    let b = chain_bound(&pres.lattice, &pres.inputs, &log_sizes, chain)
+        .ok_or(ChainError::NoGoodChain)?;
+    Ok(execute(q, db, &pres, b, true))
+}
+
+/// `log₂ |R_j|` (dyadic upper approximation) for each atom.
+pub fn atom_log_sizes(q: &Query, db: &Database) -> Vec<Rational> {
+    q.atoms()
+        .iter()
+        .map(|a| Rational::log2_approx(db.relation(&a.name).len().max(1) as u64, 16))
+        .collect()
+}
+
+fn execute(
+    q: &Query,
+    db: &Database,
+    pres: &fdjoin_query::LatticePresentation,
+    bound: ChainBound,
+    use_argmin: bool,
+) -> ChainJoinOutput {
+    let lat = &pres.lattice;
+    let chain = &bound.chain;
+    let k = chain.steps();
+    let mut stats = Stats::default();
+    let ex = Expander::new(q, db);
+
+    // Level at which each variable enters the chain.
+    let level_sets: Vec<VarSet> =
+        chain.elems.iter().map(|&c| lat.set_of(c).expect("closed-set lattice")).collect();
+    let level_of = |v: u32| -> usize {
+        (0..=k).find(|&i| level_sets[i].contains(v)).expect("1̂ contains every variable")
+    };
+    let col_order = |s: VarSet| -> Vec<u32> {
+        let mut vars: Vec<u32> = s.iter().collect();
+        vars.sort_by_key(|&v| (level_of(v), v));
+        vars
+    };
+
+    // Step 1: expand inputs to their closures.
+    let expanded: Vec<Relation> = q
+        .atoms()
+        .iter()
+        .map(|a| ex.expand_relation(db.relation(&a.name), &mut stats))
+        .collect();
+
+    // Pre-materialize Π_{R_j ∧ C_i}(R_j⁺) for every covering (i, j), indexed
+    // in chain-level column order so Q_{i-1}'s shared part is a prefix.
+    // proj[i][j] = Some((projection, prefix_len onto R_j ∧ C_{i-1})).
+    let mut proj: Vec<Vec<Option<(Relation, usize)>>> = vec![vec![]; k + 1];
+    for i in 1..=k {
+        proj[i] = (0..q.atoms().len())
+            .map(|j| {
+                let rj = pres.inputs[j];
+                let mij = lat.meet(rj, chain.elems[i]);
+                let mij_prev = lat.meet(rj, chain.elems[i - 1]);
+                if mij == mij_prev {
+                    return None;
+                }
+                let vars = col_order(lat.set_of(mij).unwrap());
+                let prefix_len = lat.set_of(mij_prev).unwrap().len() as usize;
+                Some((expanded[j].project(&vars), prefix_len))
+            })
+            .collect();
+    }
+
+    let nv = q.n_vars();
+    let mut q_prev = Relation::nullary_unit();
+    let mut vals = vec![0 as Value; nv];
+    for i in 1..=k {
+        let out_vars = col_order(level_sets[i]);
+        let target = level_sets[i];
+        let mut q_i = Relation::new(out_vars.clone());
+        let covering: Vec<usize> =
+            (0..q.atoms().len()).filter(|&j| proj[i][j].is_some()).collect();
+        debug_assert!(!covering.is_empty(), "finite chain bound implies every step covered");
+
+        // Precompute, per covering atom, the positions in q_prev of its
+        // shared prefix variables.
+        let prev_positions: Vec<Vec<usize>> = covering
+            .iter()
+            .map(|&j| {
+                let (p, plen) = proj[i][j].as_ref().unwrap();
+                p.vars()[..*plen]
+                    .iter()
+                    .map(|&v| q_prev.col_of(v).expect("prefix vars bound at i-1"))
+                    .collect()
+            })
+            .collect();
+
+        let mut key: Vec<Value> = Vec::new();
+        let mut buf = vec![0 as Value; out_vars.len()];
+        for t in q_prev.rows() {
+            // j* = argmin_j |t ⋈ Π_{R_j ∧ C_i}(R_j)| — per-tuple choice
+            // (or, for the A1 ablation, just the first covering atom).
+            let mut best: Option<(usize, std::ops::Range<usize>)> = None;
+            for (ci, &j) in covering.iter().enumerate() {
+                let (p, _) = proj[i][j].as_ref().unwrap();
+                key.clear();
+                key.extend(prev_positions[ci].iter().map(|&c| t[c]));
+                stats.probes += 1;
+                let range = p.prefix_range(&key);
+                if best.as_ref().is_none_or(|(_, r)| range.len() < r.len()) {
+                    best = Some((ci, range));
+                }
+                if !use_argmin {
+                    break;
+                }
+            }
+            let (ci_star, range) = best.expect("some covering atom");
+            if range.is_empty() {
+                continue;
+            }
+            let j_star = covering[ci_star];
+            let (p_star, _) = proj[i][j_star].as_ref().unwrap();
+
+            'ext: for ri in range {
+                let ext = p_star.row(ri);
+                // Assemble candidate over C_{i-1} ∪ (R_{j*} ∧ C_i).
+                for (&v, &x) in q_prev.vars().iter().zip(t) {
+                    vals[v as usize] = x;
+                }
+                let mut bound_set = level_sets[i - 1];
+                let mut consistent = true;
+                for (&v, &x) in p_star.vars().iter().zip(ext) {
+                    if bound_set.contains(v) {
+                        if vals[v as usize] != x {
+                            consistent = false;
+                            break;
+                        }
+                    } else {
+                        vals[v as usize] = x;
+                        bound_set = bound_set.insert(v);
+                    }
+                }
+                if !consistent {
+                    continue;
+                }
+                // Expand to the closure C_i (goodness Eq. 11 guarantees
+                // C_{i-1} ∨ (R_{j*} ∧ C_i) = C_i) and verify FDs within.
+                if !ex.expand_tuple(&mut bound_set, &mut vals, target, &mut stats)
+                    || !ex.verify_fds(target, &vals, &mut stats)
+                {
+                    continue;
+                }
+                // Verify against every other covering relation: the
+                // projection onto R_j ∧ C_i must be present.
+                for &j in &covering {
+                    if j == j_star {
+                        continue;
+                    }
+                    let (p, _) = proj[i][j].as_ref().unwrap();
+                    key.clear();
+                    key.extend(p.vars().iter().map(|&v| vals[v as usize]));
+                    stats.probes += 1;
+                    if p.prefix_range(&key).is_empty() {
+                        continue 'ext;
+                    }
+                }
+                for (slot, &v) in buf.iter_mut().zip(&out_vars) {
+                    *slot = vals[v as usize];
+                }
+                q_i.push_row(&buf);
+                stats.intermediate_tuples += 1;
+            }
+        }
+        q_i.sort_dedup();
+        q_prev = q_i;
+    }
+
+    // Final answer: reorder columns to ascending variable id.
+    let all: Vec<u32> = (0..nv as u32).collect();
+    let output = q_prev.project(&all);
+    stats.output_tuples += output.len() as u64;
+    ChainJoinOutput { output, stats, chain: bound.chain, log_bound: bound.log_bound }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_join;
+
+    #[test]
+    fn triangle_matches_naive() {
+        let q = fdjoin_query::examples::triangle();
+        let mut db = Database::new();
+        db.insert(
+            "R",
+            Relation::from_rows(vec![0, 1], [[1, 2], [1, 3], [2, 3], [7, 8]]),
+        );
+        db.insert("S", Relation::from_rows(vec![1, 2], [[2, 3], [3, 1], [8, 9]]));
+        db.insert("T", Relation::from_rows(vec![2, 0], [[3, 1], [1, 1], [9, 7]]));
+        let (expect, _) = naive_join(&q, &db);
+        let got = chain_join(&q, &db).unwrap();
+        assert_eq!(got.output, expect);
+    }
+
+    #[test]
+    fn fig1_udf_matches_naive() {
+        let q = fdjoin_query::examples::fig1_udf();
+        let mut db = Database::new();
+        db.insert("R", Relation::from_rows(vec![0, 1], [[1, 1], [2, 1], [1, 2]]));
+        db.insert("S", Relation::from_rows(vec![1, 2], [[1, 1], [2, 1], [1, 2]]));
+        db.insert("T", Relation::from_rows(vec![2, 3], [[1, 1], [1, 2], [2, 1]]));
+        db.udfs.register(VarSet::from_vars([0, 2]), 3, |v| v[0]); // u = x
+        db.udfs.register(VarSet::from_vars([1, 3]), 0, |v| v[1]); // x = u
+        let (expect, _) = naive_join(&q, &db);
+        let got = chain_join(&q, &db).unwrap();
+        assert_eq!(got.output, expect, "chain {:?}", got.chain.elems);
+    }
+
+    #[test]
+    fn fig5_product_query() {
+        let q = fdjoin_query::examples::fig5_udf_product();
+        let mut db = Database::new();
+        db.insert("R", Relation::from_rows(vec![0], [[1], [2], [3]]));
+        db.insert("S", Relation::from_rows(vec![1], [[10], [20]]));
+        db.udfs.register(VarSet::from_vars([0, 1]), 2, |v| v[0] * 1000 + v[1]);
+        let (expect, _) = naive_join(&q, &db);
+        assert_eq!(expect.len(), 6);
+        let got = chain_join(&q, &db).unwrap();
+        assert_eq!(got.output, expect);
+    }
+
+    #[test]
+    fn simple_fd_path_matches_naive() {
+        let q = fdjoin_query::examples::simple_fd_path();
+        let mut db = Database::new();
+        // y → z guarded in S.
+        db.insert("R", Relation::from_rows(vec![0, 1], [[1, 1], [2, 1], [3, 2]]));
+        db.insert("S", Relation::from_rows(vec![1, 2], [[1, 5], [2, 6]]));
+        db.insert("T", Relation::from_rows(vec![2, 3], [[5, 9], [6, 8], [7, 7]]));
+        let (expect, _) = naive_join(&q, &db);
+        let got = chain_join(&q, &db).unwrap();
+        assert_eq!(got.output, expect);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        let q = fdjoin_query::examples::triangle();
+        let mut db = Database::new();
+        db.insert("R", Relation::new(vec![0, 1]));
+        db.insert("S", Relation::from_rows(vec![1, 2], [[2, 3]]));
+        db.insert("T", Relation::from_rows(vec![2, 0], [[3, 1]]));
+        let got = chain_join(&q, &db).unwrap();
+        assert!(got.output.is_empty());
+    }
+}

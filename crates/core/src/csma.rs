@@ -1,0 +1,420 @@
+//! CSMA — the Conditional Submodularity Algorithm (Sec. 5.3.3).
+//!
+//! Solves the CLLP (degree bounds generalize cardinalities and FDs), builds
+//! a CSM proof sequence from the dual (Theorem 5.34), and interprets each
+//! rule operationally:
+//!
+//! - **CD** `h(Y) → h(Y|X) + h(X)`: partition `T(Y)` into `O(log N)`
+//!   degree-uniform buckets over the `X` attributes (Lemma 5.35); each
+//!   bucket spawns a sub-problem (execution branch) in which the bucket both
+//!   *guards* the conditional term `h(Y|X)` and yields `T(X) = Π_X(bucket)`.
+//! - **CC** `h(X) + h(Y|X) → h(Y)`: join `T(X)` with the pair's guard.
+//! - **SM** `h(A) + h(B|A∧B) → h(A∨B)`: join `T(A)` with the guard of the
+//!   conditional term and expand to `Λ(A∨B)`.
+//!
+//! The answer is the union over all branches of `T(1̂)`, semijoin-reduced
+//! and FD-verified (making the implementation sound unconditionally; the
+//! CLLP budget governs its *running time*).
+
+use crate::{Expander, Stats};
+use fdjoin_bigint::Rational;
+use fdjoin_bounds::cllp::{solve_cllp, DegreePair};
+use fdjoin_bounds::csm::{csm_sequence, CsmRule};
+use fdjoin_lattice::{ElemId, VarSet};
+use fdjoin_query::Query;
+use fdjoin_storage::{Database, Relation, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A user-declared maximum-degree bound on an input relation
+/// (the "Known Frequencies" scenario of Sec. 1.1).
+#[derive(Clone, Debug)]
+pub struct UserDegreeBound {
+    /// Index of the atom whose relation is degree-bounded.
+    pub atom: usize,
+    /// The conditioning attributes: for every value of these, at most
+    /// `max_degree` matching tuples exist.
+    pub on: Vec<u32>,
+    /// The degree cap.
+    pub max_degree: u64,
+}
+
+/// CSMA options.
+#[derive(Clone, Debug, Default)]
+pub struct CsmaOptions {
+    /// Extra degree bounds beyond the cardinalities.
+    pub degree_bounds: Vec<UserDegreeBound>,
+}
+
+/// Why CSMA could not run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CsmaError {
+    /// The proof-sequence construction got stuck (should not happen for
+    /// exact dual-feasible solutions; kept as a safe failure mode).
+    NoSequence,
+}
+
+impl fmt::Display for CsmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsmaError::NoSequence => write!(f, "CSM proof sequence construction failed"),
+        }
+    }
+}
+
+impl std::error::Error for CsmaError {}
+
+/// Result of a CSMA run.
+#[derive(Debug)]
+pub struct CsmaOutput {
+    /// The query answer over all variables (ascending id order).
+    pub output: Relation,
+    /// Work counters (`branches` counts CD buckets).
+    pub stats: Stats,
+    /// `log₂` of the CLLP bound (`OPT`).
+    pub log_bound: Rational,
+}
+
+/// Run CSMA with cardinality constraints only.
+pub fn csma_join(q: &Query, db: &Database) -> Result<CsmaOutput, CsmaError> {
+    csma_join_with(q, db, &CsmaOptions::default())
+}
+
+/// Run CSMA with extra degree bounds.
+pub fn csma_join_with(
+    q: &Query,
+    db: &Database,
+    opts: &CsmaOptions,
+) -> Result<CsmaOutput, CsmaError> {
+    let pres = q.lattice_presentation();
+    let lat = &pres.lattice;
+    let mut stats = Stats::default();
+    let ex = Expander::new(q, db);
+
+    // Degree pairs + their guard relations.
+    let mut pairs: Vec<DegreePair> = Vec::new();
+    let mut guards: Vec<Relation> = Vec::new();
+    let expanded: Vec<Relation> = q
+        .atoms()
+        .iter()
+        .map(|a| ex.expand_relation(db.relation(&a.name), &mut stats))
+        .collect();
+    for (j, rel) in expanded.iter().enumerate() {
+        pairs.push(DegreePair::cardinality(
+            lat,
+            pres.inputs[j],
+            Rational::log2_approx(rel.len().max(1) as u64, 16),
+        ));
+        guards.push(rel.clone());
+    }
+    for ub in &opts.degree_bounds {
+        let rel = &expanded[ub.atom];
+        let lo_set = q.closure(VarSet::from_vars(ub.on.iter().copied()));
+        let lo = lat.elem_of_set(lo_set).expect("closure is a lattice element");
+        let hi = pres.inputs[ub.atom];
+        if !lat.lt(lo, hi) {
+            continue; // degenerate bound (conditioning on everything)
+        }
+        // Guard ordered with the conditioning attributes first.
+        let mut order: Vec<u32> = lo_set.iter().collect();
+        order.extend(rel.vars().iter().copied().filter(|v| !lo_set.contains(*v)));
+        pairs.push(DegreePair {
+            lo,
+            hi,
+            log_bound: Rational::log2_approx(ub.max_degree.max(1), 16),
+        });
+        guards.push(rel.project(&order));
+    }
+
+    let sol = solve_cllp(lat, &pairs);
+    let seq = csm_sequence(lat, &pairs, &sol).ok_or(CsmaError::NoSequence)?;
+
+    // Initial branch state.
+    let mut tables: HashMap<ElemId, Relation> = HashMap::new();
+    tables.insert(lat.bottom(), Relation::nullary_unit());
+    for (j, rel) in expanded.iter().enumerate() {
+        let e = pres.inputs[j];
+        match tables.get(&e) {
+            None => {
+                tables.insert(e, rel.clone());
+            }
+            Some(existing) => {
+                // Two atoms with the same closure: intersect.
+                let merged = existing.semijoin(rel);
+                tables.insert(e, merged);
+            }
+        }
+    }
+    let mut guard_map: HashMap<(ElemId, ElemId), Relation> = HashMap::new();
+    for (p, g) in pairs.iter().zip(&guards) {
+        guard_map.insert((p.lo, p.hi), g.clone());
+    }
+
+    let nv = q.n_vars();
+    let all: Vec<u32> = (0..nv as u32).collect();
+    let mut out = Relation::new(all.clone());
+    let ctx = Ctx { lat, pairs: &pairs, ex: &ex, nv };
+    exec(&ctx, &seq.rules, tables, guard_map, &mut out, &mut stats);
+
+    // Soundness pass: dedup, semijoin with every input, verify all FDs.
+    out.sort_dedup();
+    let mut reduced = Relation::new(all);
+    let full = VarSet::full(nv as u32);
+    'rows: for row in out.rows() {
+        for atom in q.atoms() {
+            let rel = db.relation(&atom.name);
+            let key: Vec<Value> = rel.vars().iter().map(|&v| row[v as usize]).collect();
+            stats.probes += 1;
+            if !rel.contains_row(&key) {
+                continue 'rows;
+            }
+        }
+        if !ex.verify_fds(full, row, &mut stats) {
+            continue;
+        }
+        reduced.push_row(row);
+        stats.output_tuples += 1;
+    }
+    reduced.sort_dedup();
+
+    Ok(CsmaOutput { output: reduced, stats, log_bound: sol.value })
+}
+
+struct Ctx<'a> {
+    lat: &'a fdjoin_lattice::Lattice,
+    pairs: &'a [DegreePair],
+    ex: &'a Expander<'a>,
+    nv: usize,
+}
+
+fn exec(
+    ctx: &Ctx<'_>,
+    rules: &[CsmRule],
+    mut tables: HashMap<ElemId, Relation>,
+    mut guard_map: HashMap<(ElemId, ElemId), Relation>,
+    out: &mut Relation,
+    stats: &mut Stats,
+) {
+    let lat = ctx.lat;
+    let Some((rule, rest)) = rules.split_first() else {
+        // Emit T(1̂).
+        if let Some(t) = tables.get(&lat.top()) {
+            let all: Vec<u32> = (0..ctx.nv as u32).collect();
+            let aligned = t.project(&all);
+            for row in aligned.rows() {
+                out.push_row(row);
+                stats.intermediate_tuples += 1;
+            }
+        }
+        return;
+    };
+    match *rule {
+        CsmRule::Cd { x, y } => {
+            let t = tables.get(&y).cloned().unwrap_or_else(|| {
+                Relation::new(lat.set_of(y).unwrap().iter().collect())
+            });
+            let x_vars: Vec<u32> = lat.set_of(x).unwrap().iter().collect();
+            let mut order = x_vars.clone();
+            order.extend(t.vars().iter().copied().filter(|v| !x_vars.contains(v)));
+            let sorted = t.project(&order);
+            if sorted.is_empty() {
+                // Single empty branch.
+                tables.insert(y, sorted.clone());
+                tables.insert(x, Relation::new(x_vars));
+                guard_map.insert((x, y), sorted);
+                exec(ctx, rest, tables, guard_map, out, stats);
+                return;
+            }
+            // Bucket groups by ⌊log₂ degree⌋ (Lemma 5.35).
+            let mut buckets: HashMap<u32, Vec<std::ops::Range<usize>>> = HashMap::new();
+            for g in sorted.group_ranges(x_vars.len()) {
+                stats.probes += 1;
+                let b = 63 - ((g.end - g.start) as u64).leading_zeros();
+                buckets.entry(b).or_default().push(g);
+            }
+            let mut keys: Vec<u32> = buckets.keys().copied().collect();
+            keys.sort_unstable();
+            for b in keys {
+                let mut bucket = Relation::new(sorted.vars().to_vec());
+                for g in &buckets[&b] {
+                    for r in g.clone() {
+                        bucket.push_row(sorted.row(r));
+                    }
+                }
+                bucket.sort_dedup();
+                stats.branches += 1;
+                let mut tables2 = tables.clone();
+                let mut guards2 = guard_map.clone();
+                tables2.insert(x, bucket.project(&x_vars));
+                guards2.insert((x, y), bucket.clone());
+                tables2.insert(y, bucket);
+                exec(ctx, rest, tables2, guards2, out, stats);
+            }
+        }
+        CsmRule::Cc { pair } => {
+            let p = &ctx.pairs[pair];
+            let guard = guard_map
+                .get(&(p.lo, p.hi))
+                .cloned()
+                .unwrap_or_else(|| Relation::new(lat.set_of(p.hi).unwrap().iter().collect()));
+            let result = conditional_join(ctx, &tables, p.lo, &guard, p.hi, stats);
+            tables.insert(p.hi, result);
+            exec(ctx, rest, tables, guard_map, out, stats);
+        }
+        CsmRule::Sm { a, b } => {
+            let m = lat.meet(a, b);
+            let guard = if m == lat.bottom() {
+                tables.get(&b).cloned().unwrap_or_else(|| {
+                    Relation::new(lat.set_of(b).unwrap().iter().collect())
+                })
+            } else {
+                guard_map.get(&(m, b)).cloned().unwrap_or_else(|| {
+                    tables.get(&b).cloned().unwrap_or_else(|| {
+                        Relation::new(lat.set_of(b).unwrap().iter().collect())
+                    })
+                })
+            };
+            // Guard must be ordered with Λm first.
+            let m_vars: Vec<u32> = lat.set_of(m).unwrap().iter().collect();
+            let mut order = m_vars.clone();
+            order.extend(guard.vars().iter().copied().filter(|v| !m_vars.contains(v)));
+            let guard = guard.project(&order);
+            let join = lat.join(a, b);
+            let result = join_into(ctx, &tables, a, &guard, m_vars.len(), join, stats);
+            tables.insert(join, result);
+            exec(ctx, rest, tables, guard_map, out, stats);
+        }
+    }
+}
+
+/// CC-join: `T(lo) ⋈ guard` (guard ordered with `Λlo` first) producing
+/// `T(hi)`.
+fn conditional_join(
+    ctx: &Ctx<'_>,
+    tables: &HashMap<ElemId, Relation>,
+    lo: ElemId,
+    guard: &Relation,
+    hi: ElemId,
+    stats: &mut Stats,
+) -> Relation {
+    let lo_len = ctx.lat.set_of(lo).unwrap().len() as usize;
+    // Guard is stored with Λlo as its first columns.
+    join_into(ctx, tables, lo, guard, lo_len, hi, stats)
+}
+
+/// Join `T(a)` with `guard` on the guard's first `prefix_len` columns,
+/// expanding each result to `Λ(target)` and verifying FDs.
+fn join_into(
+    ctx: &Ctx<'_>,
+    tables: &HashMap<ElemId, Relation>,
+    a: ElemId,
+    guard: &Relation,
+    prefix_len: usize,
+    target: ElemId,
+    stats: &mut Stats,
+) -> Relation {
+    let lat = ctx.lat;
+    let ta = match tables.get(&a) {
+        Some(t) => t.clone(),
+        None => Relation::new(lat.set_of(a).unwrap().iter().collect()),
+    };
+    let target_set = lat.set_of(target).unwrap();
+    let out_vars: Vec<u32> = target_set.iter().collect();
+    let mut result = Relation::new(out_vars.clone());
+    let key_vars: Vec<u32> = guard.vars()[..prefix_len].to_vec();
+    let ta_key_cols: Vec<usize> = key_vars
+        .iter()
+        .map(|&v| ta.col_of(v).expect("meet variables present in T(A)"))
+        .collect();
+    let mut key: Vec<Value> = Vec::new();
+    let mut vals = vec![0 as Value; ctx.nv];
+    let mut buf = vec![0 as Value; out_vars.len()];
+    for row in ta.rows() {
+        key.clear();
+        key.extend(ta_key_cols.iter().map(|&c| row[c]));
+        stats.probes += 1;
+        let range = guard.prefix_range(&key);
+        'ext: for r in range {
+            let ext = guard.row(r);
+            for (&v, &x) in ta.vars().iter().zip(row) {
+                vals[v as usize] = x;
+            }
+            let mut bound = ta.var_set();
+            for (&v, &x) in guard.vars().iter().zip(ext) {
+                if bound.contains(v) {
+                    if vals[v as usize] != x {
+                        continue 'ext;
+                    }
+                } else {
+                    vals[v as usize] = x;
+                    bound = bound.insert(v);
+                }
+            }
+            if !ctx.ex.expand_tuple(&mut bound, &mut vals, target_set, stats)
+                || !ctx.ex.verify_fds(target_set, &vals, stats)
+            {
+                continue;
+            }
+            for (slot, &v) in buf.iter_mut().zip(&out_vars) {
+                *slot = vals[v as usize];
+            }
+            result.push_row(&buf);
+            stats.intermediate_tuples += 1;
+        }
+    }
+    result.sort_dedup();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_join;
+
+    #[test]
+    fn triangle_matches_naive() {
+        let q = fdjoin_query::examples::triangle();
+        let mut db = Database::new();
+        db.insert(
+            "R",
+            Relation::from_rows(vec![0, 1], [[1, 2], [1, 3], [2, 3], [4, 2]]),
+        );
+        db.insert("S", Relation::from_rows(vec![1, 2], [[2, 3], [3, 1], [2, 4]]));
+        db.insert("T", Relation::from_rows(vec![2, 0], [[3, 1], [1, 1], [4, 4], [4, 1]]));
+        let (expect, _) = naive_join(&q, &db);
+        let got = csma_join(&q, &db).unwrap();
+        assert_eq!(got.output, expect);
+    }
+
+    #[test]
+    fn fig1_udf_matches_naive() {
+        let q = fdjoin_query::examples::fig1_udf();
+        let mut db = Database::new();
+        db.insert("R", Relation::from_rows(vec![0, 1], [[1, 1], [2, 1], [1, 2], [3, 2]]));
+        db.insert("S", Relation::from_rows(vec![1, 2], [[1, 1], [2, 1], [1, 2]]));
+        db.insert("T", Relation::from_rows(vec![2, 3], [[1, 1], [1, 2], [2, 1], [2, 3]]));
+        db.udfs.register(VarSet::from_vars([0, 2]), 3, |v| v[0]); // u = x
+        db.udfs.register(VarSet::from_vars([1, 3]), 0, |v| v[1]); // x = u
+        let (expect, _) = naive_join(&q, &db);
+        let got = csma_join(&q, &db).unwrap();
+        assert_eq!(got.output, expect);
+    }
+
+    #[test]
+    fn degree_bounds_accepted() {
+        let q = fdjoin_query::examples::triangle();
+        let mut db = Database::new();
+        db.insert("R", Relation::from_rows(vec![0, 1], [[1, 2], [2, 3]]));
+        db.insert("S", Relation::from_rows(vec![1, 2], [[2, 3], [3, 1]]));
+        db.insert("T", Relation::from_rows(vec![2, 0], [[3, 1], [1, 2]]));
+        let (expect, _) = naive_join(&q, &db);
+        let opts = CsmaOptions {
+            degree_bounds: vec![UserDegreeBound { atom: 0, on: vec![0], max_degree: 1 }],
+        };
+        let got = csma_join_with(&q, &db, &opts).unwrap();
+        assert_eq!(got.output, expect);
+        // The degree bound tightens the budget below 3/2·n.
+        let plain = csma_join(&q, &db).unwrap();
+        assert!(got.log_bound <= plain.log_bound);
+    }
+}

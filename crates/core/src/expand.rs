@@ -1,0 +1,266 @@
+//! The Expansion procedure (Sec. 2).
+//!
+//! Given a relation over attributes `X`, expansion fills in the attributes
+//! of the closure `X⁺` by repeatedly applying FDs `U → v`: a guarded FD
+//! looks the value up in (a projection of) its guard relation; an unguarded
+//! FD calls its UDF. Tuples whose guarded lookups find no match are dangling
+//! and dropped; tuples whose computed value contradicts an already-bound
+//! attribute are inconsistent and dropped.
+
+use crate::Stats;
+use fdjoin_lattice::VarSet;
+use fdjoin_query::Query;
+use fdjoin_storage::{Database, Relation, Value};
+
+/// Precomputed expansion machinery for a query + database.
+pub struct Expander<'a> {
+    query: &'a Query,
+    db: &'a Database,
+    /// For each guarded FD: `(lhs, one rhs var, projection of the guard onto
+    /// lhs ∪ {var} in lhs-then-var column order)`.
+    guards: Vec<(VarSet, u32, Relation)>,
+}
+
+impl<'a> Expander<'a> {
+    /// Build the expander, materializing guard projections.
+    pub fn new(query: &'a Query, db: &'a Database) -> Expander<'a> {
+        let mut guards = Vec::new();
+        for fd in query.fds.fds() {
+            if let Some(j) = query.guard_of(fd) {
+                let atom = &query.atoms()[j];
+                let rel = db.relation(&atom.name);
+                for v in fd.rhs.minus(fd.lhs).iter() {
+                    let mut cols: Vec<u32> = fd.lhs.iter().collect();
+                    cols.push(v);
+                    guards.push((fd.lhs, v, rel.project(&cols)));
+                }
+            }
+        }
+        Expander { query, db, guards }
+    }
+
+    /// Attempt to bind one more variable of `bound`/`vals`; returns
+    /// `Ok(true)` if progress was made, `Ok(false)` if no FD applies, and
+    /// `Err(())` if the tuple is dangling or inconsistent.
+    fn step(
+        &self,
+        bound: &mut VarSet,
+        vals: &mut [Value],
+        target: VarSet,
+        stats: &mut Stats,
+    ) -> Result<bool, ()> {
+        // Guarded FDs first (cheap index lookups).
+        for (lhs, v, proj) in &self.guards {
+            if !lhs.is_subset(*bound) {
+                continue;
+            }
+            let already = bound.contains(*v);
+            if already && !target.contains(*v) {
+                continue;
+            }
+            // Look up the unique extension.
+            let key: Vec<Value> = lhs.iter().map(|u| vals[u as usize]).collect();
+            stats.probes += 1;
+            let range = proj.prefix_range(&key);
+            if range.is_empty() {
+                return Err(()); // dangling
+            }
+            let found = proj.row(range.start)[key.len()];
+            if already {
+                if vals[*v as usize] != found {
+                    return Err(()); // violates the FD
+                }
+            } else {
+                vals[*v as usize] = found;
+                *bound = bound.insert(*v);
+                return Ok(true);
+            }
+        }
+        // Unguarded FDs via UDFs.
+        for fd in self.query.fds.fds() {
+            if self.query.guard_of(fd).is_some() || !fd.lhs.is_subset(*bound) {
+                continue;
+            }
+            for v in fd.rhs.iter() {
+                let already = bound.contains(v);
+                if already {
+                    continue;
+                }
+                if let Some((args, f)) = self.db.udfs.find_applicable(*bound, v) {
+                    let argv: Vec<Value> = args.iter().map(|u| vals[u as usize]).collect();
+                    stats.expansions += 1;
+                    vals[v as usize] = f(&argv);
+                    *bound = bound.insert(v);
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Expand a single tuple given as (bound variable set, values indexed by
+    /// variable id) up to `target ⊆ bound⁺`. Returns `false` if the tuple is
+    /// dangling/inconsistent. Also *verifies* FDs whose variables are all
+    /// bound.
+    pub fn expand_tuple(
+        &self,
+        bound: &mut VarSet,
+        vals: &mut [Value],
+        target: VarSet,
+        stats: &mut Stats,
+    ) -> bool {
+        while !target.is_subset(*bound) {
+            match self.step(bound, vals, target, stats) {
+                Err(()) => return false,
+                Ok(true) => {}
+                Ok(false) => panic!(
+                    "cannot expand tuple from {bound} to {target}: an FD on the \
+                     derivation path has neither a guard relation nor a registered \
+                     UDF — register UDFs for all unguarded FDs"
+                ),
+            }
+        }
+        true
+    }
+
+    /// Verify every FD whose variables are within `bound` (guarded lookups
+    /// must match; UDFs must reproduce the bound value). Used as the final
+    /// soundness filter.
+    pub fn verify_fds(&self, bound: VarSet, vals: &[Value], stats: &mut Stats) -> bool {
+        for (lhs, v, proj) in &self.guards {
+            if lhs.is_subset(bound) && bound.contains(*v) {
+                let key: Vec<Value> = lhs.iter().map(|u| vals[u as usize]).collect();
+                stats.probes += 1;
+                let range = proj.prefix_range(&key);
+                if range.is_empty() || proj.row(range.start)[key.len()] != vals[*v as usize] {
+                    return false;
+                }
+            }
+        }
+        for fd in self.query.fds.fds() {
+            if self.query.guard_of(fd).is_some() || !fd.lhs.is_subset(bound) {
+                continue;
+            }
+            for v in fd.rhs.iter() {
+                if !bound.contains(v) {
+                    continue;
+                }
+                if let Some((args, f)) = self.db.udfs.find_applicable(fd.lhs, v) {
+                    let argv: Vec<Value> = args.iter().map(|u| vals[u as usize]).collect();
+                    stats.expansions += 1;
+                    if f(&argv) != vals[v as usize] {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Expand a whole relation to the closure of its variable set
+    /// (the `R ↦ R⁺` step used by all algorithms). The output column order
+    /// is the input columns followed by the new variables in ascending id.
+    pub fn expand_relation(&self, rel: &Relation, stats: &mut Stats) -> Relation {
+        let src_vars = rel.var_set();
+        let target = self.query.closure(src_vars);
+        let mut out_vars: Vec<u32> = rel.vars().to_vec();
+        out_vars.extend(target.minus(src_vars).iter());
+        let mut out = Relation::new(out_vars.clone());
+        let nv = self.query.n_vars();
+        let mut vals = vec![0 as Value; nv];
+        let mut buf = vec![0 as Value; out_vars.len()];
+        for row in rel.rows() {
+            for (&v, &x) in rel.vars().iter().zip(row) {
+                vals[v as usize] = x;
+            }
+            let mut bound = src_vars;
+            if self.expand_tuple(&mut bound, &mut vals, target, stats) {
+                for (slot, &v) in buf.iter_mut().zip(&out_vars) {
+                    *slot = vals[v as usize];
+                }
+                out.push_row(&buf);
+                stats.intermediate_tuples += 1;
+            }
+        }
+        out.sort_dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdjoin_query::Query;
+    use fdjoin_storage::Database;
+
+    /// R(x,y), S(y,z), T(z,u) with xz→u (UDF), yu→x (UDF).
+    fn fig1_db() -> (Query, Database) {
+        let q = fdjoin_query::examples::fig1_udf();
+        let mut db = Database::new();
+        db.insert("R", Relation::from_rows(vec![0, 1], [[1, 2], [3, 2]]));
+        db.insert("S", Relation::from_rows(vec![1, 2], [[2, 5]]));
+        db.insert("T", Relation::from_rows(vec![2, 3], [[5, 1], [5, 3]]));
+        let xz = VarSet::from_vars([0, 2]);
+        let yu = VarSet::from_vars([1, 3]);
+        db.udfs.register(xz, 3, |v| v[0]); // u = f(x,z) = x
+        db.udfs.register(yu, 0, |v| v[1]); // x = g(y,u) = u
+        (q, db)
+    }
+
+    #[test]
+    fn expand_via_udf() {
+        let (q, db) = fig1_db();
+        let ex = Expander::new(&q, &db);
+        let mut stats = Stats::default();
+        // Tuple over {x,z}: closure adds u (= x), then... {x,z,u}+ = xzu.
+        let rel = Relation::from_rows(vec![0, 2], [[7, 5]]);
+        let expanded = ex.expand_relation(&rel, &mut stats);
+        assert_eq!(expanded.len(), 1);
+        assert_eq!(expanded.vars(), &[0, 2, 3]);
+        assert_eq!(expanded.row(0), &[7, 5, 7]); // u = x = 7.
+        assert!(stats.expansions > 0);
+    }
+
+    #[test]
+    fn expand_checks_consistency() {
+        let (q, db) = fig1_db();
+        let ex = Expander::new(&q, &db);
+        let mut stats = Stats::default();
+        // Tuple over {x,y,z,u} where u ≠ f(x,z): verify_fds must reject.
+        let bound = VarSet::from_vars([0, 1, 2, 3]);
+        let good = [7, 2, 5, 7];
+        let bad = [7, 2, 5, 8];
+        assert!(ex.verify_fds(bound, &good, &mut stats));
+        assert!(!ex.verify_fds(bound, &bad, &mut stats));
+    }
+
+    #[test]
+    fn guarded_expansion_looks_up_relation() {
+        // T(x,y,z) guards xy→z.
+        let q = fdjoin_query::examples::composite_key();
+        let mut db = Database::new();
+        db.insert("R", Relation::from_rows(vec![0], [[1], [2]]));
+        db.insert("S", Relation::from_rows(vec![1], [[10]]));
+        db.insert("T", Relation::from_rows(vec![0, 1, 2], [[1, 10, 100], [2, 10, 200]]));
+        let ex = Expander::new(&q, &db);
+        let mut stats = Stats::default();
+        let rel = Relation::from_rows(vec![0, 1], [[1, 10], [2, 10], [3, 10]]);
+        let expanded = ex.expand_relation(&rel, &mut stats);
+        // (3,10) is dangling — no z in T.
+        assert_eq!(expanded.len(), 2);
+        assert!(expanded.contains_row(&[1, 10, 100]));
+        assert!(expanded.contains_row(&[2, 10, 200]));
+    }
+
+    #[test]
+    fn expansion_of_closed_set_is_identity_with_semijoin_semantics() {
+        let (q, db) = fig1_db();
+        let ex = Expander::new(&q, &db);
+        let mut stats = Stats::default();
+        let rel = Relation::from_rows(vec![0, 1], [[1, 2], [9, 9]]);
+        let expanded = ex.expand_relation(&rel, &mut stats);
+        // {x,y} is closed: nothing added, nothing removed.
+        assert_eq!(expanded.len(), 2);
+        assert_eq!(expanded.vars(), &[0, 1]);
+    }
+}

@@ -1,0 +1,281 @@
+//! Generic-Join (NPRR / LFTJ style): the FD-oblivious worst-case-optimal
+//! baseline ([18, 19, 23] in the paper).
+//!
+//! Variables are bound one at a time in a fixed order; at each level the
+//! candidate values are the intersection of the matching prefix ranges of
+//! every relation containing the variable, iterating the smallest range and
+//! probing the others. Runs within the AGM bound of the FD-stripped query —
+//! and therefore `Ω(N²)` on the paper's Fig. 1 instance, which is the point
+//! of experiment E1.
+//!
+//! The optional `bind_fds` flag implements the paper's footnote 1: LFTJ
+//! binds a variable by computing it the moment it is functionally determined
+//! by the bound prefix, instead of intersecting. This helps constant
+//! factors but provably not the worst-case exponent on the E1 instance.
+
+use crate::{Expander, Stats};
+use fdjoin_lattice::VarSet;
+use fdjoin_query::Query;
+use fdjoin_storage::{Database, Relation, Value};
+
+/// Options for [`generic_join`].
+#[derive(Clone, Debug, Default)]
+pub struct GjOptions {
+    /// Bind FD-determined variables eagerly (footnote 1 of the paper).
+    pub bind_fds: bool,
+    /// Variable order; defaults to ascending variable id.
+    pub var_order: Option<Vec<u32>>,
+}
+
+struct AtomState<'a> {
+    rel: Relation,
+    /// Variables of the atom in the global binding order.
+    ordered_vars: Vec<u32>,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+/// Evaluate `q` on `db` with Generic-Join. Output columns are all query
+/// variables in ascending id.
+pub fn generic_join(q: &Query, db: &Database, opts: &GjOptions) -> (Relation, Stats) {
+    let mut stats = Stats::default();
+    let ex = Expander::new(q, db);
+    let nv = q.n_vars();
+    let order: Vec<u32> = opts
+        .var_order
+        .clone()
+        .unwrap_or_else(|| (0..nv as u32).collect());
+    // Only bind variables that occur in atoms during search; the rest are
+    // filled by expansion at the end (UDF-only variables).
+    let atom_vars: VarSet =
+        q.atoms().iter().fold(VarSet::EMPTY, |s, a| s.union(a.var_set()));
+    let search_order: Vec<u32> =
+        order.iter().copied().filter(|&v| atom_vars.contains(v)).collect();
+    let rank: Vec<usize> = {
+        let mut r = vec![usize::MAX; nv];
+        for (i, &v) in search_order.iter().enumerate() {
+            r[v as usize] = i;
+        }
+        r
+    };
+
+    // Reorder every atom's columns by the global order so that bound
+    // variables always form a prefix.
+    let atoms: Vec<AtomState> = q
+        .atoms()
+        .iter()
+        .map(|a| {
+            let mut ordered: Vec<u32> = a.vars.clone();
+            ordered.sort_by_key(|&v| rank[v as usize]);
+            AtomState {
+                rel: db.relation(&a.name).project(&ordered),
+                ordered_vars: ordered,
+                _marker: std::marker::PhantomData,
+            }
+        })
+        .collect();
+
+    let all: Vec<u32> = (0..nv as u32).collect();
+    let target = VarSet::full(nv as u32);
+    let mut out = Relation::new(all);
+    let mut vals = vec![0 as Value; nv];
+    let mut bound = VarSet::EMPTY;
+    search(
+        q,
+        &ex,
+        &atoms,
+        &search_order,
+        0,
+        &mut bound,
+        &mut vals,
+        target,
+        opts,
+        &mut out,
+        &mut stats,
+    );
+    out.sort_dedup();
+    (out, stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    q: &Query,
+    ex: &Expander<'_>,
+    atoms: &[AtomState<'_>],
+    order: &[u32],
+    depth: usize,
+    bound: &mut VarSet,
+    vals: &mut [Value],
+    target: VarSet,
+    opts: &GjOptions,
+    out: &mut Relation,
+    stats: &mut Stats,
+) {
+    if depth == order.len() {
+        // All atom variables bound; expand UDF-only variables and verify.
+        let mut b = *bound;
+        let mut v = vals.to_vec();
+        if ex.expand_tuple(&mut b, &mut v, target, stats) && ex.verify_fds(b, &v, stats) {
+            out.push_row(&v);
+            stats.output_tuples += 1;
+        }
+        return;
+    }
+    let var = order[depth];
+
+    // Relations containing `var`: compute each one's matching range given
+    // the bound prefix (their columns are ordered by the global order, so
+    // bound vars form a prefix).
+    let mut ranges: Vec<(usize, std::ops::Range<usize>, usize)> = Vec::new(); // (atom, range, col)
+    let mut key: Vec<Value> = Vec::new();
+    for (ai, a) in atoms.iter().enumerate() {
+        let Some(col) = a.ordered_vars.iter().position(|&v| v == var) else {
+            continue;
+        };
+        key.clear();
+        key.extend(a.ordered_vars[..col].iter().map(|&v| vals[v as usize]));
+        stats.probes += 1;
+        let range = a.rel.prefix_range(&key);
+        if range.is_empty() {
+            return;
+        }
+        ranges.push((ai, range, col));
+    }
+    debug_assert!(!ranges.is_empty(), "search variables occur in some atom");
+
+    // Footnote-1 FD binding: if `var` is determined by the bound prefix,
+    // compute the single candidate.
+    if opts.bind_fds {
+        let closure = q.closure(*bound);
+        if closure.contains(var) {
+            let mut b = *bound;
+            let mut v = vals.to_vec();
+            if ex.expand_tuple(&mut b, &mut v, bound.insert(var), stats) {
+                let candidate = v[var as usize];
+                if check_candidate(atoms, &ranges, candidate, vals, stats) {
+                    vals[var as usize] = candidate;
+                    *bound = bound.insert(var);
+                    search(q, ex, atoms, order, depth + 1, bound, vals, target, opts, out, stats);
+                    *bound = bound.remove(var);
+                }
+            }
+            return;
+        }
+    }
+
+    // Iterate the smallest range's distinct values; probe the others.
+    let (min_idx, _) = ranges
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, (_, r, _))| r.end - r.start)
+        .map(|(i, _)| (i, ()))
+        .unwrap();
+    let (lead_atom, lead_range, lead_col) = ranges[min_idx].clone();
+    let lead = &atoms[lead_atom];
+    let mut i = lead_range.start;
+    while i < lead_range.end {
+        let candidate = lead.rel.row(i)[lead_col];
+        // Skip to the end of this candidate's group.
+        let mut j = i + 1;
+        while j < lead_range.end && lead.rel.row(j)[lead_col] == candidate {
+            j += 1;
+        }
+        i = j;
+        if check_candidate(atoms, &ranges, candidate, vals, stats) {
+            vals[var as usize] = candidate;
+            *bound = bound.insert(var);
+            search(q, ex, atoms, order, depth + 1, bound, vals, target, opts, out, stats);
+            *bound = bound.remove(var);
+        }
+    }
+}
+
+/// Membership of `candidate` for the current variable in every
+/// participating atom's range.
+fn check_candidate(
+    atoms: &[AtomState<'_>],
+    ranges: &[(usize, std::ops::Range<usize>, usize)],
+    candidate: Value,
+    vals: &[Value],
+    stats: &mut Stats,
+) -> bool {
+    let mut key: Vec<Value> = Vec::new();
+    for (ai, _, col) in ranges {
+        let a = &atoms[*ai];
+        key.clear();
+        key.extend(a.ordered_vars[..*col].iter().map(|&v| vals[v as usize]));
+        key.push(candidate);
+        stats.probes += 1;
+        if a.rel.prefix_range(&key).is_empty() {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_join;
+
+    #[test]
+    fn triangle_matches_naive() {
+        let q = fdjoin_query::examples::triangle();
+        let mut db = Database::new();
+        db.insert(
+            "R",
+            Relation::from_rows(vec![0, 1], [[1, 2], [1, 3], [2, 3], [4, 5]]),
+        );
+        db.insert("S", Relation::from_rows(vec![1, 2], [[2, 3], [3, 1], [5, 4]]));
+        db.insert("T", Relation::from_rows(vec![2, 0], [[3, 1], [1, 1], [4, 4]]));
+        let (expect, _) = naive_join(&q, &db);
+        let (got, stats) = generic_join(&q, &db, &GjOptions::default());
+        assert_eq!(got, expect);
+        assert!(stats.probes > 0);
+    }
+
+    #[test]
+    fn fig1_with_and_without_fd_binding() {
+        let q = fdjoin_query::examples::fig1_udf();
+        let mut db = Database::new();
+        db.insert("R", Relation::from_rows(vec![0, 1], [[1, 1], [2, 1]]));
+        db.insert("S", Relation::from_rows(vec![1, 2], [[1, 1], [1, 2]]));
+        db.insert("T", Relation::from_rows(vec![2, 3], [[1, 1], [2, 2]]));
+        db.udfs.register(VarSet::from_vars([0, 2]), 3, |v| v[0]); // u = x
+        db.udfs.register(VarSet::from_vars([1, 3]), 0, |v| v[1]); // x = u
+        let (expect, _) = naive_join(&q, &db);
+        let (plain, _) = generic_join(&q, &db, &GjOptions::default());
+        let (fdbind, _) =
+            generic_join(&q, &db, &GjOptions { bind_fds: true, var_order: None });
+        assert_eq!(plain, expect);
+        assert_eq!(fdbind, expect);
+    }
+
+    #[test]
+    fn respects_variable_order() {
+        let q = fdjoin_query::examples::triangle();
+        let mut db = Database::new();
+        db.insert("R", Relation::from_rows(vec![0, 1], [[1, 2]]));
+        db.insert("S", Relation::from_rows(vec![1, 2], [[2, 3]]));
+        db.insert("T", Relation::from_rows(vec![2, 0], [[3, 1]]));
+        for order in [vec![0, 1, 2], vec![2, 1, 0], vec![1, 0, 2]] {
+            let (out, _) = generic_join(
+                &q,
+                &db,
+                &GjOptions { bind_fds: false, var_order: Some(order) },
+            );
+            assert_eq!(out.len(), 1);
+            assert_eq!(out.row(0), &[1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn empty_relation_short_circuits() {
+        let q = fdjoin_query::examples::triangle();
+        let mut db = Database::new();
+        db.insert("R", Relation::from_rows(vec![0, 1], [[1, 2]]));
+        db.insert("S", Relation::new(vec![1, 2]));
+        db.insert("T", Relation::from_rows(vec![2, 0], [[3, 1]]));
+        let (out, _) = generic_join(&q, &db, &GjOptions::default());
+        assert!(out.is_empty());
+    }
+}

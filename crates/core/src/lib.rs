@@ -1,0 +1,33 @@
+//! Join algorithms for queries with functional dependencies — the paper's
+//! primary contribution, plus every baseline it compares against.
+//!
+//! | Algorithm | Paper | Runtime budget |
+//! |-----------|-------|----------------|
+//! | [`chain_join`] | Algorithm 1 (Sec. 5.1) | chain bound (tight on distributive lattices) |
+//! | [`sma_join`] | Algorithm 2 (Sec. 5.2) | SM bound (needs a *good* proof sequence) |
+//! | [`csma_join`] | CSMA (Sec. 5.3) | GLVV/CLLP bound up to polylog; supports degree bounds |
+//! | [`generic_join`] | WCOJ baseline (NPRR/LFTJ) | AGM bound of the FD-stripped query |
+//! | [`binary_join`] | traditional plans | unbounded intermediates (Sec. 1.1) |
+//! | [`naive_join`] | — | correctness oracle |
+//!
+//! All algorithms share the [`Expander`] (the Sec. 2 expansion procedure)
+//! and report deterministic work counters ([`Stats`]) so experiments can
+//! verify asymptotic *shapes* without wall-clock noise.
+
+mod binary_join;
+pub mod chain_algo;
+mod csma;
+mod expand;
+mod generic_join;
+mod naive;
+mod sma;
+mod stats;
+
+pub use binary_join::binary_join;
+pub use chain_algo::{chain_join, chain_join_no_argmin, chain_join_with, ChainError, ChainJoinOutput};
+pub use csma::{csma_join, csma_join_with, CsmaError, CsmaOptions, CsmaOutput, UserDegreeBound};
+pub use expand::Expander;
+pub use generic_join::{generic_join, GjOptions};
+pub use naive::naive_join;
+pub use sma::{sma_join, SmaError, SmaOutput};
+pub use stats::Stats;

@@ -1,0 +1,52 @@
+//! Work counters threaded through all algorithms.
+//!
+//! Wall-clock measurements are noisy at laptop scale; the experiments verify
+//! the paper's *asymptotic shapes* (who wins, what the exponent is) with
+//! deterministic work counters instead.
+
+/// Operation counters. "Probes" are index lookups/binary searches; "scanned"
+/// counts tuples materialized into intermediate or output relations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Index probes (prefix searches, hash lookups, membership tests).
+    pub probes: u64,
+    /// Tuples written to intermediate/temporary relations.
+    pub intermediate_tuples: u64,
+    /// Tuples emitted to the final output (before dedup).
+    pub output_tuples: u64,
+    /// FD/UDF expansion applications.
+    pub expansions: u64,
+    /// Execution branches spawned (CSMA buckets, SMA heavy/light splits).
+    pub branches: u64,
+}
+
+impl Stats {
+    /// Total work measure used for exponent fitting: probes + tuples moved.
+    pub fn work(&self) -> u64 {
+        self.probes + self.intermediate_tuples + self.output_tuples + self.expansions
+    }
+
+    /// Merge counters from a sub-computation.
+    pub fn merge(&mut self, other: &Stats) {
+        self.probes += other.probes;
+        self.intermediate_tuples += other.intermediate_tuples;
+        self.output_tuples += other.output_tuples;
+        self.expansions += other.expansions;
+        self.branches += other.branches;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Stats { probes: 1, intermediate_tuples: 2, output_tuples: 3, expansions: 4, branches: 5 };
+        let b = Stats { probes: 10, intermediate_tuples: 20, output_tuples: 30, expansions: 40, branches: 50 };
+        a.merge(&b);
+        assert_eq!(a.probes, 11);
+        assert_eq!(a.work(), 11 + 22 + 33 + 44);
+        assert_eq!(a.branches, 55);
+    }
+}

@@ -1,0 +1,19 @@
+//! Database instance generators: the paper's worst-case constructions and
+//! random FD-respecting instances for testing.
+//!
+//! - [`coords`]: canonical quasi-product instances (Definition 4.4 /
+//!   Lemma 4.5) — the universal tight-lower-bound generator for normal
+//!   lattices, with automatic coordinate UDFs for unguarded FDs;
+//! - [`special`]: hand-built instances (M3 parity, the Fig. 1 adversarial
+//!   and tight instances, degree-bounded triangles);
+//! - [`random`]: random instances that satisfy all FDs by construction.
+
+pub mod chain_inst;
+pub mod coords;
+pub mod random;
+pub mod special;
+
+pub use chain_inst::chain_worst_case;
+pub use coords::{materialize, normal_worst_case, strictly_normal_coefficients, CoordScheme};
+pub use random::random_instance;
+pub use special::{bounded_degree_triangle, fig1_adversarial, fig1_tight, m3_parity};

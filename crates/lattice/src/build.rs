@@ -1,0 +1,322 @@
+//! Constructors for standard lattices used throughout the paper.
+
+use crate::{Lattice, VarSet};
+
+/// The Boolean algebra `2^{0..k}` (the lattice of a query with no FDs).
+pub fn boolean(k: u32) -> Lattice {
+    let sets: Vec<VarSet> = VarSet::full(k).subsets().collect();
+    Lattice::from_closed_sets(sets).expect("powerset is a closure system")
+}
+
+/// The diamond lattice `M3`: `0̂ < x, y, z < 1̂` with all atoms pairwise
+/// incomparable (Fig. 3, right). The canonical non-distributive,
+/// **non-normal** lattice.
+pub fn m3() -> Lattice {
+    Lattice::from_covers(
+        &["0", "x", "y", "z", "1"],
+        &[("0", "x"), ("0", "y"), ("0", "z"), ("x", "1"), ("y", "1"), ("z", "1")],
+    )
+    .expect("M3 is a lattice")
+}
+
+/// The pentagon lattice `N5`: `0̂ < a < c < 1̂` and `0̂ < b < 1̂`. The other
+/// canonical non-distributive lattice; the paper notes it **is** normal.
+pub fn n5() -> Lattice {
+    Lattice::from_covers(
+        &["0", "a", "b", "c", "1"],
+        &[("0", "a"), ("a", "c"), ("c", "1"), ("0", "b"), ("b", "1")],
+    )
+    .expect("N5 is a lattice")
+}
+
+/// The lattice of *order ideals* (down-closed sets) of a poset given by its
+/// Hasse edges `(lower, upper)` over `k` elements — Birkhoff's
+/// representation of finite distributive lattices, and the object behind
+/// Proposition 3.2 (simple FDs generate exactly such lattices).
+pub fn order_ideals(k: u32, hasse: &[(u32, u32)]) -> Lattice {
+    assert!(k <= 20, "order-ideal enumeration limited to 20 poset elements");
+    // Transitive closure of the strict order.
+    let mut lt = vec![false; (k * k) as usize];
+    for &(a, b) in hasse {
+        lt[(a * k + b) as usize] = true;
+    }
+    for m in 0..k {
+        for a in 0..k {
+            if lt[(a * k + m) as usize] {
+                for b in 0..k {
+                    if lt[(m * k + b) as usize] {
+                        lt[(a * k + b) as usize] = true;
+                    }
+                }
+            }
+        }
+    }
+    // Enumerate down-closed subsets.
+    let mut ideals: Vec<VarSet> = Vec::new();
+    'subsets: for bits in 0..(1u64 << k) {
+        let s = VarSet(bits);
+        for b in s.iter() {
+            for a in 0..k {
+                if lt[(a * k + b) as usize] && !s.contains(a) {
+                    continue 'subsets;
+                }
+            }
+        }
+        ideals.push(s);
+    }
+    Lattice::from_closed_sets(ideals).expect("order ideals form a closure system")
+}
+
+/// A chain with `k` elements.
+pub fn chain(k: usize) -> Lattice {
+    assert!(k >= 1);
+    let names: Vec<String> = (0..k).map(|i| format!("c{i}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    let covers: Vec<(&str, &str)> =
+        (0..k - 1).map(|i| (name_refs[i], name_refs[i + 1])).collect();
+    Lattice::from_covers(&name_refs, &covers).expect("chain is a lattice")
+}
+
+/// The lattice of Figure 7: an SM-proof exists that is not *good*, but a good
+/// one also exists (Example 5.29).
+pub fn fig7() -> Lattice {
+    Lattice::from_covers(
+        &["0", "C", "B", "Z", "X", "Y", "U", "A", "D", "1"],
+        &[
+            ("0", "C"),
+            ("0", "B"),
+            ("0", "U"),
+            ("C", "Z"),
+            ("C", "X"),
+            ("B", "X"),
+            ("B", "Y"),
+            ("X", "A"),
+            ("Y", "A"),
+            ("Y", "D"),
+            ("U", "D"),
+            ("A", "1"),
+            ("D", "1"),
+            ("Z", "1"),
+        ],
+    )
+    .expect("Fig 7 is a lattice")
+}
+
+/// The lattice of Figure 8: the natural SM-proof is bad because a label never
+/// reaches `1̂` (Example 5.30).
+pub fn fig8() -> Lattice {
+    // Relations used by Example 5.30's proof:
+    //   X ∨ Y = A, X ∧ Y = C;   Z ∨ W = B, Z ∧ W = D;
+    //   A ∨ D = 1̂, A ∧ D = 0̂;  B ∨ C = 1̂, B ∧ C = 0̂.
+    Lattice::from_covers(
+        &["0", "C", "D", "X", "Y", "Z", "W", "A", "B", "1"],
+        &[
+            ("0", "C"),
+            ("0", "D"),
+            ("C", "X"),
+            ("C", "Y"),
+            ("D", "Z"),
+            ("D", "W"),
+            ("X", "A"),
+            ("Y", "A"),
+            ("Z", "B"),
+            ("W", "B"),
+            ("A", "1"),
+            ("B", "1"),
+        ],
+    )
+    .expect("Fig 8 is a lattice")
+}
+
+/// The lattice of Figure 9 (Example 5.31): satisfies
+/// `h(M)+h(N)+h(O) ≥ 2h(1̂)+h(0̂)` yet admits **no** SM-proof sequence; it is
+/// nevertheless normal, and CSMA handles it.
+///
+/// The order is the symmetric completion of the relations stated in the
+/// paper's proof:
+/// `M∧Z=G, N∧Z=I, O∧Z=J, M∨Z=U, N∨Z=V, O∨Z=W, U∧V=P, U∨V=1̂, W∧P=Z,`
+/// `W∨P=1̂, G∧I=D, G∨I=Z, J∧D=0̂, J∨D=Z` — all of which are verified by
+/// the test suite.
+pub fn fig9() -> Lattice {
+    Lattice::from_covers(
+        &[
+            "0", "D", "E", "F", "G", "I", "J", "M", "N", "O", "Z", "P", "S", "T", "U", "V",
+            "W", "1",
+        ],
+        &[
+            ("0", "D"),
+            ("0", "E"),
+            ("0", "F"),
+            ("D", "G"),
+            ("E", "G"),
+            ("D", "I"),
+            ("F", "I"),
+            ("E", "J"),
+            ("F", "J"),
+            ("G", "M"),
+            ("I", "N"),
+            ("J", "O"),
+            ("G", "Z"),
+            ("I", "Z"),
+            ("J", "Z"),
+            ("Z", "P"),
+            ("Z", "S"),
+            ("Z", "T"),
+            ("M", "U"),
+            ("P", "U"),
+            ("S", "U"),
+            ("N", "V"),
+            ("P", "V"),
+            ("T", "V"),
+            ("O", "W"),
+            ("S", "W"),
+            ("T", "W"),
+            ("U", "1"),
+            ("V", "1"),
+            ("W", "1"),
+        ],
+    )
+    .expect("Fig 9 is a lattice")
+}
+
+/// The lattice of Figure 4 (Example 5.18): inputs `abc, ade, bdf, cef` over
+/// six atoms; the chain bound is not tight (`N^{3/2}`) while the SM bound is
+/// (`N^{4/3}`).
+pub fn fig4() -> Lattice {
+    Lattice::from_covers(
+        &["0", "a", "b", "c", "d", "e", "f", "abc", "ade", "bdf", "cef", "1"],
+        &[
+            ("0", "a"),
+            ("0", "b"),
+            ("0", "c"),
+            ("0", "d"),
+            ("0", "e"),
+            ("0", "f"),
+            ("a", "abc"),
+            ("b", "abc"),
+            ("c", "abc"),
+            ("a", "ade"),
+            ("d", "ade"),
+            ("e", "ade"),
+            ("b", "bdf"),
+            ("d", "bdf"),
+            ("f", "bdf"),
+            ("c", "cef"),
+            ("e", "cef"),
+            ("f", "cef"),
+            ("abc", "1"),
+            ("ade", "1"),
+            ("bdf", "1"),
+            ("cef", "1"),
+        ],
+    )
+    .expect("Fig 4 is a lattice")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_builders_produce_lattices() {
+        for l in [boolean(2), boolean(4), m3(), n5(), chain(5), fig4(), fig7(), fig8(), fig9()] {
+            assert!(l.verify_lattice_axioms(), "lattice axioms violated");
+        }
+    }
+
+    #[test]
+    fn fig9_matches_paper_relations() {
+        let l = fig9();
+        let e = |s: &str| l.elems().find(|&x| l.name(x) == s).unwrap();
+        let (m, n, o, z) = (e("M"), e("N"), e("O"), e("Z"));
+        let (g, i, j) = (e("G"), e("I"), e("J"));
+        let (u, v, w, p, d) = (e("U"), e("V"), e("W"), e("P"), e("D"));
+        // Inequalities (19)–(25) use exactly these meets/joins.
+        assert_eq!(l.meet(m, z), g);
+        assert_eq!(l.join(m, z), u);
+        assert_eq!(l.meet(n, z), i);
+        assert_eq!(l.join(n, z), v);
+        assert_eq!(l.meet(o, z), j);
+        assert_eq!(l.join(o, z), w);
+        assert_eq!(l.meet(u, v), p);
+        assert_eq!(l.join(u, v), l.top());
+        assert_eq!(l.meet(w, p), z);
+        assert_eq!(l.join(w, p), l.top());
+        assert_eq!(l.meet(g, i), d);
+        assert_eq!(l.join(g, i), z);
+        assert_eq!(l.meet(j, d), l.bottom());
+        assert_eq!(l.join(j, d), z);
+    }
+
+    #[test]
+    fn fig7_matches_example_5_29() {
+        let l = fig7();
+        let e = |s: &str| l.elems().find(|&x| l.name(x) == s).unwrap();
+        let (x, y, z, u) = (e("X"), e("Y"), e("Z"), e("U"));
+        let (a, b, c, d) = (e("A"), e("B"), e("C"), e("D"));
+        // Bad sequence steps.
+        assert_eq!(l.join(x, y), a);
+        assert_eq!(l.meet(x, y), b);
+        assert_eq!(l.join(a, z), l.top());
+        assert_eq!(l.meet(a, z), c);
+        assert_eq!(l.join(b, u), d);
+        assert_eq!(l.meet(b, u), l.bottom());
+        assert_eq!(l.join(c, d), l.top());
+        assert_eq!(l.meet(c, d), l.bottom());
+        // Good sequence steps.
+        assert_eq!(l.meet(x, z), c);
+        assert_eq!(l.join(x, z), l.top());
+        assert_eq!(l.meet(y, u), l.bottom());
+        assert_eq!(l.join(y, u), d);
+    }
+
+    #[test]
+    fn fig8_matches_example_5_30() {
+        let l = fig8();
+        let e = |s: &str| l.elems().find(|&x| l.name(x) == s).unwrap();
+        let (x, y, z, w) = (e("X"), e("Y"), e("Z"), e("W"));
+        let (a, b, c, d) = (e("A"), e("B"), e("C"), e("D"));
+        assert_eq!(l.join(x, y), a);
+        assert_eq!(l.meet(x, y), c);
+        assert_eq!(l.join(z, w), b);
+        assert_eq!(l.meet(z, w), d);
+        assert_eq!(l.join(a, d), l.top());
+        assert_eq!(l.meet(a, d), l.bottom());
+        assert_eq!(l.join(b, c), l.top());
+        assert_eq!(l.meet(b, c), l.bottom());
+    }
+
+    #[test]
+    fn order_ideals_are_distributive() {
+        // Any order-ideal lattice is distributive (Birkhoff).
+        // Poset: 0 < 2, 1 < 2, 1 < 3 (an "N" shape).
+        let l = order_ideals(4, &[(0, 2), (1, 2), (1, 3)]);
+        assert!(l.verify_lattice_axioms());
+        assert!(l.is_distributive());
+        // Down-sets of this poset: ∅, {0}, {1}, {0,1}, {1,3}, {0,1,3},
+        // {0,1,2}, {0,1,2,3} — eight of them.
+        assert_eq!(l.len(), 8);
+    }
+
+    #[test]
+    fn order_ideals_of_antichain_is_boolean() {
+        let l = order_ideals(3, &[]);
+        assert_eq!(l.len(), 8);
+        assert!(l.is_distributive());
+        assert_eq!(l.atoms().len(), 3);
+    }
+
+    #[test]
+    fn order_ideals_of_chain_is_chain() {
+        let l = order_ideals(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(l.len(), 5);
+        assert_eq!(l.maximal_chains().len(), 1);
+    }
+
+    #[test]
+    fn fig4_relation_elements_present() {
+        let l = fig4();
+        assert_eq!(l.atoms().len(), 6);
+        assert_eq!(l.coatoms().len(), 4);
+    }
+}

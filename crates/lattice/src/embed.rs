@@ -1,0 +1,143 @@
+//! Lattice embeddings (Definition 3.5) and their Galois right adjoints.
+
+use crate::{ElemId, Lattice};
+
+/// A join-preserving map between two lattices with `f(1̂) = 1̂`
+/// (Definition 3.5: the left adjoint of a Galois connection).
+#[derive(Clone, Debug)]
+pub struct Embedding {
+    /// `map[x]` is the image of element `x` of the source lattice.
+    pub map: Vec<ElemId>,
+}
+
+impl Embedding {
+    /// Construct and verify an embedding from `src` to `dst`.
+    ///
+    /// Checks `f(0̂)=0̂` (join of the empty set), `f(x ∨ y) = f(x) ∨ f(y)`
+    /// for all pairs, and `f(1̂)=1̂`. Returns `None` if any condition fails.
+    pub fn new(src: &Lattice, dst: &Lattice, map: Vec<ElemId>) -> Option<Embedding> {
+        if map.len() != src.len() {
+            return None;
+        }
+        if map[src.bottom()] != dst.bottom() || map[src.top()] != dst.top() {
+            return None;
+        }
+        for x in src.elems() {
+            for y in src.elems() {
+                if map[src.join(x, y)] != dst.join(map[x], map[y]) {
+                    return None;
+                }
+            }
+        }
+        Some(Embedding { map })
+    }
+
+    /// Apply the embedding.
+    pub fn apply(&self, x: ElemId) -> ElemId {
+        self.map[x]
+    }
+
+    /// The Galois right adjoint `r : dst → src`,
+    /// `r(y) = max { x : f(x) ≤ y }` (which equals `∨ { x : f(x) ≤ y }`
+    /// because `f` preserves joins).
+    pub fn right_adjoint(&self, src: &Lattice, dst: &Lattice) -> Vec<ElemId> {
+        let mut r = vec![src.bottom(); dst.len()];
+        for (y, ry) in r.iter_mut().enumerate() {
+            let below: Vec<ElemId> =
+                src.elems().filter(|&x| dst.leq(self.map[x], y)).collect();
+            *ry = src.join_all(below);
+        }
+        r
+    }
+
+    /// Verify the adjunction law `f(x) ≤ y  ⟺  x ≤ r(y)` (test helper).
+    pub fn verify_adjoint(&self, src: &Lattice, dst: &Lattice, r: &[ElemId]) -> bool {
+        for x in src.elems() {
+            for y in dst.elems() {
+                if dst.leq(self.map[x], y) != src.leq(x, r[y]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Check whether `map` preserves arbitrary joins and the top — convenience
+/// free function mirroring [`Embedding::new`] for callers who only need a
+/// boolean.
+pub fn is_embedding(src: &Lattice, dst: &Lattice, map: &[ElemId]) -> bool {
+    Embedding::new(src, dst, map.to_vec()).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build, VarSet};
+
+    /// The running-example embedding (Example 3.8): the Fig. 1 lattice into
+    /// the Boolean algebra 2^{a,b,c} via x,u → a; y → b; z → c.
+    #[test]
+    fn identity_embedding() {
+        let l = build::boolean(3);
+        let map: Vec<ElemId> = l.elems().collect();
+        let e = Embedding::new(&l, &l, map).expect("identity embeds");
+        let r = e.right_adjoint(&l, &l);
+        assert!(e.verify_adjoint(&l, &l, &r));
+        for x in l.elems() {
+            assert_eq!(r[x], x);
+        }
+    }
+
+    #[test]
+    fn collapse_two_vars_into_one() {
+        // Map 2^{x,y} -> 2^{a}: x -> a, y -> a; sets map by variable renaming.
+        let src = build::boolean(2);
+        let dst = build::boolean(1);
+        let map: Vec<ElemId> = src
+            .elems()
+            .map(|e| {
+                let s = src.set_of(e).unwrap();
+                let img = if s.is_empty() { VarSet::EMPTY } else { VarSet::singleton(0) };
+                dst.elem_of_set(img).unwrap()
+            })
+            .collect();
+        let e = Embedding::new(&src, &dst, map).expect("renaming embeds");
+        let r = e.right_adjoint(&src, &dst);
+        assert!(e.verify_adjoint(&src, &dst, &r));
+        // r(1̂) = 1̂ (needed by Lemma 4.3).
+        assert_eq!(r[dst.top()], src.top());
+    }
+
+    #[test]
+    fn non_join_preserving_map_rejected() {
+        let m3 = build::m3();
+        let b = build::boolean(1);
+        // Send all atoms of M3 to the atom of 2^1: joins of distinct atoms
+        // should go to 1̂ of M3... map[join(x,y)] = map[1̂] = 1̂ = {0};
+        // dst.join(map[x],map[y]) = {0} too. Actually this IS join
+        // preserving; break it instead by sending one atom to bottom and
+        // top to top: then f(x ∨ y) may mismatch.
+        let e = |s: &str| m3.elems().find(|&x| m3.name(x) == s).unwrap();
+        let mut map = vec![b.bottom(); 5];
+        map[m3.top()] = b.top();
+        map[e("x")] = b.top();
+        // f(y)=0̂, f(z)=0̂, but f(y ∨ z)=f(1̂)=1̂ ≠ 0̂ = f(y) ∨ f(z).
+        assert!(Embedding::new(&m3, &b, map).is_none());
+    }
+
+    #[test]
+    fn m3_to_boolean_atom_collapse_is_join_preserving() {
+        // All three atoms -> the single atom of 2^1; meets collapse.
+        let m3 = build::m3();
+        let b = build::boolean(1);
+        let mut map = vec![b.bottom(); 5];
+        map[m3.top()] = b.top();
+        for a in m3.atoms() {
+            map[a] = b.top();
+        }
+        // f(x∨y)=f(1̂)=1̂; f(x)∨f(y)=1̂∨1̂=1̂. f(x∧y)=f(0̂)=0̂ — meets need not
+        // be preserved by embeddings, only joins.
+        assert!(Embedding::new(&m3, &b, map).is_some());
+    }
+}

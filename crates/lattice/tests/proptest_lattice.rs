@@ -1,0 +1,104 @@
+//! Property tests: random closure systems yield valid lattices; structural
+//! predicates agree with the M3/N5 sublattice characterizations.
+
+use fdjoin_lattice::{build, Lattice, VarSet};
+use proptest::prelude::*;
+
+/// Generate a random intersection-closed family over `k` variables by
+/// closing a random seed family under intersection and adding the full set.
+fn closure_system(k: u32) -> impl Strategy<Value = Vec<VarSet>> {
+    proptest::collection::vec(0u64..(1u64 << k), 1..8).prop_map(move |seeds| {
+        let mut family: Vec<VarSet> = seeds.into_iter().map(VarSet).collect();
+        family.push(VarSet::full(k));
+        loop {
+            let mut added = false;
+            let snapshot = family.clone();
+            for (i, a) in snapshot.iter().enumerate() {
+                for b in snapshot.iter().skip(i + 1) {
+                    let c = a.intersect(*b);
+                    if !family.contains(&c) {
+                        family.push(c);
+                        added = true;
+                    }
+                }
+            }
+            if !added {
+                break;
+            }
+        }
+        family.sort();
+        family.dedup();
+        family
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn closure_systems_are_lattices(family in closure_system(5)) {
+        let l = Lattice::from_closed_sets(family).expect("closure system");
+        prop_assert!(l.verify_lattice_axioms());
+        // Meet is intersection.
+        for a in l.elems() {
+            for b in l.elems() {
+                let m = l.meet(a, b);
+                prop_assert_eq!(
+                    l.set_of(m).unwrap(),
+                    l.set_of(a).unwrap().intersect(l.set_of(b).unwrap())
+                );
+                // Join contains the union and is the least such element.
+                let j = l.join(a, b);
+                let u = l.set_of(a).unwrap().union(l.set_of(b).unwrap());
+                prop_assert!(u.is_subset(l.set_of(j).unwrap()));
+                for c in l.elems() {
+                    if u.is_subset(l.set_of(c).unwrap()) {
+                        prop_assert!(l.leq(j, c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributive_iff_no_m3_or_n5(family in closure_system(4)) {
+        let l = Lattice::from_closed_sets(family).expect("closure system");
+        let dist = l.is_distributive();
+        let has_bad = l.find_m3().is_some() || l.find_n5().is_some();
+        prop_assert_eq!(dist, !has_bad, "Birkhoff characterization");
+        // Modular iff no N5.
+        prop_assert_eq!(l.is_modular(), l.find_n5().is_none());
+    }
+
+    #[test]
+    fn join_irreducibles_generate(family in closure_system(4)) {
+        // Every element is the join of the join-irreducibles below it.
+        let l = Lattice::from_closed_sets(family).expect("closure system");
+        for x in l.elems() {
+            let j = l.join_all(l.irreducibles_below(x));
+            prop_assert_eq!(j, x);
+        }
+    }
+
+    #[test]
+    fn mobius_inversion_delta(family in closure_system(4)) {
+        // Σ_{x ≤ z ≤ y} μ(z, y) = δ(x, y).
+        let l = Lattice::from_closed_sets(family).expect("closure system");
+        for x in l.elems() {
+            for y in l.elems() {
+                if !l.leq(x, y) { continue; }
+                let total: i64 = l
+                    .elems()
+                    .filter(|&z| l.leq(x, z) && l.leq(z, y))
+                    .map(|z| l.mobius(z, y))
+                    .sum();
+                prop_assert_eq!(total, i64::from(x == y));
+            }
+        }
+    }
+}
+
+#[test]
+fn chains_in_boolean_match_factorial() {
+    assert_eq!(build::boolean(4).maximal_chains().len(), 24);
+}

@@ -1,0 +1,149 @@
+//! Property tests: on random feasible bounded LPs, the simplex solution must
+//! satisfy primal feasibility, exact strong duality, and complementary
+//! slackness.
+
+use fdjoin_bigint::{rat, Rational};
+use fdjoin_lp::{solve, Cmp, Lp, Sense};
+use proptest::prelude::*;
+
+/// Random packing LP: max c.x s.t. A x <= b with A, b, c >= 0 and every
+/// variable appearing in some row with positive coefficient (bounded).
+fn packing_lp() -> impl Strategy<Value = Lp> {
+    (2usize..5, 2usize..6).prop_flat_map(|(n, m)| {
+        let coef = proptest::collection::vec(0i64..6, n * m);
+        let rhs = proptest::collection::vec(1i64..30, m);
+        let obj = proptest::collection::vec(0i64..8, n);
+        (coef, rhs, obj).prop_map(move |(coef, rhs, obj)| {
+            let mut lp = Lp::new(Sense::Max, n);
+            for (v, &c) in obj.iter().enumerate() {
+                lp.set_objective(v, rat(c, 1));
+            }
+            for r in 0..m {
+                let coeffs: Vec<(usize, Rational)> =
+                    (0..n).map(|v| (v, rat(coef[r * n + v], 1))).collect();
+                lp.add_constraint(coeffs, Cmp::Le, rat(rhs[r], 1));
+            }
+            // Bound every variable so the LP cannot be unbounded.
+            for v in 0..n {
+                lp.add_constraint(vec![(v, rat(1, 1))], Cmp::Le, rat(50, 1));
+            }
+            lp
+        })
+    })
+}
+
+fn dense_row(lp: &Lp, r: usize) -> Vec<Rational> {
+    let mut dense = vec![Rational::zero(); lp.n_vars];
+    for (v, c) in &lp.constraints[r].coeffs {
+        dense[*v] += c;
+    }
+    dense
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn packing_lp_duality(lp in packing_lp()) {
+        let sol = solve(&lp).expect("packing LP is feasible (x=0) and bounded");
+
+        // Primal feasibility.
+        for v in &sol.primal {
+            prop_assert!(!v.is_negative());
+        }
+        for r in 0..lp.constraints.len() {
+            let dense = dense_row(&lp, r);
+            let lhs: Rational = dense.iter().zip(&sol.primal).map(|(a, x)| a * x).sum();
+            prop_assert!(lhs <= lp.constraints[r].rhs, "row {} violated", r);
+        }
+
+        // Objective consistency.
+        let obj: Rational = lp.objective.iter().zip(&sol.primal).map(|(c, x)| c * x).sum();
+        prop_assert_eq!(&obj, &sol.value);
+
+        // Dual feasibility: y >= 0 and A^T y >= c.
+        for y in &sol.dual {
+            prop_assert!(!y.is_negative());
+        }
+        for v in 0..lp.n_vars {
+            let mut col_sum = Rational::zero();
+            for r in 0..lp.constraints.len() {
+                let dense = dense_row(&lp, r);
+                col_sum += &(&dense[v] * &sol.dual[r]);
+            }
+            prop_assert!(col_sum >= lp.objective[v], "dual infeasible at var {}", v);
+            // Complementary slackness: x_v > 0 => column tight.
+            if sol.primal[v].is_positive() {
+                prop_assert_eq!(&col_sum, &lp.objective[v]);
+            }
+        }
+
+        // Strong duality (exact).
+        let dual_obj: Rational = lp
+            .constraints
+            .iter()
+            .zip(&sol.dual)
+            .map(|(c, y)| &c.rhs * y)
+            .sum();
+        prop_assert_eq!(&dual_obj, &sol.value);
+    }
+
+    #[test]
+    fn covering_lp_duality(
+        n in 2usize..5,
+        m in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        // Random covering LP: min c.x s.t. A x >= b, with c >= 1 and each row
+        // having at least one positive coefficient (feasible by scaling).
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as i64
+        };
+        let mut lp = Lp::new(Sense::Min, n);
+        for v in 0..n {
+            lp.set_objective(v, rat(1 + next().rem_euclid(5), 1));
+        }
+        for _ in 0..m {
+            let mut coeffs = Vec::new();
+            for v in 0..n {
+                let c = next().rem_euclid(4);
+                if c > 0 {
+                    coeffs.push((v, rat(c, 1)));
+                }
+            }
+            if coeffs.is_empty() {
+                coeffs.push((0, rat(1, 1)));
+            }
+            lp.add_constraint(coeffs, Cmp::Ge, rat(1 + next().rem_euclid(10), 1));
+        }
+        let sol = solve(&lp).expect("covering LP with positive rows is feasible");
+
+        // Primal feasibility and strong duality.
+        for r in 0..lp.constraints.len() {
+            let dense = dense_row(&lp, r);
+            let lhs: Rational = dense.iter().zip(&sol.primal).map(|(a, x)| a * x).sum();
+            prop_assert!(lhs >= lp.constraints[r].rhs);
+        }
+        let dual_obj: Rational = lp
+            .constraints
+            .iter()
+            .zip(&sol.dual)
+            .map(|(c, y)| &c.rhs * y)
+            .sum();
+        prop_assert_eq!(&dual_obj, &sol.value);
+        // Covering duals are non-negative and dual-feasible: A^T y <= c.
+        for y in &sol.dual {
+            prop_assert!(!y.is_negative());
+        }
+        for v in 0..lp.n_vars {
+            let mut col_sum = Rational::zero();
+            for r in 0..lp.constraints.len() {
+                let dense = dense_row(&lp, r);
+                col_sum += &(&dense[v] * &sol.dual[r]);
+            }
+            prop_assert!(col_sum <= lp.objective[v]);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! A database instance: named relation instances plus the UDF registry.
+
+use crate::{Relation, UdfRegistry};
+use std::collections::BTreeMap;
+
+/// A database instance `D`: one [`Relation`] per relation symbol, plus the
+/// UDFs backing unguarded functional dependencies.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+    /// UDFs implementing unguarded FDs.
+    pub udfs: UdfRegistry,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Insert (or replace) a relation instance; it is sorted on insertion.
+    pub fn insert(&mut self, name: impl Into<String>, mut rel: Relation) {
+        rel.sort_dedup();
+        self.relations.insert(name.into(), rel);
+    }
+
+    /// Get a relation by name.
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Get a relation by name, panicking with a clear message if absent.
+    pub fn relation(&self, name: &str) -> &Relation {
+        self.relations
+            .get(name)
+            .unwrap_or_else(|| panic!("relation {name:?} not in database"))
+    }
+
+    /// Iterate over `(name, relation)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> {
+        self.relations.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Total number of tuples, `N = |D|` in the paper's notation.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(|r| r.len()).sum()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the database has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_sorts() {
+        let mut db = Database::new();
+        let r = Relation::from_rows(vec![0], [[3], [1], [2], [1]]);
+        db.insert("R", r);
+        let r = db.relation("R");
+        assert!(r.is_sorted());
+        assert_eq!(r.len(), 3);
+        assert_eq!(db.total_tuples(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in database")]
+    fn missing_relation_panics() {
+        Database::new().relation("nope");
+    }
+}

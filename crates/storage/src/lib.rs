@@ -1,0 +1,26 @@
+//! Relational storage engine for `fdjoin`.
+//!
+//! Everything the paper's algorithms execute against lives here:
+//!
+//! - [`Relation`]: sorted row-major relations whose column order doubles as
+//!   a trie index (prefix ranges via binary search), with projection,
+//!   semijoin, degree counting, and partitioning primitives;
+//! - [`HashIndex`]: secondary indexes for non-prefix lookups;
+//! - [`UdfRegistry`]: user-defined functions backing unguarded FDs
+//!   (Sec. 1.1 of the paper);
+//! - [`Database`]: a named collection of relation instances.
+//!
+//! Values are plain `u64`s; the algorithms in `fdjoin-core` never allocate
+//! per tuple — all per-tuple work is binary searches and slice writes into
+//! reused buffers, per the perf-book guidance.
+
+mod database;
+mod relation;
+mod udf;
+
+pub use database::Database;
+pub use relation::{HashIndex, Relation};
+pub use udf::{UdfFn, UdfRegistry};
+
+/// The value type stored in relations.
+pub type Value = u64;

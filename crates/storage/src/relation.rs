@@ -1,0 +1,484 @@
+//! Row-major relations with sort-order (trie-equivalent) prefix indexes.
+
+use crate::Value;
+use fdjoin_lattice::VarSet;
+use std::cmp::Ordering;
+use std::ops::Range;
+
+/// A relation instance: a bag of fixed-arity rows over named variables.
+///
+/// Rows are stored contiguously (`data[row * arity + col]`). The column
+/// order doubles as the index order: after [`Relation::sort_dedup`], prefix
+/// lookups by binary search give exactly the trie navigation that
+/// LeapFrog-TrieJoin-style algorithms need, without pointer chasing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Relation {
+    vars: Vec<u32>,
+    data: Vec<Value>,
+    sorted: bool,
+}
+
+impl Relation {
+    /// Create an empty relation with the given column variables (order
+    /// matters: it is the sort/index order).
+    pub fn new(vars: Vec<u32>) -> Relation {
+        let mut seen = VarSet::EMPTY;
+        for &v in &vars {
+            assert!(!seen.contains(v), "duplicate variable {v} in relation schema");
+            seen = seen.insert(v);
+        }
+        Relation { vars, data: Vec::new(), sorted: true }
+    }
+
+    /// Create from explicit rows.
+    pub fn from_rows<R: AsRef<[Value]>>(vars: Vec<u32>, rows: impl IntoIterator<Item = R>) -> Relation {
+        let mut rel = Relation::new(vars);
+        for r in rows {
+            rel.push_row(r.as_ref());
+        }
+        rel
+    }
+
+    /// Column variables in storage order.
+    pub fn vars(&self) -> &[u32] {
+        &self.vars
+    }
+
+    /// The set of variables.
+    pub fn var_set(&self) -> VarSet {
+        VarSet::from_vars(self.vars.iter().copied())
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        if self.vars.is_empty() {
+            // Zero-arity relation: row count tracked via data sentinel is
+            // impossible; represent as 0 or 1 rows through `nullary`.
+            self.data.len()
+        } else {
+            self.data.len() / self.vars.len()
+        }
+    }
+
+    /// Whether the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a row (marks the relation unsorted).
+    pub fn push_row(&mut self, row: &[Value]) {
+        assert_eq!(row.len(), self.arity(), "row arity mismatch");
+        if self.vars.is_empty() {
+            // Zero-arity: store a sentinel so `len` counts rows.
+            self.data.push(1);
+        } else {
+            self.data.extend_from_slice(row);
+        }
+        self.sorted = false;
+    }
+
+    /// Row accessor.
+    pub fn row(&self, i: usize) -> &[Value] {
+        let a = self.arity();
+        if a == 0 {
+            &[]
+        } else {
+            &self.data[i * a..(i + 1) * a]
+        }
+    }
+
+    /// Iterate over rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[Value]> {
+        let a = self.arity();
+        if a == 0 {
+            RowIter::Nullary(self.len())
+        } else {
+            RowIter::Chunks(self.data.chunks_exact(a))
+        }
+    }
+
+    /// Position of a column for variable `v`.
+    pub fn col_of(&self, v: u32) -> Option<usize> {
+        self.vars.iter().position(|&w| w == v)
+    }
+
+    /// Sort rows lexicographically and remove duplicates.
+    pub fn sort_dedup(&mut self) {
+        let a = self.arity();
+        if a == 0 {
+            // A zero-arity relation is {} or {()}.
+            let nonempty = !self.data.is_empty();
+            self.data.clear();
+            if nonempty {
+                self.data.push(1);
+            }
+            self.sorted = true;
+            return;
+        }
+        if self.sorted {
+            return;
+        }
+        let n = self.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let data = &self.data;
+        order.sort_unstable_by(|&i, &j| {
+            data[i as usize * a..(i as usize + 1) * a]
+                .cmp(&data[j as usize * a..(j as usize + 1) * a])
+        });
+        let mut new_data = Vec::with_capacity(self.data.len());
+        let mut last: Option<&[Value]> = None;
+        for &i in &order {
+            let row = &self.data[i as usize * a..(i as usize + 1) * a];
+            if last != Some(row) {
+                new_data.extend_from_slice(row);
+            }
+            last = Some(row);
+        }
+        self.data = new_data;
+        self.sorted = true;
+    }
+
+    /// Whether the relation is known sorted + deduplicated.
+    pub fn is_sorted(&self) -> bool {
+        self.sorted
+    }
+
+    /// The range of row indices whose first `prefix.len()` columns equal
+    /// `prefix`. Requires the relation to be sorted.
+    pub fn prefix_range(&self, prefix: &[Value]) -> Range<usize> {
+        debug_assert!(self.sorted, "prefix_range requires a sorted relation");
+        let a = self.arity();
+        if a == 0 || prefix.is_empty() {
+            return 0..self.len();
+        }
+        debug_assert!(prefix.len() <= a);
+        let n = self.len();
+        let cmp_at = |i: usize| -> Ordering { self.row(i)[..prefix.len()].cmp(prefix) };
+        // Lower bound.
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if cmp_at(mid) == Ordering::Less {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let start = lo;
+        // Upper bound.
+        let (mut lo, mut hi) = (start, n);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if cmp_at(mid) == Ordering::Greater {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        start..lo
+    }
+
+    /// Number of rows matching a prefix (the *degree* of the prefix value).
+    pub fn prefix_count(&self, prefix: &[Value]) -> usize {
+        let r = self.prefix_range(prefix);
+        r.end - r.start
+    }
+
+    /// Membership test (requires sorted).
+    pub fn contains_row(&self, row: &[Value]) -> bool {
+        debug_assert_eq!(row.len(), self.arity());
+        if self.arity() == 0 {
+            return !self.is_empty();
+        }
+        !self.prefix_range(row).is_empty()
+    }
+
+    /// Project onto the given columns (in the given order), sorted + deduped.
+    pub fn project(&self, onto: &[u32]) -> Relation {
+        let cols: Vec<usize> = onto
+            .iter()
+            .map(|&v| self.col_of(v).expect("projection variable not in relation"))
+            .collect();
+        let mut out = Relation::new(onto.to_vec());
+        let mut buf = vec![0 as Value; onto.len()];
+        for row in self.rows() {
+            for (slot, &c) in buf.iter_mut().zip(&cols) {
+                *slot = row[c];
+            }
+            out.push_row(&buf);
+        }
+        out.sort_dedup();
+        out
+    }
+
+    /// Reorder columns to `new_order` (a permutation of `vars`), then sort.
+    pub fn reorder(&self, new_order: &[u32]) -> Relation {
+        assert_eq!(new_order.len(), self.arity(), "reorder must be a permutation");
+        self.project(new_order)
+    }
+
+    /// Keep rows whose projection onto the shared variables appears in
+    /// `other` (semijoin reduction `self ⋉ other`). `other` must be sorted
+    /// with the shared variables as a prefix... no: we project other first.
+    pub fn semijoin(&self, other: &Relation) -> Relation {
+        let shared: Vec<u32> = self
+            .vars
+            .iter()
+            .copied()
+            .filter(|&v| other.col_of(v).is_some())
+            .collect();
+        if shared.is_empty() {
+            return if other.is_empty() {
+                Relation::new(self.vars.clone())
+            } else {
+                self.clone()
+            };
+        }
+        let other_proj = other.project(&shared);
+        let cols: Vec<usize> =
+            shared.iter().map(|&v| self.col_of(v).unwrap()).collect();
+        let mut out = Relation::new(self.vars.clone());
+        let mut key = vec![0 as Value; shared.len()];
+        for row in self.rows() {
+            for (slot, &c) in key.iter_mut().zip(&cols) {
+                *slot = row[c];
+            }
+            if other_proj.contains_row(&key) {
+                out.push_row(row);
+            }
+        }
+        out.sort_dedup();
+        out
+    }
+
+    /// Group ranges by the first `prefix_len` columns (requires sorted).
+    pub fn group_ranges(&self, prefix_len: usize) -> Vec<Range<usize>> {
+        debug_assert!(self.sorted);
+        let n = self.len();
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        while start < n {
+            let mut end = start + 1;
+            while end < n && self.row(end)[..prefix_len] == self.row(start)[..prefix_len] {
+                end += 1;
+            }
+            out.push(start..end);
+            start = end;
+        }
+        out
+    }
+
+    /// Maximum degree over distinct prefixes of length `prefix_len`
+    /// (requires sorted). Returns 0 for an empty relation.
+    pub fn max_degree(&self, prefix_len: usize) -> usize {
+        self.group_ranges(prefix_len).into_iter().map(|r| r.end - r.start).max().unwrap_or(0)
+    }
+
+    /// Number of distinct prefixes of length `prefix_len` (requires sorted).
+    pub fn distinct_prefixes(&self, prefix_len: usize) -> usize {
+        self.group_ranges(prefix_len).len()
+    }
+
+    /// Retain only rows at the given indices (used for partitioning).
+    pub fn select_rows(&self, rows: impl IntoIterator<Item = usize>) -> Relation {
+        let mut out = Relation::new(self.vars.clone());
+        for i in rows {
+            out.push_row(self.row(i));
+        }
+        out.sort_dedup();
+        out
+    }
+
+    /// The nullary relation containing the single empty tuple (the starting
+    /// point `Q₀ = {()}` of the Chain Algorithm).
+    pub fn nullary_unit() -> Relation {
+        let mut r = Relation::new(Vec::new());
+        r.push_row(&[]);
+        r.sorted = true;
+        r
+    }
+}
+
+enum RowIter<'a> {
+    Chunks(std::slice::ChunksExact<'a, Value>),
+    Nullary(usize),
+}
+
+impl<'a> Iterator for RowIter<'a> {
+    type Item = &'a [Value];
+    fn next(&mut self) -> Option<&'a [Value]> {
+        match self {
+            RowIter::Chunks(c) => c.next(),
+            RowIter::Nullary(n) => {
+                if *n == 0 {
+                    None
+                } else {
+                    *n -= 1;
+                    Some(&[])
+                }
+            }
+        }
+    }
+}
+
+/// A hash index on an arbitrary subset of columns, for lookups that don't
+/// match the relation's sort order.
+#[derive(Clone, Debug)]
+pub struct HashIndex {
+    key_cols: Vec<usize>,
+    map: std::collections::HashMap<Box<[Value]>, Vec<u32>>,
+}
+
+impl HashIndex {
+    /// Build an index keyed on the given variables.
+    pub fn build(rel: &Relation, key_vars: &[u32]) -> HashIndex {
+        let key_cols: Vec<usize> = key_vars
+            .iter()
+            .map(|&v| rel.col_of(v).expect("index variable not in relation"))
+            .collect();
+        let mut map: std::collections::HashMap<Box<[Value]>, Vec<u32>> =
+            std::collections::HashMap::new();
+        let mut key = vec![0 as Value; key_cols.len()];
+        for (i, row) in rel.rows().enumerate() {
+            for (slot, &c) in key.iter_mut().zip(&key_cols) {
+                *slot = row[c];
+            }
+            map.entry(key.clone().into_boxed_slice()).or_default().push(i as u32);
+        }
+        HashIndex { key_cols, map }
+    }
+
+    /// Row indices matching a key.
+    pub fn get(&self, key: &[Value]) -> &[u32] {
+        self.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Column positions of the key within the indexed relation.
+    pub fn key_cols(&self) -> &[usize] {
+        &self.key_cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel3() -> Relation {
+        let mut r = Relation::from_rows(
+            vec![0, 1],
+            [[1, 10], [1, 11], [2, 10], [1, 10], [3, 30]],
+        );
+        r.sort_dedup();
+        r
+    }
+
+    #[test]
+    fn sort_dedup_removes_duplicates() {
+        let r = rel3();
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.row(0), &[1, 10]);
+        assert_eq!(r.row(3), &[3, 30]);
+    }
+
+    #[test]
+    fn prefix_range_counts() {
+        let r = rel3();
+        assert_eq!(r.prefix_count(&[1]), 2);
+        assert_eq!(r.prefix_count(&[2]), 1);
+        assert_eq!(r.prefix_count(&[9]), 0);
+        assert_eq!(r.prefix_count(&[1, 11]), 1);
+        assert_eq!(r.prefix_range(&[]), 0..4);
+    }
+
+    #[test]
+    fn contains_row_works() {
+        let r = rel3();
+        assert!(r.contains_row(&[1, 11]));
+        assert!(!r.contains_row(&[1, 12]));
+    }
+
+    #[test]
+    fn projection_dedups() {
+        let r = rel3();
+        let p = r.project(&[0]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.vars(), &[0]);
+        // Projection onto reordered columns.
+        let q = r.project(&[1, 0]);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.vars(), &[1, 0]);
+        assert!(q.contains_row(&[10, 1]));
+    }
+
+    #[test]
+    fn semijoin_filters() {
+        let r = rel3();
+        let s = Relation::from_rows(vec![1, 5], [[10, 99]]);
+        let mut s = s;
+        s.sort_dedup();
+        let rs = r.semijoin(&s);
+        assert_eq!(rs.len(), 2); // rows with y=10.
+        for row in rs.rows() {
+            assert_eq!(row[1], 10);
+        }
+    }
+
+    #[test]
+    fn semijoin_disjoint_schemas() {
+        let r = rel3();
+        let nonempty = Relation::from_rows(vec![7], [[1]]);
+        assert_eq!(r.semijoin(&nonempty).len(), r.len());
+        let empty = Relation::new(vec![7]);
+        assert_eq!(r.semijoin(&empty).len(), 0);
+    }
+
+    #[test]
+    fn degrees_and_groups() {
+        let r = rel3();
+        assert_eq!(r.max_degree(1), 2);
+        assert_eq!(r.distinct_prefixes(1), 3);
+        assert_eq!(r.group_ranges(1).len(), 3);
+        assert_eq!(r.max_degree(0), 4); // one group: everything
+    }
+
+    #[test]
+    fn nullary_relations() {
+        let unit = Relation::nullary_unit();
+        assert_eq!(unit.len(), 1);
+        assert_eq!(unit.arity(), 0);
+        assert!(unit.contains_row(&[]));
+        assert_eq!(unit.rows().count(), 1);
+        let empty = Relation::new(vec![]);
+        assert!(empty.is_empty());
+        assert!(!empty.contains_row(&[]));
+    }
+
+    #[test]
+    fn hash_index_lookups() {
+        let r = rel3();
+        let ix = HashIndex::build(&r, &[1]);
+        assert_eq!(ix.get(&[10]).len(), 2);
+        assert_eq!(ix.get(&[30]).len(), 1);
+        assert_eq!(ix.get(&[77]).len(), 0);
+    }
+
+    #[test]
+    fn select_rows_subset() {
+        let r = rel3();
+        let s = r.select_rows([0, 3]);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains_row(&[1, 10]));
+        assert!(s.contains_row(&[3, 30]));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate variable")]
+    fn duplicate_schema_vars_panic() {
+        Relation::new(vec![1, 1]);
+    }
+}

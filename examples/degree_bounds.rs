@@ -1,0 +1,36 @@
+//! Known frequencies / degree bounds (Sec. 1.1, Eq. 2 and Sec. 5.3):
+//! CSMA accepts prescribed maximum degree bounds — strictly more general
+//! than cardinalities and FDs — and its CLLP budget shrinks accordingly:
+//! the triangle bound drops from `N^{3/2}` to `min(N^{3/2}, N·d)`.
+//!
+//! ```sh
+//! cargo run --release --example degree_bounds
+//! ```
+
+use fdjoin::core::{csma_join_with, CsmaOptions, UserDegreeBound};
+use fdjoin::instances::bounded_degree_triangle;
+use fdjoin::query::examples;
+
+fn main() {
+    let q = examples::triangle();
+    let n = 256u64;
+    println!("triangle query with out-degree bound d on R(x → y), N = {n}\n");
+    println!("{:>6} {:>16} {:>12} {:>10}", "d", "CLLP bound (log2)", "output", "branches");
+    for d in [1u64, 2, 4, 16, 64, 256] {
+        let db = bounded_degree_triangle(n, d);
+        let real_d = db.relation("R").max_degree(1) as u64;
+        let opts = CsmaOptions {
+            degree_bounds: vec![UserDegreeBound { atom: 0, on: vec![0], max_degree: real_d }],
+        };
+        let out = csma_join_with(&q, &db, &opts).expect("CSM sequence");
+        println!(
+            "{:>6} {:>16.3} {:>12} {:>10}",
+            real_d,
+            out.log_bound.to_f64(),
+            out.output.len(),
+            out.stats.branches
+        );
+    }
+    println!("\nthe log2 bound tracks min(3/2·log N, log N + log d) — Eq. (2)'s");
+    println!("min(N^{{3/2}}, N·d) shape, computed by the conditional LLP.");
+}

@@ -1,0 +1,89 @@
+//! Inspect the proof objects behind the algorithms: dual certificates of the
+//! LLP, SM-proof sequences with their goodness labeling, and CSM sequences —
+//! the paper's "turn a proof into an algorithm" principle made visible.
+//!
+//! ```sh
+//! cargo run --example proof_sequences
+//! ```
+
+use fdjoin::bigint::{rat, Rational};
+use fdjoin::bounds::cllp::{solve_cllp, DegreePair};
+use fdjoin::bounds::csm::{csm_sequence, CsmRule};
+use fdjoin::bounds::llp::solve_llp;
+use fdjoin::bounds::smproof::{
+    check_goodness, scale_weights, search_good_sm_proof, search_sm_proof,
+};
+use fdjoin::query::examples;
+
+fn main() {
+    // ------- Fig 4: a good SM proof exists (Examples 5.20/5.25/5.27).
+    let q = examples::fig4_query();
+    let pres = q.lattice_presentation();
+    let lat = &pres.lattice;
+    let logs: Vec<Rational> = vec![rat(3, 1); 4];
+    let llp = solve_llp(lat, &pres.inputs, &logs);
+    println!("Fig 4 query: LLP = {} = (4/3)·n", llp.value);
+    let (qmul, d) = scale_weights(&llp.input_duals);
+    println!("  dual weights scaled: q = {qmul:?}, d = {d}");
+    let multiset: Vec<(usize, u64)> = pres
+        .inputs
+        .iter()
+        .zip(&qmul)
+        .filter(|(_, &m)| m > 0)
+        .map(|(&e, &m)| (e, m))
+        .collect();
+    let proof = search_good_sm_proof(lat, &multiset, d).expect("Example 5.20");
+    println!("  good SM proof ({} steps):", proof.steps.len());
+    for s in &proof.steps {
+        println!(
+            "    h({}) + h({}) ≥ h({}) + h({})",
+            lat.name(s.x),
+            lat.name(s.y),
+            lat.name(lat.join(s.x, s.y)),
+            lat.name(lat.meet(s.x, s.y)),
+        );
+    }
+    println!("  goodness: {:?}\n", check_goodness(lat, &proof));
+
+    // ------- Fig 9: no SM proof; CSM sequence instead (Example 5.31).
+    let q = examples::fig9_query();
+    let pres = q.lattice_presentation();
+    let lat = &pres.lattice;
+    println!("Fig 9 query: h(M)+h(N)+h(O) ≥ 2·h(1̂) — SM proof search:");
+    let multiset: Vec<(usize, u64)> = pres.inputs.iter().map(|&e| (e, 1)).collect();
+    match search_sm_proof(lat, &multiset, 2) {
+        Some(_) => println!("  unexpectedly found one!"),
+        None => println!("  exhaustive search confirms: NO SM-proof exists"),
+    }
+    let pairs: Vec<DegreePair> = pres
+        .inputs
+        .iter()
+        .map(|&r| DegreePair::cardinality(lat, r, rat(2, 1)))
+        .collect();
+    let sol = solve_cllp(lat, &pairs);
+    println!("  CLLP OPT = {} = (3/2)·n; dual c = {:?}", sol.value,
+        sol.pair_duals.iter().map(|c| c.to_f64()).collect::<Vec<_>>());
+    let seq = csm_sequence(lat, &pairs, &sol).expect("Theorem 5.34");
+    println!("  CSM sequence (cf. the paper's rules (29)–(36)):");
+    for r in &seq.rules {
+        match *r {
+            CsmRule::Cd { x, y } => {
+                println!("    CD: h({0}) → h({0}|{1}) + h({1})", lat.name(y), lat.name(x))
+            }
+            CsmRule::Cc { pair } => println!(
+                "    CC: h({}) + h({}|{}) → h({})",
+                lat.name(pairs[pair].lo),
+                lat.name(pairs[pair].hi),
+                lat.name(pairs[pair].lo),
+                lat.name(pairs[pair].hi)
+            ),
+            CsmRule::Sm { a, b } => println!(
+                "    SM: h({}) + h({}|{}) → h({})",
+                lat.name(a),
+                lat.name(b),
+                lat.name(lat.meet(a, b)),
+                lat.name(lat.join(a, b))
+            ),
+        }
+    }
+}

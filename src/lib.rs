@@ -1,0 +1,50 @@
+//! # fdjoin — Computing Join Queries with Functional Dependencies
+//!
+//! A from-scratch reproduction of Abo Khamis, Ngo & Suciu,
+//! *"Computing Join Queries with Functional Dependencies"* (PODS 2016,
+//! arXiv:1604.00111): worst-case-optimal join processing whose runtime is
+//! governed by the **GLVV entropy bound** rather than the FD-oblivious AGM
+//! bound.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fdjoin::query::Query;
+//! use fdjoin::storage::{Database, Relation};
+//!
+//! // The triangle query R(x,y) ⋈ S(y,z) ⋈ T(z,x).
+//! let mut b = Query::builder();
+//! let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+//! b.atom("R", &[x, y]).atom("S", &[y, z]).atom("T", &[z, x]);
+//! let q = b.build();
+//!
+//! let mut db = Database::new();
+//! db.insert("R", Relation::from_rows(vec![0, 1], [[1, 2]]));
+//! db.insert("S", Relation::from_rows(vec![1, 2], [[2, 3]]));
+//! db.insert("T", Relation::from_rows(vec![2, 0], [[3, 1]]));
+//!
+//! let out = fdjoin::core::chain_join(&q, &db).unwrap();
+//! assert_eq!(out.output.len(), 1);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |--------|----------|
+//! | [`bigint`] | exact big integers & rationals |
+//! | [`lp`] | exact two-phase simplex with duals |
+//! | [`lattice`] | closed-set lattices, Möbius, normality machinery |
+//! | [`storage`] | relations, indexes, UDFs |
+//! | [`query`] | queries, FDs, hypergraphs, lattice presentations |
+//! | [`bounds`] | AGM / GLVV / chain / SM / CLLP bounds and proof objects |
+//! | [`core`] | the Chain Algorithm, SMA, CSMA, and baselines |
+//! | [`instances`] | worst-case and random instance generators |
+
+pub use fdjoin_bigint as bigint;
+pub use fdjoin_bounds as bounds;
+pub use fdjoin_core as core;
+pub use fdjoin_instances as instances;
+pub use fdjoin_lattice as lattice;
+pub use fdjoin_lp as lp;
+pub use fdjoin_query as query;
+pub use fdjoin_storage as storage;

@@ -1,0 +1,128 @@
+//! Cross-algorithm equivalence: on random FD-respecting instances, every
+//! algorithm (Chain, SMA, CSMA, Generic-Join with and without FD binding,
+//! binary join) must produce exactly the naive evaluator's answer.
+
+use fdjoin::core::{
+    binary_join, chain_join, csma_join, generic_join, naive_join, sma_join, GjOptions, SmaError,
+};
+use fdjoin::instances::random_instance;
+use fdjoin::query::{examples, Query};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn check_all(q: &Query, db: &fdjoin::storage::Database) {
+    let (expect, _) = naive_join(q, db);
+
+    let (gj, _) = generic_join(q, db, &GjOptions::default());
+    assert_eq!(gj, expect, "generic join mismatch on {}", q.display_body());
+
+    let (gj_fd, _) = generic_join(q, db, &GjOptions { bind_fds: true, var_order: None });
+    assert_eq!(gj_fd, expect, "FD-binding GJ mismatch on {}", q.display_body());
+
+    let (bj, _) = binary_join(q, db, None);
+    assert_eq!(bj, expect, "binary join mismatch on {}", q.display_body());
+
+    if let Ok(ca) = chain_join(q, db) {
+        assert_eq!(ca.output, expect, "chain algorithm mismatch on {}", q.display_body());
+    }
+
+    match sma_join(q, db) {
+        Ok(sma) => assert_eq!(sma.output, expect, "SMA mismatch on {}", q.display_body()),
+        Err(SmaError::NoGoodProof) => {} // Example 5.31 queries; CSMA covers them.
+    }
+
+    let csma = csma_join(q, db).expect("CSMA sequence");
+    assert_eq!(csma.output, expect, "CSMA mismatch on {}", q.display_body());
+}
+
+fn queries() -> Vec<Query> {
+    vec![
+        examples::triangle(),
+        examples::fig1_udf(),
+        examples::four_cycle_key(),
+        examples::composite_key(),
+        examples::fig5_udf_product(),
+        examples::m3_query(),
+        examples::simple_fd_path(),
+        examples::fig4_query(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn all_algorithms_agree_on_random_instances(
+        seed in any::<u64>(),
+        rows in 5usize..40,
+        keep in 40u32..100,
+    ) {
+        for q in queries() {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let db = random_instance(&q, &mut rng, rows, keep);
+            check_all(&q, &db);
+        }
+    }
+
+    #[test]
+    fn fig9_csma_agrees_on_random_instances(
+        seed in any::<u64>(),
+        rows in 3usize..16,
+    ) {
+        // Fig 9 is the query with no good SM proof: CSMA is the only paper
+        // algorithm that meets its bound; check it against naive.
+        let q = examples::fig9_query();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let db = random_instance(&q, &mut rng, rows, 85);
+        let (expect, _) = naive_join(&q, &db);
+        let csma = csma_join(&q, &db).expect("sequence exists");
+        prop_assert_eq!(csma.output, expect);
+    }
+}
+
+#[test]
+fn all_algorithms_agree_on_worst_case_instances() {
+    use fdjoin::bigint::rat;
+    // Tight instances stress different code paths than random ones.
+    let cases: Vec<(Query, fdjoin::storage::Database)> = vec![
+        (
+            examples::triangle(),
+            fdjoin::instances::normal_worst_case(
+                &examples::triangle(),
+                &vec![rat(4, 1); 3],
+                &rat(6, 1),
+            )
+            .unwrap(),
+        ),
+        (
+            examples::fig4_query(),
+            fdjoin::instances::normal_worst_case(
+                &examples::fig4_query(),
+                &vec![rat(3, 1); 4],
+                &rat(4, 1),
+            )
+            .unwrap(),
+        ),
+        (examples::fig1_udf(), fdjoin::instances::fig1_tight(3)),
+        (examples::fig1_udf(), fdjoin::instances::fig1_adversarial(16)),
+        (examples::m3_query(), fdjoin::instances::m3_parity(5)),
+    ];
+    for (q, db) in &cases {
+        check_all(q, db);
+    }
+}
+
+#[test]
+fn fig9_worst_case_all_consistent() {
+    use fdjoin::bigint::rat;
+    let q = examples::fig9_query();
+    let db =
+        fdjoin::instances::normal_worst_case(&q, &vec![rat(2, 1); 3], &rat(3, 1)).unwrap();
+    let (expect, _) = naive_join(&q, &db);
+    assert_eq!(expect.len(), 8); // 2^{3/2 · 2}
+    let csma = csma_join(&q, &db).unwrap();
+    assert_eq!(csma.output, expect);
+    // SMA must *refuse* (no good proof sequence) — Example 5.31.
+    assert_eq!(sma_join(&q, &db).unwrap_err(), SmaError::NoGoodProof);
+}
