@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fdjoin_bench::log_sizes;
 use fdjoin_bounds::llp::solve_llp;
-use fdjoin_core::{chain_join, chain_join_no_argmin, generic_join, GjOptions};
+use fdjoin_core::{chain_join, chain_join_no_argmin, generic_join, Algorithm, Engine, ExecOptions};
 use fdjoin_instances::fig1_adversarial;
 use fdjoin_query::examples;
 use std::time::Duration;
@@ -33,11 +33,18 @@ fn a2_fd_binding(c: &mut Criterion) {
     g.sample_size(10).measurement_time(Duration::from_secs(3));
     let db = fig1_adversarial(512);
     g.bench_function("gj_plain", |b| {
-        b.iter(|| generic_join(&q, &db, &GjOptions::default()).0.len())
+        b.iter(|| generic_join(&q, &db).unwrap().output.len())
     });
+    let fd_bind = ExecOptions::new()
+        .algorithm(Algorithm::GenericJoin)
+        .bind_fds(true);
     g.bench_function("gj_fd_bind", |b| {
         b.iter(|| {
-            generic_join(&q, &db, &GjOptions { bind_fds: true, var_order: None }).0.len()
+            Engine::new()
+                .execute(&q, &db, &fd_bind)
+                .unwrap()
+                .output
+                .len()
         })
     });
     g.finish();
@@ -53,12 +60,7 @@ fn a4_planning_overhead(c: &mut Criterion) {
         ("fig1", examples::fig1_udf()),
         ("fig9", examples::fig9_query()),
     ] {
-        let db = fdjoin_instances::random_instance(
-            &q,
-            &mut rand_seeded(),
-            16,
-            90,
-        );
+        let db = fdjoin_instances::random_instance(&q, &mut rand_seeded(), 16, 90);
         let pres = q.lattice_presentation();
         let logs = log_sizes(&q, &db);
         g.bench_function(BenchmarkId::new("llp_solve", name), |b| {

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fdjoin_bigint::rat;
-use fdjoin_core::{csma_join, generic_join, GjOptions};
+use fdjoin_core::{csma_join, generic_join};
 use fdjoin_instances::normal_worst_case;
 use fdjoin_query::examples;
 use std::time::Duration;
@@ -14,14 +14,13 @@ fn bench_fig9(c: &mut Criterion) {
     let mut g = c.benchmark_group("e12_fig9");
     g.sample_size(10).measurement_time(Duration::from_secs(4));
     for nlog in [2i64, 4] {
-        let db =
-            normal_worst_case(&q, &vec![rat(nlog, 1); 3], &rat(3 * nlog / 2, 1)).unwrap();
+        let db = normal_worst_case(&q, &vec![rat(nlog, 1); 3], &rat(3 * nlog / 2, 1)).unwrap();
         let n = 1u64 << nlog;
         g.bench_with_input(BenchmarkId::new("csma", n), &db, |b, db| {
             b.iter(|| csma_join(&q, db).unwrap().output.len())
         });
         g.bench_with_input(BenchmarkId::new("generic_join", n), &db, |b, db| {
-            b.iter(|| generic_join(&q, db, &GjOptions::default()).0.len())
+            b.iter(|| generic_join(&q, db).unwrap().output.len())
         });
     }
     g.finish();

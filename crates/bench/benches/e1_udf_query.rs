@@ -2,7 +2,7 @@
 //! tight instances — Chain Algorithm vs Generic-Join vs binary plans.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fdjoin_core::{binary_join, chain_join, generic_join, GjOptions};
+use fdjoin_core::{binary_join, chain_join, generic_join};
 use fdjoin_instances::{fig1_adversarial, fig1_tight};
 use fdjoin_query::examples;
 use std::time::Duration;
@@ -18,10 +18,10 @@ fn bench_adversarial(c: &mut Criterion) {
             b.iter(|| chain_join(&q, db).unwrap().output.len())
         });
         g.bench_with_input(BenchmarkId::new("generic_join", n), &db, |b, db| {
-            b.iter(|| generic_join(&q, db, &GjOptions::default()).0.len())
+            b.iter(|| generic_join(&q, db).unwrap().output.len())
         });
         g.bench_with_input(BenchmarkId::new("binary_join", n), &db, |b, db| {
-            b.iter(|| binary_join(&q, db, None).0.len())
+            b.iter(|| binary_join(&q, db).unwrap().output.len())
         });
     }
     g.finish();
@@ -38,7 +38,7 @@ fn bench_tight(c: &mut Criterion) {
             b.iter(|| chain_join(&q, db).unwrap().output.len())
         });
         g.bench_with_input(BenchmarkId::new("generic_join", n), &db, |b, db| {
-            b.iter(|| generic_join(&q, db, &GjOptions::default()).0.len())
+            b.iter(|| generic_join(&q, db).unwrap().output.len())
         });
     }
     g.finish();

@@ -2,7 +2,7 @@
 //! wall-clock) shrink with the degree bound `d`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fdjoin_core::{csma_join_with, CsmaOptions, UserDegreeBound};
+use fdjoin_core::{Algorithm, Engine, ExecOptions, UserDegreeBound};
 use fdjoin_instances::bounded_degree_triangle;
 use fdjoin_query::examples;
 use std::time::Duration;
@@ -14,12 +14,16 @@ fn bench_degree_sweep(c: &mut Criterion) {
     g.sample_size(10).measurement_time(Duration::from_secs(3));
     for d in [2u64, 16, 256] {
         let db = bounded_degree_triangle(n, d);
-        let real_d = db.relation("R").max_degree(1) as u64;
-        let opts = CsmaOptions {
-            degree_bounds: vec![UserDegreeBound { atom: 0, on: vec![0], max_degree: real_d }],
-        };
+        let real_d = db.relation("R").unwrap().max_degree(1) as u64;
+        let opts = ExecOptions::new()
+            .algorithm(Algorithm::Csma)
+            .degree_bound(UserDegreeBound {
+                atom: 0,
+                on: vec![0],
+                max_degree: real_d,
+            });
         g.bench_with_input(BenchmarkId::new("csma_with_degree", d), &db, |b, db| {
-            b.iter(|| csma_join_with(&q, db, &opts).unwrap().output.len())
+            b.iter(|| Engine::new().execute(&q, db, &opts).unwrap().output.len())
         });
     }
     g.finish();

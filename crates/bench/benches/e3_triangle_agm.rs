@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fdjoin_bigint::rat;
-use fdjoin_core::{chain_join, generic_join, GjOptions};
+use fdjoin_core::{chain_join, generic_join};
 use fdjoin_instances::normal_worst_case;
 use fdjoin_query::examples;
 use std::time::Duration;
@@ -13,11 +13,10 @@ fn bench_product(c: &mut Criterion) {
     let mut g = c.benchmark_group("e3_triangle_agm");
     g.sample_size(10).measurement_time(Duration::from_secs(3));
     for nlog in [4i64, 6, 8] {
-        let db =
-            normal_worst_case(&q, &vec![rat(nlog, 1); 3], &rat(3 * nlog / 2, 1)).unwrap();
-        let n = db.relation("R").len() as u64;
+        let db = normal_worst_case(&q, &vec![rat(nlog, 1); 3], &rat(3 * nlog / 2, 1)).unwrap();
+        let n = db.relation("R").unwrap().len() as u64;
         g.bench_with_input(BenchmarkId::new("generic_join", n), &db, |b, db| {
-            b.iter(|| generic_join(&q, db, &GjOptions::default()).0.len())
+            b.iter(|| generic_join(&q, db).unwrap().output.len())
         });
         g.bench_with_input(BenchmarkId::new("chain", n), &db, |b, db| {
             b.iter(|| chain_join(&q, db).unwrap().output.len())

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fdjoin_bigint::rat;
-use fdjoin_core::{chain_join, generic_join, sma_join, GjOptions};
+use fdjoin_core::{chain_join, generic_join, sma_join};
 use fdjoin_instances::normal_worst_case;
 use fdjoin_query::examples;
 use std::time::Duration;
@@ -13,8 +13,7 @@ fn bench_fig4(c: &mut Criterion) {
     let mut g = c.benchmark_group("e7_fig4");
     g.sample_size(10).measurement_time(Duration::from_secs(4));
     for nlog in [3i64, 6] {
-        let db =
-            normal_worst_case(&q, &vec![rat(nlog, 1); 4], &rat(4 * nlog / 3, 1)).unwrap();
+        let db = normal_worst_case(&q, &vec![rat(nlog, 1); 4], &rat(4 * nlog / 3, 1)).unwrap();
         let n = 1u64 << nlog;
         g.bench_with_input(BenchmarkId::new("sma", n), &db, |b, db| {
             b.iter(|| sma_join(&q, db).unwrap().output.len())
@@ -23,7 +22,7 @@ fn bench_fig4(c: &mut Criterion) {
             b.iter(|| chain_join(&q, db).unwrap().output.len())
         });
         g.bench_with_input(BenchmarkId::new("generic_join", n), &db, |b, db| {
-            b.iter(|| generic_join(&q, db, &GjOptions::default()).0.len())
+            b.iter(|| generic_join(&q, db).unwrap().output.len())
         });
     }
     g.finish();

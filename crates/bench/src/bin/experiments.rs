@@ -13,12 +13,11 @@ use fdjoin_bounds::cllp::{solve_cllp, DegreePair};
 use fdjoin_bounds::llp::solve_llp;
 use fdjoin_bounds::normal::{coatomic_hypergraph, is_normal_lattice};
 use fdjoin_bounds::smproof::{
-    check_goodness, scale_weights, search_good_sm_proof, search_sm_proof, Goodness, SmProof,
-    SmStep,
+    check_goodness, scale_weights, search_good_sm_proof, search_sm_proof, Goodness, SmProof, SmStep,
 };
 use fdjoin_core::{
-    binary_join, chain_join, chain_join_no_argmin, csma_join, csma_join_with, generic_join,
-    naive_join, sma_join, CsmaOptions, GjOptions, UserDegreeBound,
+    binary_join, chain_join, chain_join_no_argmin, csma_join, generic_join, naive_join, sma_join,
+    Algorithm, Engine, ExecOptions, UserDegreeBound,
 };
 use fdjoin_instances as instances;
 use fdjoin_lattice::build;
@@ -98,20 +97,23 @@ fn e1() {
         let n = 1u64 << exp;
         let db = instances::fig1_adversarial(n);
         let ca = chain_join(&q, &db).unwrap();
-        let (gout, gj) = generic_join(&q, &db, &GjOptions::default());
-        let (_, bj) = binary_join(&q, &db, None);
-        assert_eq!(ca.output, gout);
+        let gj = generic_join(&q, &db).unwrap();
+        let bj = binary_join(&q, &db).unwrap();
+        assert_eq!(ca.output, gj.output);
         rows.push(Row {
             n,
             values: vec![
                 ("chain", ca.stats.work() as f64),
-                ("generic", gj.work() as f64),
-                ("binary", bj.work() as f64),
+                ("generic", gj.stats.work() as f64),
+                ("binary", bj.stats.work() as f64),
                 ("output", ca.output.len() as f64),
             ],
         });
     }
-    print_table("adversarial instance (R=S=T: star graph), work counters:", &rows);
+    print_table(
+        "adversarial instance (R=S=T: star graph), work counters:",
+        &rows,
+    );
     println!(
         "  measured exponents: chain {:.2} | generic {:.2} | binary {:.2}  (paper shape: CA ≪ N², baselines = N²)",
         fit_exponent(&series(&rows, "chain")),
@@ -133,7 +135,10 @@ fn e1() {
             ],
         });
     }
-    print_table("tight instance (R=S=T = [√N]²): output = N^1.5 exactly:", &rows);
+    print_table(
+        "tight instance (R=S=T = [√N]²): output = N^1.5 exactly:",
+        &rows,
+    );
     println!(
         "  measured exponents: chain {:.2}, output {:.2}  (paper: 1.5 — bound is tight)",
         fit_exponent(&series(&rows, "chain")),
@@ -149,13 +154,17 @@ fn e2() {
     let mut rows = Vec::new();
     for d in [1u64, 2, 8, 32, 128, 512] {
         let db = instances::bounded_degree_triangle(n, d);
-        let real_d = db.relation("R").max_degree(1) as u64;
-        let opts = CsmaOptions {
-            degree_bounds: vec![UserDegreeBound { atom: 0, on: vec![0], max_degree: real_d }],
-        };
-        let out = csma_join_with(&q, &db, &opts).unwrap();
-        let nn = db.relation("R").len() as f64;
-        let cllp_bound = out.log_bound.to_f64();
+        let real_d = db.relation("R").unwrap().max_degree(1) as u64;
+        let opts = ExecOptions::new()
+            .algorithm(Algorithm::Csma)
+            .degree_bound(UserDegreeBound {
+                atom: 0,
+                on: vec![0],
+                max_degree: real_d,
+            });
+        let out = Engine::new().execute(&q, &db, &opts).unwrap();
+        let nn = db.relation("R").unwrap().len() as f64;
+        let cllp_bound = out.predicted_log_bound.as_ref().unwrap().to_f64();
         let paper_bound = (1.5 * nn.log2()).min(nn.log2() + (real_d as f64).log2());
         rows.push(Row {
             n: real_d,
@@ -167,7 +176,10 @@ fn e2() {
             ],
         });
     }
-    print_table("N = 512, sweep on degree bound d (column N shows d):", &rows);
+    print_table(
+        "N = 512, sweep on degree bound d (column N shows d):",
+        &rows,
+    );
     println!("  CLLP tracks min(3/2·log N, log N + log d) — Eq. (2)'s bound shape.");
 }
 
@@ -177,20 +189,16 @@ fn e3() {
     let q = examples::triangle();
     let mut rows = Vec::new();
     for nlog in [2i64, 4, 6, 8] {
-        let db = instances::normal_worst_case(
-            &q,
-            &vec![rat(nlog, 1); 3],
-            &rat(3 * nlog / 2, 1),
-        )
-        .unwrap();
-        let n = db.relation("R").len() as u64;
-        let (out, gj) = generic_join(&q, &db, &GjOptions::default());
+        let db = instances::normal_worst_case(&q, &vec![rat(nlog, 1); 3], &rat(3 * nlog / 2, 1))
+            .unwrap();
+        let n = db.relation("R").unwrap().len() as u64;
+        let gj = generic_join(&q, &db).unwrap();
         rows.push(Row {
             n,
             values: vec![
-                ("output", out.len() as f64),
+                ("output", gj.output.len() as f64),
                 ("AGM=N^1.5", (n as f64).powf(1.5)),
-                ("GJ work", gj.work() as f64),
+                ("GJ work", gj.stats.work() as f64),
             ],
         });
     }
@@ -207,7 +215,9 @@ fn e4() {
     let q = examples::four_cycle_key();
     let logs = vec![rat(8, 1); 4];
     let plain = fdjoin_bounds::agm::agm_log_bound(&q, &logs).unwrap().value;
-    let closed = fdjoin_bounds::agm::agm_closure_log_bound(&q, &logs).unwrap().value;
+    let closed = fdjoin_bounds::agm::agm_closure_log_bound(&q, &logs)
+        .unwrap()
+        .value;
     println!(
         "  4-cycle + y→z: AGM = 2^{} → AGM(Q⁺) = 2^{}   (paper: min adds |R||K| term)",
         plain, closed
@@ -215,12 +225,12 @@ fn e4() {
     let q = examples::composite_key();
     let logs = vec![rat(5, 1), rat(5, 1), rat(30, 1)];
     let plain = fdjoin_bounds::agm::agm_log_bound(&q, &logs).unwrap().value;
-    let closed = fdjoin_bounds::agm::agm_closure_log_bound(&q, &logs).unwrap().value;
+    let closed = fdjoin_bounds::agm::agm_closure_log_bound(&q, &logs)
+        .unwrap()
+        .value;
     let pres = q.lattice_presentation();
     let glvv = solve_llp(&pres.lattice, &pres.inputs, &logs).value;
-    println!(
-        "  R(x),S(y),T(x,y,z), xy→z (|T|=2^30): AGM = AGM(Q⁺) = 2^{plain} vs GLVV = 2^{glvv}"
-    );
+    println!("  R(x),S(y),T(x,y,z), xy→z (|T|=2^30): AGM = AGM(Q⁺) = 2^{plain} vs GLVV = 2^{glvv}");
     assert_eq!(plain, closed);
     println!("  (paper: closure technique fails for non-simple keys; GLVV = N²) ✓");
 }
@@ -237,8 +247,13 @@ fn e5() {
     for nlog in [3i64, 5, 7] {
         let logs = vec![rat(nlog, 1); 3];
         let llp = solve_llp(&pres.lattice, &pres.inputs, &logs).value;
-        let cb = best_chain_bound(&pres.lattice, &pres.inputs, &logs).unwrap().log_bound;
-        println!("  n = {nlog}: chain bound {cb} == GLVV {llp}: {}", cb == llp);
+        let cb = best_chain_bound(&pres.lattice, &pres.inputs, &logs)
+            .unwrap()
+            .log_bound;
+        println!(
+            "  n = {nlog}: chain bound {cb} == GLVV {llp}: {}",
+            cb == llp
+        );
     }
 }
 
@@ -259,7 +274,7 @@ fn e6() {
     let mut rows = Vec::new();
     for n in [4u64, 8, 16, 32] {
         let db = instances::m3_parity(n);
-        let (out, _) = naive_join(&q, &db);
+        let out = naive_join(&q, &db).unwrap().output;
         let csma = csma_join(&q, &db).unwrap();
         assert_eq!(csma.output.len(), out.len());
         rows.push(Row {
@@ -284,7 +299,9 @@ fn e7() {
     let q = examples::fig4_query();
     let pres = q.lattice_presentation();
     let logs = vec![rat(6, 1); 4];
-    let cb = best_chain_bound(&pres.lattice, &pres.inputs, &logs).unwrap().log_bound;
+    let cb = best_chain_bound(&pres.lattice, &pres.inputs, &logs)
+        .unwrap()
+        .log_bound;
     let llp = solve_llp(&pres.lattice, &pres.inputs, &logs).value;
     println!(
         "  exponents at n=6: chain {} vs LLP/SM {} (paper: 3/2 vs 4/3)",
@@ -293,15 +310,11 @@ fn e7() {
     );
     let mut rows = Vec::new();
     for nlog in [3i64, 6, 9] {
-        let db = instances::normal_worst_case(
-            &q,
-            &vec![rat(nlog, 1); 4],
-            &rat(4 * nlog / 3, 1),
-        )
-        .unwrap();
-        let n = db.relation(&q.atoms()[0].name).len() as u64;
+        let db = instances::normal_worst_case(&q, &vec![rat(nlog, 1); 4], &rat(4 * nlog / 3, 1))
+            .unwrap();
+        let n = db.relation(&q.atoms()[0].name).unwrap().len() as u64;
         let sma = sma_join(&q, &db).unwrap();
-        let (nv, _) = generic_join(&q, &db, &GjOptions::default());
+        let nv = generic_join(&q, &db).unwrap().output;
         assert_eq!(sma.output, nv);
         rows.push(Row {
             n,
@@ -344,21 +357,33 @@ fn e8() {
     let cb = best_chain_bound(&pres.lattice, &pres.inputs, &logs).unwrap();
     println!(
         "  Cor 5.9 chain: {:?}, bound exponent {} (paper: 0̂ ≺ x ≺ 1̂, N²)",
-        cb.chain.elems.iter().map(|&e| pres.lattice.name(e)).collect::<Vec<_>>(),
+        cb.chain
+            .elems
+            .iter()
+            .map(|&e| pres.lattice.name(e))
+            .collect::<Vec<_>>(),
         cb.log_bound.to_f64() / 5.0
     );
     let mut db = fdjoin_storage::Database::new();
     let rows_r: Vec<[u64; 1]> = (0..32).map(|i| [i]).collect();
-    db.insert("R", fdjoin_storage::Relation::from_rows(vec![0], rows_r.clone()));
+    db.insert(
+        "R",
+        fdjoin_storage::Relation::from_rows(vec![0], rows_r.clone()),
+    );
     db.insert("S", fdjoin_storage::Relation::from_rows(vec![1], rows_r));
-    db.udfs.register(fdjoin_lattice::VarSet::from_vars([0, 1]), 2, |v| v[0] * 1000 + v[1]);
+    db.udfs
+        .register(fdjoin_lattice::VarSet::from_vars([0, 1]), 2, |v| {
+            v[0] * 1000 + v[1]
+        });
     let ca = chain_join(&q, &db).unwrap();
     println!("  CA output on N=32: {} = N² ✓", ca.output.len());
 }
 
 /// E9 — Fig 6 / Theorem 5.14 / Example 5.16.
 fn e9() {
-    println!("\n== E9: condition (15) on the Fig 1 lattice (Fig 6) — chain tight beyond distributive");
+    println!(
+        "\n== E9: condition (15) on the Fig 1 lattice (Fig 6) — chain tight beyond distributive"
+    );
     let q = examples::fig1_udf();
     let pres = q.lattice_presentation();
     let lat = &pres.lattice;
@@ -373,7 +398,10 @@ fn e9() {
             lat.top(),
         ],
     );
-    println!("  lattice distributive: {} (paper: no)", lat.is_distributive());
+    println!(
+        "  lattice distributive: {} (paper: no)",
+        lat.is_distributive()
+    );
     println!(
         "  chain 0̂ ≺ y ≺ yz ≺ 1̂ satisfies condition (15): {} (paper: yes ⇒ tight)",
         chain.tightness_condition(lat)
@@ -383,7 +411,10 @@ fn e9() {
             println!("  e({name}) = {:?}", chain.e_set(lat, e));
         }
     }
-    println!("  e(1̂) = {:?} (paper Fig 6: {{1,2,3}})", chain.e_set(lat, lat.top()));
+    println!(
+        "  e(1̂) = {:?} (paper Fig 6: {{1,2,3}})",
+        chain.e_set(lat, lat.top())
+    );
 }
 
 /// E10 — Fig 7 / Example 5.29: a bad and a good SM sequence.
@@ -396,13 +427,28 @@ fn e10() {
         multiset: multiset.clone(),
         d: 2,
         steps: vec![
-            SmStep { x: e("X"), y: e("Y") },
-            SmStep { x: e("A"), y: e("Z") },
-            SmStep { x: e("B"), y: e("U") },
-            SmStep { x: e("C"), y: e("D") },
+            SmStep {
+                x: e("X"),
+                y: e("Y"),
+            },
+            SmStep {
+                x: e("A"),
+                y: e("Z"),
+            },
+            SmStep {
+                x: e("B"),
+                y: e("U"),
+            },
+            SmStep {
+                x: e("C"),
+                y: e("D"),
+            },
         ],
     };
-    println!("  paper's 4-step sequence: {:?} (paper: A(C,D) = ∅)", check_goodness(&lat, &bad));
+    println!(
+        "  paper's 4-step sequence: {:?} (paper: A(C,D) = ∅)",
+        check_goodness(&lat, &bad)
+    );
     let good = search_good_sm_proof(&lat, &multiset, 2).expect("alternative exists");
     println!(
         "  searched alternative ({} steps): {:?} (paper: good)",
@@ -420,10 +466,22 @@ fn e11() {
         multiset: vec![(e("X"), 1), (e("Y"), 1), (e("Z"), 1), (e("W"), 1)],
         d: 2,
         steps: vec![
-            SmStep { x: e("X"), y: e("Y") },
-            SmStep { x: e("Z"), y: e("W") },
-            SmStep { x: e("A"), y: e("D") },
-            SmStep { x: e("B"), y: e("C") },
+            SmStep {
+                x: e("X"),
+                y: e("Y"),
+            },
+            SmStep {
+                x: e("Z"),
+                y: e("W"),
+            },
+            SmStep {
+                x: e("A"),
+                y: e("D"),
+            },
+            SmStep {
+                x: e("B"),
+                y: e("C"),
+            },
         ],
     };
     match check_goodness(&lat, &proof) {
@@ -455,22 +513,24 @@ fn e12() {
         .map(|&r| DegreePair::cardinality(lat, r, rat(2, 1)))
         .collect();
     let sol = solve_cllp(lat, &pairs);
-    println!("  CLLP OPT = {} = (3/2)·n; dual c = 1/2 each: {:?}", sol.value,
-        sol.pair_duals.iter().map(|c| c.to_f64()).collect::<Vec<_>>());
+    println!(
+        "  CLLP OPT = {} = (3/2)·n; dual c = 1/2 each: {:?}",
+        sol.value,
+        sol.pair_duals
+            .iter()
+            .map(|c| c.to_f64())
+            .collect::<Vec<_>>()
+    );
     let (_, d) = scale_weights(&sol.pair_duals);
     println!("  dual denominator d = {d} (paper: 2)");
 
     let mut rows = Vec::new();
     for nlog in [2i64, 4, 6] {
-        let db = instances::normal_worst_case(
-            &q,
-            &vec![rat(nlog, 1); 3],
-            &rat(3 * nlog / 2, 1),
-        )
-        .unwrap();
+        let db = instances::normal_worst_case(&q, &vec![rat(nlog, 1); 3], &rat(3 * nlog / 2, 1))
+            .unwrap();
         let n = 1u64 << nlog;
         let csma = csma_join(&q, &db).unwrap();
-        let (nv, _) = generic_join(&q, &db, &GjOptions::default());
+        let nv = generic_join(&q, &db).unwrap().output;
         assert_eq!(csma.output, nv);
         rows.push(Row {
             n,
@@ -542,8 +602,10 @@ fn e14() {
         }
         names.push("1".to_string());
         let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
-        let cover_refs: Vec<(&str, &str)> =
-            covers.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let cover_refs: Vec<(&str, &str)> = covers
+            .iter()
+            .map(|(a, b)| (a.as_str(), b.as_str()))
+            .collect();
         let lat = fdjoin_lattice::Lattice::from_covers(&name_refs, &cover_refs).unwrap();
         let (u, x, y, z) = lat.find_m3_with_top().expect("M3 at top");
         let normal = is_normal_lattice(&lat, &[x, y, z]);
@@ -609,14 +671,22 @@ fn a2() {
     for exp in [6u32, 8, 10] {
         let n = 1u64 << exp;
         let db = instances::fig1_adversarial(n);
-        let (o1, plain) = generic_join(&q, &db, &GjOptions::default());
-        let (o2, bound) = generic_join(&q, &db, &GjOptions { bind_fds: true, var_order: None });
-        assert_eq!(o1, o2);
+        let plain = generic_join(&q, &db).unwrap();
+        let fd_bind = Engine::new()
+            .execute(
+                &q,
+                &db,
+                &ExecOptions::new()
+                    .algorithm(Algorithm::GenericJoin)
+                    .bind_fds(true),
+            )
+            .unwrap();
+        assert_eq!(plain.output, fd_bind.output);
         rows.push(Row {
             n,
             values: vec![
-                ("gj plain", plain.work() as f64),
-                ("gj fd-bind", bound.work() as f64),
+                ("gj plain", plain.stats.work() as f64),
+                ("gj fd-bind", fd_bind.stats.work() as f64),
             ],
         });
     }
@@ -630,17 +700,15 @@ fn a2() {
 
 /// A3 — ablation: SMA threshold sensitivity.
 fn a3() {
-    println!("\n== A3: ablation — SMA correctness is threshold-robust (output equal), Fig 4 worst case");
+    println!(
+        "\n== A3: ablation — SMA correctness is threshold-robust (output equal), Fig 4 worst case"
+    );
     let q = examples::fig4_query();
     for nlog in [3i64, 6] {
-        let db = instances::normal_worst_case(
-            &q,
-            &vec![rat(nlog, 1); 4],
-            &rat(4 * nlog / 3, 1),
-        )
-        .unwrap();
+        let db = instances::normal_worst_case(&q, &vec![rat(nlog, 1); 4], &rat(4 * nlog / 3, 1))
+            .unwrap();
         let sma = sma_join(&q, &db).unwrap();
-        let (nv, _) = generic_join(&q, &db, &GjOptions::default());
+        let nv = generic_join(&q, &db).unwrap().output;
         println!(
             "  n={nlog}: SMA output {} == naive {} (heavy/light split at 2^(h(Y)−h(Z)))",
             sma.output.len(),

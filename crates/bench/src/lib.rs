@@ -23,11 +23,15 @@ pub fn fit_exponent(points: &[(f64, f64)]) -> f64 {
     (k * sxy - sx * sy) / (k * sxx - sx * sx)
 }
 
-/// `log₂ |R_j|` per atom for the actual database.
+/// `log₂ |R_j|` per atom for the actual database. Panics on a missing
+/// relation — bench instances are generated, not user input.
 pub fn log_sizes(q: &Query, db: &Database) -> Vec<Rational> {
     q.atoms()
         .iter()
-        .map(|a| Rational::log2_approx(db.relation(&a.name).len().max(1) as u64, 16))
+        .map(|a| {
+            let rel = db.relation(&a.name).expect("bench instance is complete");
+            Rational::log2_approx(rel.len().max(1) as u64, 16)
+        })
         .collect()
 }
 
@@ -85,18 +89,21 @@ mod tests {
 
     #[test]
     fn exponent_fit_recovers_power_laws() {
-        let quad: Vec<(f64, f64)> =
-            (4..10).map(|k| (2f64.powi(k), 4f64.powi(k))).collect();
+        let quad: Vec<(f64, f64)> = (4..10).map(|k| (2f64.powi(k), 4f64.powi(k))).collect();
         assert!((fit_exponent(&quad) - 2.0).abs() < 1e-9);
-        let mixed: Vec<(f64, f64)> =
-            (4..10).map(|k| (2f64.powi(k), 2f64.powi(k * 3 / 2))).collect();
+        let mixed: Vec<(f64, f64)> = (4..10)
+            .map(|k| (2f64.powi(k), 2f64.powi(k * 3 / 2)))
+            .collect();
         let e = fit_exponent(&mixed);
         assert!((1.3..1.6).contains(&e), "{e}");
     }
 
     #[test]
     fn series_extraction() {
-        let rows = vec![Row { n: 4, values: vec![("a", 1.0), ("b", 2.0)] }];
+        let rows = vec![Row {
+            n: 4,
+            values: vec![("a", 1.0), ("b", 2.0)],
+        }];
         assert_eq!(series(&rows, "b"), vec![(4.0, 2.0)]);
     }
 }

@@ -20,7 +20,10 @@ const BASE_BITS: u32 = 32;
 impl BigInt {
     /// The integer zero.
     pub fn zero() -> Self {
-        BigInt { sign: 0, mag: Vec::new() }
+        BigInt {
+            sign: 0,
+            mag: Vec::new(),
+        }
     }
 
     /// The integer one.
@@ -50,7 +53,10 @@ impl BigInt {
 
     /// Absolute value.
     pub fn abs(&self) -> BigInt {
-        BigInt { sign: self.sign.abs(), mag: self.mag.clone() }
+        BigInt {
+            sign: self.sign.abs(),
+            mag: self.mag.clone(),
+        }
     }
 
     fn from_mag(sign: i8, mut mag: Vec<u32>) -> Self {
@@ -119,7 +125,11 @@ impl BigInt {
             let mut out = Vec::with_capacity(src.len());
             for i in 0..src.len() {
                 let lo = src[i] >> bit_shift;
-                let hi = if i + 1 < src.len() { src[i + 1] << (BASE_BITS - bit_shift) } else { 0 };
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (BASE_BITS - bit_shift)
+                } else {
+                    0
+                };
                 out.push(lo | hi);
             }
             out
@@ -144,8 +154,8 @@ impl BigInt {
         let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
-            let s = long[i] as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
+        for (i, &digit) in long.iter().enumerate() {
+            let s = digit as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
             out.push(s as u32);
             carry = s >> BASE_BITS;
         }
@@ -160,8 +170,8 @@ impl BigInt {
         debug_assert!(Self::cmp_mag(a, b) != Ordering::Less);
         let mut out = Vec::with_capacity(a.len());
         let mut borrow = 0i64;
-        for i in 0..a.len() {
-            let d = a[i] as i64 - *b.get(i).unwrap_or(&0) as i64 - borrow;
+        for (i, &digit) in a.iter().enumerate() {
+            let d = digit as i64 - *b.get(i).unwrap_or(&0) as i64 - borrow;
             if d < 0 {
                 out.push((d + (1i64 << BASE_BITS)) as u32);
                 borrow = 1;
@@ -211,7 +221,10 @@ impl BigInt {
         }
         let (q_mag, r_mag) = Self::divmod_mag(&self.mag, &other.mag);
         let q_sign = self.sign * other.sign;
-        (BigInt::from_mag(q_sign, q_mag), BigInt::from_mag(self.sign, r_mag))
+        (
+            BigInt::from_mag(q_sign, q_mag),
+            BigInt::from_mag(self.sign, r_mag),
+        )
     }
 
     /// Binary shift-and-subtract long division on magnitudes; `a >= b`, `b != 0`.
@@ -226,7 +239,14 @@ impl BigInt {
                 q[i] = (cur / d) as u32;
                 rem = cur % d;
             }
-            return (q, if rem == 0 { Vec::new() } else { vec![rem as u32] });
+            return (
+                q,
+                if rem == 0 {
+                    Vec::new()
+                } else {
+                    vec![rem as u32]
+                },
+            );
         }
         let dividend = BigInt::from_mag(1, a.to_vec());
         let divisor = BigInt::from_mag(1, b.to_vec());
@@ -276,7 +296,9 @@ impl BigInt {
         let n_minus_1 = BigInt::from(n as i64 - 1);
         loop {
             let r_pow = r.pow(n - 1);
-            let next = (&(&n_minus_1 * &r) + &self.div_rem(&r_pow).0).div_rem(&n_big).0;
+            let next = (&(&n_minus_1 * &r) + &self.div_rem(&r_pow).0)
+                .div_rem(&n_big)
+                .0;
             if next.cmp(&r) != Ordering::Less {
                 break;
             }
@@ -386,7 +408,12 @@ impl From<i128> for BigInt {
         let m = v.unsigned_abs();
         BigInt::from_mag(
             sign,
-            vec![m as u32, (m >> 32) as u32, (m >> 64) as u32, (m >> 96) as u32],
+            vec![
+                m as u32,
+                (m >> 32) as u32,
+                (m >> 64) as u32,
+                (m >> 96) as u32,
+            ],
         )
     }
 }
@@ -447,7 +474,10 @@ impl Sub for &BigInt {
 impl Mul for &BigInt {
     type Output = BigInt;
     fn mul(self, other: &BigInt) -> BigInt {
-        BigInt::from_mag(self.sign * other.sign, BigInt::mul_mag(&self.mag, &other.mag))
+        BigInt::from_mag(
+            self.sign * other.sign,
+            BigInt::mul_mag(&self.mag, &other.mag),
+        )
     }
 }
 
@@ -624,7 +654,13 @@ mod tests {
 
     #[test]
     fn display_roundtrip() {
-        for s in ["0", "1", "-1", "123456789012345678901234567890", "-98765432109876543210"] {
+        for s in [
+            "0",
+            "1",
+            "-1",
+            "123456789012345678901234567890",
+            "-98765432109876543210",
+        ] {
             let v: BigInt = s.parse().unwrap();
             assert_eq!(v.to_string(), s);
         }

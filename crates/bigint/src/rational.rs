@@ -17,23 +17,36 @@ pub struct Rational {
 impl Rational {
     /// The rational zero.
     pub fn zero() -> Self {
-        Rational { num: BigInt::zero(), den: BigInt::one() }
+        Rational {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
     }
 
     /// The rational one.
     pub fn one() -> Self {
-        Rational { num: BigInt::one(), den: BigInt::one() }
+        Rational {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
     }
 
     /// Construct `num / den`, normalizing sign and reducing. Panics if `den == 0`.
     pub fn from_frac(num: BigInt, den: BigInt) -> Self {
         assert!(!den.is_zero(), "rational with zero denominator");
-        let (num, den) = if den.is_negative() { (-num, -den) } else { (num, den) };
+        let (num, den) = if den.is_negative() {
+            (-num, -den)
+        } else {
+            (num, den)
+        };
         let g = num.gcd(&den);
         if g.is_zero() {
             return Rational::zero();
         }
-        Rational { num: &num / &g, den: &den / &g }
+        Rational {
+            num: &num / &g,
+            den: &den / &g,
+        }
     }
 
     /// Numerator (sign-carrying).
@@ -73,7 +86,10 @@ impl Rational {
 
     /// Absolute value.
     pub fn abs(&self) -> Rational {
-        Rational { num: self.num.abs(), den: self.den.clone() }
+        Rational {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
     }
 
     /// Multiplicative inverse. Panics on zero.
@@ -125,8 +141,14 @@ impl Rational {
         if self.is_negative() {
             return BigInt::zero();
         }
-        let p = self.num.to_u64().expect("exp2_floor: exponent numerator too large");
-        let q = self.den.to_u64().expect("exp2_floor: exponent denominator too large");
+        let p = self
+            .num
+            .to_u64()
+            .expect("exp2_floor: exponent numerator too large");
+        let q = self
+            .den
+            .to_u64()
+            .expect("exp2_floor: exponent denominator too large");
         assert!(q <= u32::MAX as u64, "exp2_floor: denominator too large");
         // floor(2^(p/q)) = floor((2^p)^(1/q)).
         BigInt::pow2(p).nth_root(q as u32)
@@ -191,7 +213,10 @@ impl Rational {
 
 impl From<BigInt> for Rational {
     fn from(v: BigInt) -> Self {
-        Rational { num: v, den: BigInt::one() }
+        Rational {
+            num: v,
+            den: BigInt::one(),
+        }
     }
 }
 
@@ -252,7 +277,10 @@ impl Div for &Rational {
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -self.num, den: self.den }
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 
@@ -374,7 +402,10 @@ mod tests {
         assert_eq!(Rational::log2_exact(1000), None);
         let approx = Rational::log2_approx(1000, 20);
         let truth = (1000f64).log2();
-        assert!((approx.to_f64() - truth).abs() < 1e-4, "{approx} vs {truth}");
+        assert!(
+            (approx.to_f64() - truth).abs() < 1e-4,
+            "{approx} vs {truth}"
+        );
         // Rounded up: approx >= truth.
         assert!(approx.to_f64() >= truth);
         assert_eq!(Rational::log2_approx(4096, 20), rat(12, 1));
@@ -382,7 +413,7 @@ mod tests {
 
     #[test]
     fn sums() {
-        let v = vec![rat(1, 2), rat(1, 3), rat(1, 6)];
+        let v = [rat(1, 2), rat(1, 3), rat(1, 6)];
         let s: Rational = v.iter().sum();
         assert_eq!(s, Rational::one());
     }

@@ -63,8 +63,10 @@ impl Chain {
         let mut h = Hypergraph::new(k);
         h.vertices = (1..=k).map(|i| format!("step{i}")).collect();
         for (j, &r) in inputs.iter().enumerate() {
-            let verts: Vec<usize> =
-                (1..=k).filter(|&i| self.covers(lat, r, i)).map(|i| i - 1).collect();
+            let verts: Vec<usize> = (1..=k)
+                .filter(|&i| self.covers(lat, r, i))
+                .map(|i| i - 1)
+                .collect();
             h.add_edge(format!("e{j}"), verts);
         }
         h
@@ -72,7 +74,9 @@ impl Chain {
 
     /// The set `e(X) = {i : X ∧ C_i ≠ X ∧ C_{i-1}}` of Lemma 5.13.
     pub fn e_set(&self, lat: &Lattice, x: ElemId) -> Vec<usize> {
-        (1..=self.steps()).filter(|&i| self.covers(lat, x, i)).collect()
+        (1..=self.steps())
+            .filter(|&i| self.covers(lat, x, i))
+            .collect()
     }
 
     /// Theorem 5.14's tightness condition: the chain is good for every
@@ -123,7 +127,11 @@ pub fn chain_bound(
     }
     let h = chain.hypergraph(lat, inputs);
     let cover = h.fractional_edge_cover(log_sizes)?;
-    Some(ChainBound { chain: chain.clone(), log_bound: cover.value.clone(), cover })
+    Some(ChainBound {
+        chain: chain.clone(),
+        log_bound: cover.value.clone(),
+        cover,
+    })
 }
 
 /// The Corollary 5.9 construction ("Shearer's lemma for FDs"): greedily join
@@ -253,8 +261,12 @@ mod tests {
         let lat = &pres.lattice;
         let y = q.var_id("y").unwrap();
         let z = q.var_id("z").unwrap();
-        let c1 = lat.elem_of_set(fdjoin_lattice::VarSet::singleton(y)).unwrap();
-        let c2 = lat.elem_of_set(fdjoin_lattice::VarSet::from_vars([y, z])).unwrap();
+        let c1 = lat
+            .elem_of_set(fdjoin_lattice::VarSet::singleton(y))
+            .unwrap();
+        let c2 = lat
+            .elem_of_set(fdjoin_lattice::VarSet::from_vars([y, z]))
+            .unwrap();
         let chain = Chain::new(lat, vec![lat.bottom(), c1, c2, lat.top()]);
         let b = chain_bound(lat, &pres.inputs, &vec![rat(2, 1); 3], &chain).unwrap();
         assert_eq!(b.log_bound, rat(3, 1)); // (3/2)·n, n = 2.
@@ -314,11 +326,18 @@ mod tests {
                 chain_bound(lat, &pres.inputs, &vec![rat(7, 1); 2], &Chain::new(lat, c))
             })
             .count();
-        assert_eq!(finite_maximal, 0, "every maximal chain has an isolated vertex");
+        assert_eq!(
+            finite_maximal, 0,
+            "every maximal chain has an isolated vertex"
+        );
         let c = cor59_chain(lat, &pres.inputs);
         let b = chain_bound(lat, &pres.inputs, &vec![rat(7, 1); 2], &c).unwrap();
         assert_eq!(b.log_bound, rat(14, 1)); // N².
-        assert!(c.elems.len() == 3, "Cor 5.9 chain is non-maximal: {:?}", c.elems);
+        assert!(
+            c.elems.len() == 3,
+            "Cor 5.9 chain is non-maximal: {:?}",
+            c.elems
+        );
     }
 
     #[test]
@@ -380,13 +399,23 @@ mod tests {
         assert!(chain.tightness_condition(lat));
         // e-sets match Fig. 6: e(1̂) = {1,2,3}, e(y)={1}, e(z)={2}.
         assert_eq!(chain.e_set(lat, lat.top()), vec![1, 2, 3]);
-        assert_eq!(chain.e_set(lat, lat.elem_of_set(vs(&[v("y")])).unwrap()), vec![1]);
-        assert_eq!(chain.e_set(lat, lat.elem_of_set(vs(&[v("z")])).unwrap()), vec![2]);
+        assert_eq!(
+            chain.e_set(lat, lat.elem_of_set(vs(&[v("y")])).unwrap()),
+            vec![1]
+        );
+        assert_eq!(
+            chain.e_set(lat, lat.elem_of_set(vs(&[v("z")])).unwrap()),
+            vec![2]
+        );
     }
 
     #[test]
     fn cor511_reaches_bottom() {
-        for q in [examples::triangle(), examples::fig1_udf(), examples::fig4_query()] {
+        for q in [
+            examples::triangle(),
+            examples::fig1_udf(),
+            examples::fig4_query(),
+        ] {
             let pres = q.lattice_presentation();
             let c = cor511_chain(&pres.lattice);
             assert_eq!(c.elems[0], pres.lattice.bottom());

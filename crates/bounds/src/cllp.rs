@@ -24,7 +24,11 @@ pub struct DegreePair {
 impl DegreePair {
     /// A cardinality bound `h(Y) ≤ n` (i.e. `X = 0̂`).
     pub fn cardinality(lat: &Lattice, hi: ElemId, log_bound: Rational) -> DegreePair {
-        DegreePair { lo: lat.bottom(), hi, log_bound }
+        DegreePair {
+            lo: lat.bottom(),
+            hi,
+            log_bound,
+        }
     }
 }
 
@@ -134,7 +138,13 @@ pub fn solve_cllp(lat: &Lattice, pairs: &[DegreePair]) -> CllpSolution {
         .map(|(i, &p)| (p, sol.dual[base + i].clone()))
         .collect();
 
-    CllpSolution { value: sol.value, h, pair_duals, sm_duals, mono_duals }
+    CllpSolution {
+        value: sol.value,
+        h,
+        pair_duals,
+        sm_duals,
+        mono_duals,
+    }
 }
 
 #[cfg(test)]
@@ -173,7 +183,11 @@ mod tests {
             .iter()
             .map(|&r| DegreePair::cardinality(lat, r, n.clone()))
             .collect();
-        pairs.push(DegreePair { lo: x, hi: xy, log_bound: rat(2, 1) });
+        pairs.push(DegreePair {
+            lo: x,
+            hi: xy,
+            log_bound: rat(2, 1),
+        });
         let sol = solve_cllp(lat, &pairs);
         // min(3/2·10, 10+2) = 12.
         assert_eq!(sol.value, rat(12, 1));
@@ -204,8 +218,16 @@ mod tests {
                 .iter()
                 .map(|&r| DegreePair::cardinality(lat, r, rat(10, 1)))
                 .collect();
-            pairs.push(DegreePair { lo: x, hi: xy, log_bound: rat(d1, 1) });
-            pairs.push(DegreePair { lo: y, hi: xy, log_bound: rat(d2, 1) });
+            pairs.push(DegreePair {
+                lo: x,
+                hi: xy,
+                log_bound: rat(d1, 1),
+            });
+            pairs.push(DegreePair {
+                lo: y,
+                hi: xy,
+                log_bound: rat(d2, 1),
+            });
             let sol = solve_cllp(lat, &pairs);
             assert_eq!(sol.value, expect, "d1=2^{d1}, d2=2^{d2}");
         }

@@ -60,8 +60,7 @@ pub fn csm_sequence(
     pairs: &[DegreePair],
     sol: &CllpSolution,
 ) -> Option<CsmSequence> {
-    let s_pos: Vec<(ElemId, ElemId)> =
-        sol.sm_duals.iter().map(|(p, _)| *p).collect();
+    let s_pos: Vec<(ElemId, ElemId)> = sol.sm_duals.iter().map(|(p, _)| *p).collect();
     let c_pos: Vec<usize> = (0..pairs.len())
         .filter(|&i| sol.pair_duals[i].is_positive())
         .collect();
@@ -211,8 +210,16 @@ mod tests {
         // must reach 1̂ with a comparable rule mix.
         let (seq, lat) = sequence_for(&examples::fig9_query(), 2);
         assert!(!seq.rules.is_empty());
-        let n_sm = seq.rules.iter().filter(|r| matches!(r, CsmRule::Sm { .. })).count();
-        let n_cd = seq.rules.iter().filter(|r| matches!(r, CsmRule::Cd { .. })).count();
+        let n_sm = seq
+            .rules
+            .iter()
+            .filter(|r| matches!(r, CsmRule::Sm { .. }))
+            .count();
+        let n_cd = seq
+            .rules
+            .iter()
+            .filter(|r| matches!(r, CsmRule::Cd { .. }))
+            .count();
         assert!(n_sm >= 3, "needs several SM steps: {:?}", seq.rules);
         assert!(n_cd >= 2, "needs CD decompositions: {:?}", seq.rules);
         // The last SM step must produce 1̂.

@@ -109,7 +109,13 @@ pub fn solve_llp(lat: &Lattice, inputs: &[ElemId], log_sizes: &[Rational]) -> Ll
         .collect();
     let input_duals = sol.dual[n_pairs..].to_vec();
 
-    LlpSolution { value: sol.value, h, h_monotone, input_duals, sm_duals }
+    LlpSolution {
+        value: sol.value,
+        h,
+        h_monotone,
+        input_duals,
+        sm_duals,
+    }
 }
 
 /// `log₂` of the GLVV bound (Proposition 3.4): the LLP optimum.
@@ -146,7 +152,11 @@ mod tests {
         // AGM = min(√(N_R N_S N_T), N_R N_S, N_R N_T, N_S N_T); with
         // n_R = 2, n_S = 2, n_T = 100 the min is N_R·N_S → 4.
         let pres = examples::triangle().lattice_presentation();
-        let sol = solve_llp(&pres.lattice, &pres.inputs, &[rat(2, 1), rat(2, 1), rat(100, 1)]);
+        let sol = solve_llp(
+            &pres.lattice,
+            &pres.inputs,
+            &[rat(2, 1), rat(2, 1), rat(100, 1)],
+        );
         assert_eq!(sol.value, rat(4, 1));
     }
 
@@ -187,7 +197,11 @@ mod tests {
         // Sec. 2: R(x), S(y), T(x,y,z), xy→z with |R|=|S|=N, |T|=M ≫ N²:
         // GLVV = N², not M.
         let pres = examples::composite_key().lattice_presentation();
-        let sol = solve_llp(&pres.lattice, &pres.inputs, &[rat(5, 1), rat(5, 1), rat(100, 1)]);
+        let sol = solve_llp(
+            &pres.lattice,
+            &pres.inputs,
+            &[rat(5, 1), rat(5, 1), rat(100, 1)],
+        );
         assert_eq!(sol.value, rat(10, 1));
     }
 
@@ -205,8 +219,9 @@ mod tests {
         // all submodular h; verify against the optimal h itself (tight).
         let pres = examples::fig4_query().lattice_presentation();
         let sol = solve_llp(&pres.lattice, &pres.inputs, &uniform(4, 3));
-        let slack =
-            sol.h.output_inequality_slack(&pres.lattice, &pres.inputs, &sol.input_duals);
+        let slack = sol
+            .h
+            .output_inequality_slack(&pres.lattice, &pres.inputs, &sol.input_duals);
         assert_eq!(slack, rat(0, 1));
         // And against a few step functions (normal polymatroids).
         for z in pres.lattice.elems() {

@@ -119,9 +119,10 @@ fn solve_square(mut a: Vec<Vec<Rational>>, mut b: Vec<Rational>) -> Option<Vec<R
         for r in 0..n {
             if r != col && !a[r][col].is_zero() {
                 let f = a[r][col].clone();
-                for c in 0..n {
-                    let d = &f * &a[col][c];
-                    a[r][c] -= &d;
+                let pivot_row = a[col].clone();
+                for (x, p) in a[r].iter_mut().zip(&pivot_row) {
+                    let d = &f * p;
+                    *x -= &d;
                 }
                 let d = &f * &b[col];
                 b[r] -= &d;
@@ -153,7 +154,13 @@ pub fn edge_cover_polytope_vertices(h: &Hypergraph) -> Vec<Vec<Rational>> {
             Rational::zero()
         }
     };
-    let rhs = |i: usize| -> Rational { if i < k { Rational::one() } else { Rational::zero() } };
+    let rhs = |i: usize| -> Rational {
+        if i < k {
+            Rational::one()
+        } else {
+            Rational::zero()
+        }
+    };
     let total_rows = k + m;
     let mut vertices: Vec<Vec<Rational>> = Vec::new();
     let mut subset: Vec<usize> = (0..m).collect();
@@ -162,8 +169,10 @@ pub fn edge_cover_polytope_vertices(h: &Hypergraph) -> Vec<Vec<Rational>> {
     }
     loop {
         // Solve the m active constraints as equalities.
-        let a: Vec<Vec<Rational>> =
-            subset.iter().map(|&i| (0..m).map(|j| row(i, j)).collect()).collect();
+        let a: Vec<Vec<Rational>> = subset
+            .iter()
+            .map(|&i| (0..m).map(|j| row(i, j)).collect())
+            .collect();
         let b: Vec<Rational> = subset.iter().map(|&i| rhs(i)).collect();
         if let Some(w) = solve_square(a, b) {
             // Feasibility: w ≥ 0 and all coverage rows satisfied.
@@ -274,7 +283,10 @@ mod tests {
             if lat.join_all(inputs.iter().copied()) != lat.top() {
                 continue;
             }
-            assert!(is_normal_lattice(&lat, &inputs), "N5 normal w.r.t. {inputs:?}");
+            assert!(
+                is_normal_lattice(&lat, &inputs),
+                "N5 normal w.r.t. {inputs:?}"
+            );
         }
     }
 
@@ -317,7 +329,15 @@ mod tests {
         // w.r.t. inputs {X, Y, Z}. Construct M3 plus an extra atom chain.
         let lat = Lattice::from_covers(
             &["0", "p", "x", "y", "z", "1"],
-            &[("0", "p"), ("p", "x"), ("p", "y"), ("p", "z"), ("x", "1"), ("y", "1"), ("z", "1")],
+            &[
+                ("0", "p"),
+                ("p", "x"),
+                ("p", "y"),
+                ("p", "z"),
+                ("x", "1"),
+                ("y", "1"),
+                ("z", "1"),
+            ],
         )
         .unwrap();
         let (u, x, y, z) = lat.find_m3_with_top().expect("contains M3 at top");

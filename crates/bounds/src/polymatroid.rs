@@ -16,7 +16,9 @@ pub struct LatticeFn {
 impl LatticeFn {
     /// The zero function.
     pub fn zero(lat: &Lattice) -> LatticeFn {
-        LatticeFn { values: vec![Rational::zero(); lat.len()] }
+        LatticeFn {
+            values: vec![Rational::zero(); lat.len()],
+        }
     }
 
     /// Build from explicit values.
@@ -39,7 +41,13 @@ impl LatticeFn {
     pub fn step(lat: &Lattice, z: ElemId) -> LatticeFn {
         let values = lat
             .elems()
-            .map(|x| if lat.leq(x, z) { Rational::zero() } else { Rational::one() })
+            .map(|x| {
+                if lat.leq(x, z) {
+                    Rational::zero()
+                } else {
+                    Rational::one()
+                }
+            })
             .collect();
         LatticeFn { values }
     }
@@ -154,7 +162,9 @@ impl LatticeFn {
             return false;
         }
         let g = self.mobius_inverse(lat);
-        lat.elems().filter(|&z| z != lat.top()).all(|z| !g.values[z].is_positive())
+        lat.elems()
+            .filter(|&z| z != lat.top())
+            .all(|z| !g.values[z].is_positive())
     }
 
     /// *Strictly* normal: additionally `g(Z) = 0` for every `Z ≺ 1̂` that is
@@ -220,7 +230,12 @@ mod tests {
                     continue;
                 }
                 let h = LatticeFn::step(&lat, z);
-                assert!(h.is_polymatroid(&lat), "step at {} in {}-elem lattice", z, lat.len());
+                assert!(
+                    h.is_polymatroid(&lat),
+                    "step at {} in {}-elem lattice",
+                    z,
+                    lat.len()
+                );
                 assert!(h.is_normal(&lat));
             }
         }
@@ -310,8 +325,12 @@ mod tests {
         // top 2, which IS monotone. Create artificial dip: top smaller.
         let lat = build::boolean(2);
         let mut h = LatticeFn::zero(&lat);
-        let x = lat.elem_of_set(fdjoin_lattice::VarSet::singleton(0)).unwrap();
-        let y = lat.elem_of_set(fdjoin_lattice::VarSet::singleton(1)).unwrap();
+        let x = lat
+            .elem_of_set(fdjoin_lattice::VarSet::singleton(0))
+            .unwrap();
+        let y = lat
+            .elem_of_set(fdjoin_lattice::VarSet::singleton(1))
+            .unwrap();
         h.set(x, rat(3, 1));
         h.set(y, rat(3, 1));
         h.set(lat.top(), rat(2, 1));

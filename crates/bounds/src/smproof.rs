@@ -68,7 +68,9 @@ pub fn scale_weights(weights: &[Rational]) -> (Vec<u64>, u64) {
         .iter()
         .map(|w| {
             let scaled = &(w.numer() * &d) / w.denom();
-            scaled.to_u64().expect("scaled weight is a non-negative integer")
+            scaled
+                .to_u64()
+                .expect("scaled weight is a non-negative integer")
         })
         .collect();
     (q, d_u)
@@ -92,7 +94,11 @@ pub fn search_sm_proof(lat: &Lattice, multiset: &[(ElemId, u64)], d: u64) -> Opt
     let mut failed: HashSet<Vec<ElemId>> = HashSet::new();
     let mut steps = Vec::new();
     if dfs(lat, &mut state, d, &mut steps, &mut failed) {
-        Some(SmProof { multiset: multiset.to_vec(), d, steps })
+        Some(SmProof {
+            multiset: multiset.to_vec(),
+            d,
+            steps,
+        })
     } else {
         None
     }
@@ -102,11 +108,7 @@ pub fn search_sm_proof(lat: &Lattice, multiset: &[(ElemId, u64)], d: u64) -> Opt
 /// Definition 5.26 goodness labeling — the precondition of Theorem 5.28
 /// (SMA correctness). Exhausts the sequence space, so `None` means no good
 /// sequence exists under injective fresh-label assignment.
-pub fn search_good_sm_proof(
-    lat: &Lattice,
-    multiset: &[(ElemId, u64)],
-    d: u64,
-) -> Option<SmProof> {
+pub fn search_good_sm_proof(lat: &Lattice, multiset: &[(ElemId, u64)], d: u64) -> Option<SmProof> {
     let mut state: Vec<ElemId> = Vec::new();
     for &(e, q) in multiset {
         for _ in 0..q {
@@ -119,7 +121,11 @@ pub fn search_good_sm_proof(
     // goals (a state that cannot reach the goal at all can never be good).
     let mut unreachable: HashSet<Vec<ElemId>> = HashSet::new();
     let mut steps = Vec::new();
-    let base = SmProof { multiset: multiset.to_vec(), d, steps: Vec::new() };
+    let base = SmProof {
+        multiset: multiset.to_vec(),
+        d,
+        steps: Vec::new(),
+    };
     fn go(
         lat: &Lattice,
         state: &mut Vec<ElemId>,
@@ -130,7 +136,10 @@ pub fn search_good_sm_proof(
         depth: usize,
     ) -> bool {
         if is_goal(lat, state, d) {
-            let candidate = SmProof { steps: steps.clone(), ..base.clone() };
+            let candidate = SmProof {
+                steps: steps.clone(),
+                ..base.clone()
+            };
             return check_goodness(lat, &candidate) == Goodness::Good;
         }
         if depth > 4 * lat.len() || unreachable.contains(state.as_slice()) {
@@ -171,7 +180,11 @@ pub fn search_good_sm_proof(
         false
     }
     if go(lat, &mut state, d, &mut steps, &mut unreachable, &base, 0) {
-        Some(SmProof { multiset: multiset.to_vec(), d, steps })
+        Some(SmProof {
+            multiset: multiset.to_vec(),
+            d,
+            steps,
+        })
     } else {
         None
     }
@@ -292,7 +305,11 @@ pub fn check_goodness(lat: &Lattice, proof: &SmProof) -> Goodness {
     let mut pool: Vec<Copy> = Vec::new();
     for &(e, q) in &proof.multiset {
         for _ in 0..q {
-            pool.push(Copy { elem: e, labels: HashSet::from([1]), consumed: false });
+            pool.push(Copy {
+                elem: e,
+                labels: HashSet::from([1]),
+                consumed: false,
+            });
         }
     }
     let mut next_label: u32 = 2;
@@ -309,14 +326,21 @@ pub fn check_goodness(lat: &Lattice, proof: &SmProof) -> Goodness {
             .expect("verified proof has the operand available");
         pool[yi].consumed = true;
 
-        let a: HashSet<u32> =
-            pool[xi].labels.intersection(&pool[yi].labels).copied().collect();
+        let a: HashSet<u32> = pool[xi]
+            .labels
+            .intersection(&pool[yi].labels)
+            .copied()
+            .collect();
         if a.is_empty() {
             return Goodness::EmptyIntersection(step_no);
         }
         // New join copy carries A.
         let join = lat.join(s.x, s.y);
-        pool.push(Copy { elem: join, labels: a.clone(), consumed: false });
+        pool.push(Copy {
+            elem: join,
+            labels: a.clone(),
+            consumed: false,
+        });
         // Fresh labels exist only when the meet is not 0̂ (Definition 5.26:
         // a meet at 0̂ contributes h(0̂) = 0 and discharges nothing further).
         let meet = lat.meet(s.x, s.y);
@@ -339,12 +363,20 @@ pub fn check_goodness(lat: &Lattice, proof: &SmProof) -> Goodness {
                 if ci == xi || ci == yi || ci == join_idx {
                     continue;
                 }
-                let add: Vec<u32> =
-                    c.labels.iter().filter(|l| a.contains(l)).map(|l| f[l]).collect();
+                let add: Vec<u32> = c
+                    .labels
+                    .iter()
+                    .filter(|l| a.contains(l))
+                    .map(|l| f[l])
+                    .collect();
                 c.labels.extend(add);
             }
             let labels: HashSet<u32> = sorted_a.iter().map(|j| f[j]).collect();
-            pool.push(Copy { elem: meet, labels, consumed: false });
+            pool.push(Copy {
+                elem: meet,
+                labels,
+                consumed: false,
+            });
         }
     }
 
@@ -391,8 +423,10 @@ mod tests {
     fn fig4_sm_proof_exists_and_is_good() {
         // Example 5.20: {abc, ade, bdf, cef} proves 3·h(1̂).
         let lat = build::fig4();
-        let inputs: Vec<(ElemId, u64)> =
-            ["abc", "ade", "bdf", "cef"].iter().map(|s| (named(&lat, s), 1)).collect();
+        let inputs: Vec<(ElemId, u64)> = ["abc", "ade", "bdf", "cef"]
+            .iter()
+            .map(|s| (named(&lat, s), 1))
+            .collect();
         let proof = search_sm_proof(&lat, &inputs, 3).expect("Example 5.20's proof exists");
         let fin = verify_sm_proof(&lat, &proof).expect("proof verifies");
         assert_eq!(fin.iter().filter(|&&e| e == lat.top()).count(), 3);
@@ -403,8 +437,10 @@ mod tests {
     fn fig9_has_no_sm_proof() {
         // Example 5.31: h(M)+h(N)+h(O) ≥ 2·h(1̂) has NO SM-proof.
         let lat = build::fig9();
-        let inputs: Vec<(ElemId, u64)> =
-            ["M", "N", "O"].iter().map(|s| (named(&lat, s), 1)).collect();
+        let inputs: Vec<(ElemId, u64)> = ["M", "N", "O"]
+            .iter()
+            .map(|s| (named(&lat, s), 1))
+            .collect();
         assert!(search_sm_proof(&lat, &inputs, 2).is_none());
         // Sanity: with d = 1 a proof exists.
         assert!(search_sm_proof(&lat, &inputs, 1).is_some());
@@ -434,28 +470,51 @@ mod tests {
         // step; the alternative sequence is good.
         let lat = build::fig7();
         let e = |s: &str| named(&lat, s);
-        let multiset =
-            vec![(e("X"), 1), (e("Y"), 1), (e("Z"), 1), (e("U"), 1)];
+        let multiset = vec![(e("X"), 1), (e("Y"), 1), (e("Z"), 1), (e("U"), 1)];
         let bad = SmProof {
             multiset: multiset.clone(),
             d: 2,
             steps: vec![
-                SmStep { x: e("X"), y: e("Y") }, // → A, B
-                SmStep { x: e("A"), y: e("Z") }, // → 1̂, C
-                SmStep { x: e("B"), y: e("U") }, // → D, 0̂
-                SmStep { x: e("C"), y: e("D") }, // → 1̂, 0̂
+                SmStep {
+                    x: e("X"),
+                    y: e("Y"),
+                }, // → A, B
+                SmStep {
+                    x: e("A"),
+                    y: e("Z"),
+                }, // → 1̂, C
+                SmStep {
+                    x: e("B"),
+                    y: e("U"),
+                }, // → D, 0̂
+                SmStep {
+                    x: e("C"),
+                    y: e("D"),
+                }, // → 1̂, 0̂
             ],
         };
-        assert!(verify_sm_proof(&lat, &bad).is_some(), "sequence is a valid SM-proof");
+        assert!(
+            verify_sm_proof(&lat, &bad).is_some(),
+            "sequence is a valid SM-proof"
+        );
         assert_eq!(check_goodness(&lat, &bad), Goodness::EmptyIntersection(3));
 
         let good = SmProof {
             multiset,
             d: 2,
             steps: vec![
-                SmStep { x: e("X"), y: e("Z") }, // → C, 1̂
-                SmStep { x: e("Y"), y: e("U") }, // → 0̂, D
-                SmStep { x: e("C"), y: e("D") }, // → 0̂, 1̂
+                SmStep {
+                    x: e("X"),
+                    y: e("Z"),
+                }, // → C, 1̂
+                SmStep {
+                    x: e("Y"),
+                    y: e("U"),
+                }, // → 0̂, D
+                SmStep {
+                    x: e("C"),
+                    y: e("D"),
+                }, // → 0̂, 1̂
             ],
         };
         assert!(verify_sm_proof(&lat, &good).is_some());
@@ -471,10 +530,22 @@ mod tests {
             multiset: vec![(e("X"), 1), (e("Y"), 1), (e("Z"), 1), (e("W"), 1)],
             d: 2,
             steps: vec![
-                SmStep { x: e("X"), y: e("Y") }, // → C, A
-                SmStep { x: e("Z"), y: e("W") }, // → D, B
-                SmStep { x: e("A"), y: e("D") }, // → 1̂, 0̂
-                SmStep { x: e("B"), y: e("C") }, // → 1̂, 0̂
+                SmStep {
+                    x: e("X"),
+                    y: e("Y"),
+                }, // → C, A
+                SmStep {
+                    x: e("Z"),
+                    y: e("W"),
+                }, // → D, B
+                SmStep {
+                    x: e("A"),
+                    y: e("D"),
+                }, // → 1̂, 0̂
+                SmStep {
+                    x: e("B"),
+                    y: e("C"),
+                }, // → 1̂, 0̂
             ],
         };
         assert!(verify_sm_proof(&lat, &proof).is_some());

@@ -5,23 +5,32 @@
 use crate::{Expander, Stats};
 use fdjoin_lattice::VarSet;
 use fdjoin_query::Query;
-use fdjoin_storage::{Database, HashIndex, Relation, Value};
+use fdjoin_storage::{Database, HashIndex, MissingRelation, Relation, Value};
 
 /// Evaluate `q` with pairwise hash joins in the given atom order (default:
 /// body order), then expansion + FD verification. Output columns are all
 /// query variables in ascending id.
-pub fn binary_join(q: &Query, db: &Database, atom_order: Option<&[usize]>) -> (Relation, Stats) {
+pub(crate) fn execute(
+    q: &Query,
+    db: &Database,
+    atom_order: Option<&[usize]>,
+) -> Result<(Relation, Stats), MissingRelation> {
     let mut stats = Stats::default();
-    let ex = Expander::new(q, db);
+    let ex = Expander::new(q, db)?;
     let default_order: Vec<usize> = (0..q.atoms().len()).collect();
     let order: &[usize] = atom_order.unwrap_or(&default_order);
 
     // Left-deep: acc ⋈ atom ⋈ atom ⋈ …
-    let first = &q.atoms()[order[0]];
-    let mut acc = db.relation(&first.name).project(&first.vars);
-    for &ai in &order[1..] {
+    let mut acc = match order.first() {
+        Some(&first) => {
+            let atom = &q.atoms()[first];
+            db.relation(&atom.name)?.project(&atom.vars)
+        }
+        None => Relation::nullary_unit(),
+    };
+    for &ai in order.iter().skip(1) {
         let atom = &q.atoms()[ai];
-        let rel = db.relation(&atom.name);
+        let rel = db.relation(&atom.name)?;
         let shared: Vec<u32> = atom
             .vars
             .iter()
@@ -38,10 +47,8 @@ pub fn binary_join(q: &Query, db: &Database, atom_order: Option<&[usize]>) -> (R
         let mut out_vars: Vec<u32> = acc.vars().to_vec();
         out_vars.extend(&fresh);
         let mut next = Relation::new(out_vars);
-        let acc_shared_cols: Vec<usize> =
-            shared.iter().map(|&v| acc.col_of(v).unwrap()).collect();
-        let rel_fresh_cols: Vec<usize> =
-            fresh.iter().map(|&v| rel.col_of(v).unwrap()).collect();
+        let acc_shared_cols: Vec<usize> = shared.iter().map(|&v| acc.col_of(v).unwrap()).collect();
+        let rel_fresh_cols: Vec<usize> = fresh.iter().map(|&v| rel.col_of(v).unwrap()).collect();
         let mut key = vec![0 as Value; shared.len()];
         let mut buf: Vec<Value> = Vec::new();
         for row in acc.rows() {
@@ -81,13 +88,13 @@ pub fn binary_join(q: &Query, db: &Database, atom_order: Option<&[usize]>) -> (R
         }
     }
     out.sort_dedup();
-    (out, stats)
+    Ok((out, stats))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::naive::naive_join;
+    use crate::engine::{binary_join, naive_join, Algorithm, Engine, ExecOptions};
 
     #[test]
     fn matches_naive_on_triangle() {
@@ -98,13 +105,19 @@ mod tests {
             Relation::from_rows(vec![0, 1], [[1, 2], [1, 3], [2, 3]]),
         );
         db.insert("S", Relation::from_rows(vec![1, 2], [[2, 3], [3, 1]]));
-        db.insert("T", Relation::from_rows(vec![2, 0], [[3, 1], [1, 1], [1, 2]]));
-        let (expect, _) = naive_join(&q, &db);
-        let (got, _) = binary_join(&q, &db, None);
-        assert_eq!(got, expect);
+        db.insert(
+            "T",
+            Relation::from_rows(vec![2, 0], [[3, 1], [1, 1], [1, 2]]),
+        );
+        let expect = naive_join(&q, &db).unwrap().output;
+        let got = binary_join(&q, &db).unwrap();
+        assert_eq!(got.output, expect);
         // Any atom order gives the same answer.
-        let (got2, _) = binary_join(&q, &db, Some(&[2, 0, 1]));
-        assert_eq!(got2, expect);
+        let opts = ExecOptions::new()
+            .algorithm(Algorithm::BinaryJoin)
+            .atom_order(vec![2, 0, 1]);
+        let got2 = Engine::new().execute(&q, &db, &opts).unwrap();
+        assert_eq!(got2.output, expect);
     }
 
     #[test]
@@ -122,13 +135,13 @@ mod tests {
         db.insert("T", Relation::from_rows(vec![2, 3], t));
         db.udfs.register(VarSet::from_vars([0, 2]), 3, |v| v[0]); // u = x
         db.udfs.register(VarSet::from_vars([1, 3]), 0, |v| v[1]); // x = u
-        let (out, stats) = binary_join(&q, &db, None);
+        let out = binary_join(&q, &db).unwrap();
         // Output: for each x, tuple (x,1,1,x) — u=f(x,z)=x, x=g(y,u)=u ✓.
-        assert_eq!(out.len(), n as usize);
+        assert_eq!(out.output.len(), n as usize);
         assert!(
-            stats.intermediate_tuples >= n * n,
+            out.stats.intermediate_tuples >= n * n,
             "binary join must materialize the quadratic intermediate ({} < {})",
-            stats.intermediate_tuples,
+            out.stats.intermediate_tuples,
             n * n
         );
     }

@@ -7,111 +7,55 @@
 //! iterates that smallest extension set, expands each candidate to the
 //! closure `C_i` via FDs, and verifies it against every other covering
 //! relation.
+//!
+//! Planning (chain search) lives in the [`crate::engine`]; this module is
+//! the execution kernel, entered with a pre-computed [`ChainBound`].
 
 use crate::{Expander, Stats};
 use fdjoin_bigint::Rational;
-use fdjoin_bounds::chain::{best_chain_bound, chain_bound, Chain, ChainBound};
+use fdjoin_bounds::chain::ChainBound;
 use fdjoin_lattice::VarSet;
-use fdjoin_query::Query;
-use fdjoin_storage::{Database, Relation, Value};
-use std::fmt;
-
-/// Why the Chain Algorithm could not run.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum ChainError {
-    /// No candidate chain is good with a finite bound (isolated vertices in
-    /// every chain hypergraph).
-    NoGoodChain,
-}
-
-impl fmt::Display for ChainError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ChainError::NoGoodChain => {
-                write!(f, "no good chain with a finite chain bound exists for this query")
-            }
-        }
-    }
-}
-
-impl std::error::Error for ChainError {}
-
-/// Result of a chain-algorithm run, including the chosen chain and its
-/// bound for reporting.
-#[derive(Debug)]
-pub struct ChainJoinOutput {
-    /// The query answer over all variables (ascending id order).
-    pub output: Relation,
-    /// Work counters.
-    pub stats: Stats,
-    /// The chain that was executed.
-    pub chain: Chain,
-    /// `log₂` of the chain bound for the actual input sizes.
-    pub log_bound: Rational,
-}
-
-/// Run the Chain Algorithm with an automatically selected chain (the best
-/// over all maximal chains plus the Corollary 5.9/5.11 constructions).
-pub fn chain_join(q: &Query, db: &Database) -> Result<ChainJoinOutput, ChainError> {
-    let pres = q.lattice_presentation();
-    let log_sizes = atom_log_sizes(q, db);
-    let best = best_chain_bound(&pres.lattice, &pres.inputs, &log_sizes)
-        .ok_or(ChainError::NoGoodChain)?;
-    Ok(execute(q, db, &pres, best, true))
-}
-
-/// Ablation A1: like [`chain_join`] but *without* the per-tuple `argmin`
-/// relation choice — always iterates the first covering relation. This is
-/// the "crucial fact" of Sec. 5.1 turned off; Theorem 5.7's accounting
-/// breaks and the runtime can degrade to the worse relation's degree.
-pub fn chain_join_no_argmin(q: &Query, db: &Database) -> Result<ChainJoinOutput, ChainError> {
-    let pres = q.lattice_presentation();
-    let log_sizes = atom_log_sizes(q, db);
-    let best = best_chain_bound(&pres.lattice, &pres.inputs, &log_sizes)
-        .ok_or(ChainError::NoGoodChain)?;
-    Ok(execute(q, db, &pres, best, false))
-}
-
-/// Run the Chain Algorithm on a caller-supplied chain (must be good for the
-/// inputs with a finite bound).
-pub fn chain_join_with(
-    q: &Query,
-    db: &Database,
-    chain: &Chain,
-) -> Result<ChainJoinOutput, ChainError> {
-    let pres = q.lattice_presentation();
-    let log_sizes = atom_log_sizes(q, db);
-    let b = chain_bound(&pres.lattice, &pres.inputs, &log_sizes, chain)
-        .ok_or(ChainError::NoGoodChain)?;
-    Ok(execute(q, db, &pres, b, true))
-}
+use fdjoin_query::{LatticePresentation, Query};
+use fdjoin_storage::{Database, MissingRelation, Relation, Value};
 
 /// `log₂ |R_j|` (dyadic upper approximation) for each atom.
-pub fn atom_log_sizes(q: &Query, db: &Database) -> Vec<Rational> {
+pub fn atom_log_sizes(q: &Query, db: &Database) -> Result<Vec<Rational>, MissingRelation> {
     q.atoms()
         .iter()
-        .map(|a| Rational::log2_approx(db.relation(&a.name).len().max(1) as u64, 16))
+        .map(|a| {
+            Ok(Rational::log2_approx(
+                db.relation(&a.name)?.len().max(1) as u64,
+                16,
+            ))
+        })
         .collect()
 }
 
-fn execute(
+/// Run the chain algorithm over a pre-validated chain bound. `use_argmin`
+/// toggles the per-tuple relation choice (off = the A1 ablation).
+pub(crate) fn execute(
     q: &Query,
     db: &Database,
-    pres: &fdjoin_query::LatticePresentation,
-    bound: ChainBound,
+    pres: &LatticePresentation,
+    bound: &ChainBound,
     use_argmin: bool,
-) -> ChainJoinOutput {
+) -> Result<(Relation, Stats), MissingRelation> {
     let lat = &pres.lattice;
     let chain = &bound.chain;
     let k = chain.steps();
     let mut stats = Stats::default();
-    let ex = Expander::new(q, db);
+    let ex = Expander::new(q, db)?;
 
     // Level at which each variable enters the chain.
-    let level_sets: Vec<VarSet> =
-        chain.elems.iter().map(|&c| lat.set_of(c).expect("closed-set lattice")).collect();
+    let level_sets: Vec<VarSet> = chain
+        .elems
+        .iter()
+        .map(|&c| lat.set_of(c).expect("closed-set lattice"))
+        .collect();
     let level_of = |v: u32| -> usize {
-        (0..=k).find(|&i| level_sets[i].contains(v)).expect("1̂ contains every variable")
+        (0..=k)
+            .find(|&i| level_sets[i].contains(v))
+            .expect("1̂ contains every variable")
     };
     let col_order = |s: VarSet| -> Vec<u32> {
         let mut vars: Vec<u32> = s.iter().collect();
@@ -120,18 +64,17 @@ fn execute(
     };
 
     // Step 1: expand inputs to their closures.
-    let expanded: Vec<Relation> = q
-        .atoms()
-        .iter()
-        .map(|a| ex.expand_relation(db.relation(&a.name), &mut stats))
-        .collect();
+    let mut expanded: Vec<Relation> = Vec::with_capacity(q.atoms().len());
+    for a in q.atoms() {
+        expanded.push(ex.expand_relation(db.relation(&a.name)?, &mut stats));
+    }
 
     // Pre-materialize Π_{R_j ∧ C_i}(R_j⁺) for every covering (i, j), indexed
     // in chain-level column order so Q_{i-1}'s shared part is a prefix.
     // proj[i][j] = Some((projection, prefix_len onto R_j ∧ C_{i-1})).
     let mut proj: Vec<Vec<Option<(Relation, usize)>>> = vec![vec![]; k + 1];
-    for i in 1..=k {
-        proj[i] = (0..q.atoms().len())
+    for (i, slot) in proj.iter_mut().enumerate().skip(1) {
+        *slot = (0..q.atoms().len())
             .map(|j| {
                 let rj = pres.inputs[j];
                 let mij = lat.meet(rj, chain.elems[i]);
@@ -153,9 +96,13 @@ fn execute(
         let out_vars = col_order(level_sets[i]);
         let target = level_sets[i];
         let mut q_i = Relation::new(out_vars.clone());
-        let covering: Vec<usize> =
-            (0..q.atoms().len()).filter(|&j| proj[i][j].is_some()).collect();
-        debug_assert!(!covering.is_empty(), "finite chain bound implies every step covered");
+        let covering: Vec<usize> = (0..q.atoms().len())
+            .filter(|&j| proj[i][j].is_some())
+            .collect();
+        debug_assert!(
+            !covering.is_empty(),
+            "finite chain bound implies every step covered"
+        );
 
         // Precompute, per covering atom, the positions in q_prev of its
         // shared prefix variables.
@@ -254,13 +201,14 @@ fn execute(
     let all: Vec<u32> = (0..nv as u32).collect();
     let output = q_prev.project(&all);
     stats.output_tuples += output.len() as u64;
-    ChainJoinOutput { output, stats, chain: bound.chain, log_bound: bound.log_bound }
+    Ok((output, stats))
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use crate::naive::naive_join;
+    use crate::engine::{chain_join, naive_join};
+    use fdjoin_lattice::VarSet;
+    use fdjoin_storage::{Database, Relation};
 
     #[test]
     fn triangle_matches_naive() {
@@ -270,9 +218,15 @@ mod tests {
             "R",
             Relation::from_rows(vec![0, 1], [[1, 2], [1, 3], [2, 3], [7, 8]]),
         );
-        db.insert("S", Relation::from_rows(vec![1, 2], [[2, 3], [3, 1], [8, 9]]));
-        db.insert("T", Relation::from_rows(vec![2, 0], [[3, 1], [1, 1], [9, 7]]));
-        let (expect, _) = naive_join(&q, &db);
+        db.insert(
+            "S",
+            Relation::from_rows(vec![1, 2], [[2, 3], [3, 1], [8, 9]]),
+        );
+        db.insert(
+            "T",
+            Relation::from_rows(vec![2, 0], [[3, 1], [1, 1], [9, 7]]),
+        );
+        let expect = naive_join(&q, &db).unwrap().output;
         let got = chain_join(&q, &db).unwrap();
         assert_eq!(got.output, expect);
     }
@@ -281,14 +235,28 @@ mod tests {
     fn fig1_udf_matches_naive() {
         let q = fdjoin_query::examples::fig1_udf();
         let mut db = Database::new();
-        db.insert("R", Relation::from_rows(vec![0, 1], [[1, 1], [2, 1], [1, 2]]));
-        db.insert("S", Relation::from_rows(vec![1, 2], [[1, 1], [2, 1], [1, 2]]));
-        db.insert("T", Relation::from_rows(vec![2, 3], [[1, 1], [1, 2], [2, 1]]));
+        db.insert(
+            "R",
+            Relation::from_rows(vec![0, 1], [[1, 1], [2, 1], [1, 2]]),
+        );
+        db.insert(
+            "S",
+            Relation::from_rows(vec![1, 2], [[1, 1], [2, 1], [1, 2]]),
+        );
+        db.insert(
+            "T",
+            Relation::from_rows(vec![2, 3], [[1, 1], [1, 2], [2, 1]]),
+        );
         db.udfs.register(VarSet::from_vars([0, 2]), 3, |v| v[0]); // u = x
         db.udfs.register(VarSet::from_vars([1, 3]), 0, |v| v[1]); // x = u
-        let (expect, _) = naive_join(&q, &db);
+        let expect = naive_join(&q, &db).unwrap().output;
         let got = chain_join(&q, &db).unwrap();
-        assert_eq!(got.output, expect, "chain {:?}", got.chain.elems);
+        assert_eq!(
+            got.output,
+            expect,
+            "chain {:?}",
+            got.chain().map(|c| c.elems.clone())
+        );
     }
 
     #[test]
@@ -297,8 +265,9 @@ mod tests {
         let mut db = Database::new();
         db.insert("R", Relation::from_rows(vec![0], [[1], [2], [3]]));
         db.insert("S", Relation::from_rows(vec![1], [[10], [20]]));
-        db.udfs.register(VarSet::from_vars([0, 1]), 2, |v| v[0] * 1000 + v[1]);
-        let (expect, _) = naive_join(&q, &db);
+        db.udfs
+            .register(VarSet::from_vars([0, 1]), 2, |v| v[0] * 1000 + v[1]);
+        let expect = naive_join(&q, &db).unwrap().output;
         assert_eq!(expect.len(), 6);
         let got = chain_join(&q, &db).unwrap();
         assert_eq!(got.output, expect);
@@ -309,10 +278,16 @@ mod tests {
         let q = fdjoin_query::examples::simple_fd_path();
         let mut db = Database::new();
         // y → z guarded in S.
-        db.insert("R", Relation::from_rows(vec![0, 1], [[1, 1], [2, 1], [3, 2]]));
+        db.insert(
+            "R",
+            Relation::from_rows(vec![0, 1], [[1, 1], [2, 1], [3, 2]]),
+        );
         db.insert("S", Relation::from_rows(vec![1, 2], [[1, 5], [2, 6]]));
-        db.insert("T", Relation::from_rows(vec![2, 3], [[5, 9], [6, 8], [7, 7]]));
-        let (expect, _) = naive_join(&q, &db);
+        db.insert(
+            "T",
+            Relation::from_rows(vec![2, 3], [[5, 9], [6, 8], [7, 7]]),
+        );
+        let expect = naive_join(&q, &db).unwrap().output;
         let got = chain_join(&q, &db).unwrap();
         assert_eq!(got.output, expect);
     }

@@ -1,8 +1,9 @@
 //! CSMA — the Conditional Submodularity Algorithm (Sec. 5.3.3).
 //!
-//! Solves the CLLP (degree bounds generalize cardinalities and FDs), builds
-//! a CSM proof sequence from the dual (Theorem 5.34), and interprets each
-//! rule operationally:
+//! Planning ([`plan`]): solve the CLLP (degree bounds generalize
+//! cardinalities and FDs) and build a CSM proof sequence from the dual
+//! (Theorem 5.34). Execution ([`execute`]) interprets each rule
+//! operationally:
 //!
 //! - **CD** `h(Y) → h(Y|X) + h(X)`: partition `T(Y)` into `O(log N)`
 //!   degree-uniform buckets over the `X` attributes (Lemma 5.35); each
@@ -16,118 +17,120 @@
 //! and FD-verified (making the implementation sound unconditionally; the
 //! CLLP budget governs its *running time*).
 
+use crate::engine::{JoinError, UserDegreeBound};
 use crate::{Expander, Stats};
 use fdjoin_bigint::Rational;
 use fdjoin_bounds::cllp::{solve_cllp, DegreePair};
-use fdjoin_bounds::csm::{csm_sequence, CsmRule};
+use fdjoin_bounds::csm::{csm_sequence, CsmRule, CsmSequence};
 use fdjoin_lattice::{ElemId, VarSet};
-use fdjoin_query::Query;
-use fdjoin_storage::{Database, Relation, Value};
+use fdjoin_query::{LatticePresentation, Query};
+use fdjoin_storage::{Database, MissingRelation, Relation, Value};
 use std::collections::HashMap;
-use std::fmt;
 
-/// A user-declared maximum-degree bound on an input relation
-/// (the "Known Frequencies" scenario of Sec. 1.1).
+/// How to rebuild one degree pair's guard relation from the expanded
+/// inputs: the source atom and an optional column re-ordering (conditioning
+/// attributes first).
 #[derive(Clone, Debug)]
-pub struct UserDegreeBound {
-    /// Index of the atom whose relation is degree-bounded.
+pub(crate) struct GuardSpec {
     pub atom: usize,
-    /// The conditioning attributes: for every value of these, at most
-    /// `max_degree` matching tuples exist.
-    pub on: Vec<u32>,
-    /// The degree cap.
-    pub max_degree: u64,
+    pub order: Option<Vec<u32>>,
 }
 
-/// CSMA options.
-#[derive(Clone, Debug, Default)]
-pub struct CsmaOptions {
-    /// Extra degree bounds beyond the cardinalities.
-    pub degree_bounds: Vec<UserDegreeBound>,
-}
-
-/// Why CSMA could not run.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum CsmaError {
-    /// The proof-sequence construction got stuck (should not happen for
-    /// exact dual-feasible solutions; kept as a safe failure mode).
-    NoSequence,
-}
-
-impl fmt::Display for CsmaError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CsmaError::NoSequence => write!(f, "CSM proof sequence construction failed"),
-        }
-    }
-}
-
-impl std::error::Error for CsmaError {}
-
-/// Result of a CSMA run.
-#[derive(Debug)]
-pub struct CsmaOutput {
-    /// The query answer over all variables (ascending id order).
-    pub output: Relation,
-    /// Work counters (`branches` counts CD buckets).
-    pub stats: Stats,
-    /// `log₂` of the CLLP bound (`OPT`).
+/// The data-independent part of a CSMA run: degree pairs, the CLLP optimum,
+/// and the CSM rule sequence — reusable across executions with the same
+/// (expanded) size profile and degree-bound options.
+#[derive(Clone, Debug)]
+pub(crate) struct CsmaPlan {
+    pub pairs: Vec<DegreePair>,
+    pub guards: Vec<GuardSpec>,
+    pub seq: CsmSequence,
     pub log_bound: Rational,
 }
 
-/// Run CSMA with cardinality constraints only.
-pub fn csma_join(q: &Query, db: &Database) -> Result<CsmaOutput, CsmaError> {
-    csma_join_with(q, db, &CsmaOptions::default())
-}
-
-/// Run CSMA with extra degree bounds.
-pub fn csma_join_with(
+/// Build a [`CsmaPlan`]: `expanded_logs[j]` is `log₂` of atom `j`'s
+/// *expanded* relation size.
+pub(crate) fn plan(
     q: &Query,
-    db: &Database,
-    opts: &CsmaOptions,
-) -> Result<CsmaOutput, CsmaError> {
-    let pres = q.lattice_presentation();
+    pres: &LatticePresentation,
+    expanded_logs: &[Rational],
+    degree_bounds: &[UserDegreeBound],
+) -> Result<CsmaPlan, JoinError> {
     let lat = &pres.lattice;
-    let mut stats = Stats::default();
-    let ex = Expander::new(q, db);
-
-    // Degree pairs + their guard relations.
     let mut pairs: Vec<DegreePair> = Vec::new();
-    let mut guards: Vec<Relation> = Vec::new();
-    let expanded: Vec<Relation> = q
-        .atoms()
-        .iter()
-        .map(|a| ex.expand_relation(db.relation(&a.name), &mut stats))
-        .collect();
-    for (j, rel) in expanded.iter().enumerate() {
-        pairs.push(DegreePair::cardinality(
-            lat,
-            pres.inputs[j],
-            Rational::log2_approx(rel.len().max(1) as u64, 16),
-        ));
-        guards.push(rel.clone());
+    let mut guards: Vec<GuardSpec> = Vec::new();
+    for (j, log) in expanded_logs.iter().enumerate() {
+        pairs.push(DegreePair::cardinality(lat, pres.inputs[j], log.clone()));
+        guards.push(GuardSpec {
+            atom: j,
+            order: None,
+        });
     }
-    for ub in &opts.degree_bounds {
-        let rel = &expanded[ub.atom];
+    for ub in degree_bounds {
+        // Atom index and variable-id ranges are validated by the engine
+        // before planning; only the closure-containment condition is
+        // checkable here.
         let lo_set = q.closure(VarSet::from_vars(ub.on.iter().copied()));
-        let lo = lat.elem_of_set(lo_set).expect("closure is a lattice element");
+        let lo = lat
+            .elem_of_set(lo_set)
+            .expect("closure is a lattice element");
         let hi = pres.inputs[ub.atom];
+        let atom_set = q.closure(q.atoms()[ub.atom].var_set());
+        if !lo_set.is_subset(atom_set) {
+            return Err(JoinError::InvalidOptions(format!(
+                "degree bound on atom {} conditions on variables outside the atom's closure",
+                ub.atom
+            )));
+        }
         if !lat.lt(lo, hi) {
             continue; // degenerate bound (conditioning on everything)
         }
         // Guard ordered with the conditioning attributes first.
         let mut order: Vec<u32> = lo_set.iter().collect();
-        order.extend(rel.vars().iter().copied().filter(|v| !lo_set.contains(*v)));
+        order.extend(atom_set.iter().filter(|v| !lo_set.contains(*v)));
         pairs.push(DegreePair {
             lo,
             hi,
             log_bound: Rational::log2_approx(ub.max_degree.max(1), 16),
         });
-        guards.push(rel.project(&order));
+        guards.push(GuardSpec {
+            atom: ub.atom,
+            order: Some(order),
+        });
     }
 
     let sol = solve_cllp(lat, &pairs);
-    let seq = csm_sequence(lat, &pairs, &sol).ok_or(CsmaError::NoSequence)?;
+    let seq = csm_sequence(lat, &pairs, &sol).ok_or(JoinError::NoCsmSequence)?;
+    Ok(CsmaPlan {
+        pairs,
+        guards,
+        seq,
+        log_bound: sol.value,
+    })
+}
+
+/// Execute a pre-computed [`CsmaPlan`]. `expanded[j]` must be atom `j`'s
+/// expanded relation (the sizes the plan was built for); `stats` carries the
+/// expansion counters already accumulated while producing them.
+pub(crate) fn execute(
+    q: &Query,
+    db: &Database,
+    pres: &LatticePresentation,
+    csma: &CsmaPlan,
+    expanded: &[Relation],
+    ex: &Expander<'_>,
+    mut stats: Stats,
+) -> Result<(Relation, Stats), MissingRelation> {
+    let lat = &pres.lattice;
+
+    // Materialize guard relations from their specs.
+    let guard_rels: Vec<Relation> = csma
+        .guards
+        .iter()
+        .map(|g| match &g.order {
+            None => expanded[g.atom].clone(),
+            Some(order) => expanded[g.atom].project(order),
+        })
+        .collect();
 
     // Initial branch state.
     let mut tables: HashMap<ElemId, Relation> = HashMap::new();
@@ -146,15 +149,27 @@ pub fn csma_join_with(
         }
     }
     let mut guard_map: HashMap<(ElemId, ElemId), Relation> = HashMap::new();
-    for (p, g) in pairs.iter().zip(&guards) {
+    for (p, g) in csma.pairs.iter().zip(&guard_rels) {
         guard_map.insert((p.lo, p.hi), g.clone());
     }
 
     let nv = q.n_vars();
     let all: Vec<u32> = (0..nv as u32).collect();
     let mut out = Relation::new(all.clone());
-    let ctx = Ctx { lat, pairs: &pairs, ex: &ex, nv };
-    exec(&ctx, &seq.rules, tables, guard_map, &mut out, &mut stats);
+    let ctx = Ctx {
+        lat,
+        pairs: &csma.pairs,
+        ex,
+        nv,
+    };
+    exec(
+        &ctx,
+        &csma.seq.rules,
+        tables,
+        guard_map,
+        &mut out,
+        &mut stats,
+    );
 
     // Soundness pass: dedup, semijoin with every input, verify all FDs.
     out.sort_dedup();
@@ -162,7 +177,7 @@ pub fn csma_join_with(
     let full = VarSet::full(nv as u32);
     'rows: for row in out.rows() {
         for atom in q.atoms() {
-            let rel = db.relation(&atom.name);
+            let rel = db.relation(&atom.name)?;
             let key: Vec<Value> = rel.vars().iter().map(|&v| row[v as usize]).collect();
             stats.probes += 1;
             if !rel.contains_row(&key) {
@@ -177,7 +192,7 @@ pub fn csma_join_with(
     }
     reduced.sort_dedup();
 
-    Ok(CsmaOutput { output: reduced, stats, log_bound: sol.value })
+    Ok((reduced, stats))
 }
 
 struct Ctx<'a> {
@@ -210,9 +225,10 @@ fn exec(
     };
     match *rule {
         CsmRule::Cd { x, y } => {
-            let t = tables.get(&y).cloned().unwrap_or_else(|| {
-                Relation::new(lat.set_of(y).unwrap().iter().collect())
-            });
+            let t = tables
+                .get(&y)
+                .cloned()
+                .unwrap_or_else(|| Relation::new(lat.set_of(y).unwrap().iter().collect()));
             let x_vars: Vec<u32> = lat.set_of(x).unwrap().iter().collect();
             let mut order = x_vars.clone();
             order.extend(t.vars().iter().copied().filter(|v| !x_vars.contains(v)));
@@ -264,14 +280,16 @@ fn exec(
         CsmRule::Sm { a, b } => {
             let m = lat.meet(a, b);
             let guard = if m == lat.bottom() {
-                tables.get(&b).cloned().unwrap_or_else(|| {
-                    Relation::new(lat.set_of(b).unwrap().iter().collect())
-                })
+                tables
+                    .get(&b)
+                    .cloned()
+                    .unwrap_or_else(|| Relation::new(lat.set_of(b).unwrap().iter().collect()))
             } else {
                 guard_map.get(&(m, b)).cloned().unwrap_or_else(|| {
-                    tables.get(&b).cloned().unwrap_or_else(|| {
-                        Relation::new(lat.set_of(b).unwrap().iter().collect())
-                    })
+                    tables
+                        .get(&b)
+                        .cloned()
+                        .unwrap_or_else(|| Relation::new(lat.set_of(b).unwrap().iter().collect()))
                 })
             };
             // Guard must be ordered with Λm first.
@@ -350,7 +368,9 @@ fn join_into(
                     bound = bound.insert(v);
                 }
             }
-            if !ctx.ex.expand_tuple(&mut bound, &mut vals, target_set, stats)
+            if !ctx
+                .ex
+                .expand_tuple(&mut bound, &mut vals, target_set, stats)
                 || !ctx.ex.verify_fds(target_set, &vals, stats)
             {
                 continue;
@@ -369,7 +389,7 @@ fn join_into(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::naive::naive_join;
+    use crate::engine::{csma_join, naive_join, Algorithm, Engine, ExecOptions};
 
     #[test]
     fn triangle_matches_naive() {
@@ -379,9 +399,15 @@ mod tests {
             "R",
             Relation::from_rows(vec![0, 1], [[1, 2], [1, 3], [2, 3], [4, 2]]),
         );
-        db.insert("S", Relation::from_rows(vec![1, 2], [[2, 3], [3, 1], [2, 4]]));
-        db.insert("T", Relation::from_rows(vec![2, 0], [[3, 1], [1, 1], [4, 4], [4, 1]]));
-        let (expect, _) = naive_join(&q, &db);
+        db.insert(
+            "S",
+            Relation::from_rows(vec![1, 2], [[2, 3], [3, 1], [2, 4]]),
+        );
+        db.insert(
+            "T",
+            Relation::from_rows(vec![2, 0], [[3, 1], [1, 1], [4, 4], [4, 1]]),
+        );
+        let expect = naive_join(&q, &db).unwrap().output;
         let got = csma_join(&q, &db).unwrap();
         assert_eq!(got.output, expect);
     }
@@ -390,12 +416,21 @@ mod tests {
     fn fig1_udf_matches_naive() {
         let q = fdjoin_query::examples::fig1_udf();
         let mut db = Database::new();
-        db.insert("R", Relation::from_rows(vec![0, 1], [[1, 1], [2, 1], [1, 2], [3, 2]]));
-        db.insert("S", Relation::from_rows(vec![1, 2], [[1, 1], [2, 1], [1, 2]]));
-        db.insert("T", Relation::from_rows(vec![2, 3], [[1, 1], [1, 2], [2, 1], [2, 3]]));
+        db.insert(
+            "R",
+            Relation::from_rows(vec![0, 1], [[1, 1], [2, 1], [1, 2], [3, 2]]),
+        );
+        db.insert(
+            "S",
+            Relation::from_rows(vec![1, 2], [[1, 1], [2, 1], [1, 2]]),
+        );
+        db.insert(
+            "T",
+            Relation::from_rows(vec![2, 3], [[1, 1], [1, 2], [2, 1], [2, 3]]),
+        );
         db.udfs.register(VarSet::from_vars([0, 2]), 3, |v| v[0]); // u = x
         db.udfs.register(VarSet::from_vars([1, 3]), 0, |v| v[1]); // x = u
-        let (expect, _) = naive_join(&q, &db);
+        let expect = naive_join(&q, &db).unwrap().output;
         let got = csma_join(&q, &db).unwrap();
         assert_eq!(got.output, expect);
     }
@@ -407,14 +442,18 @@ mod tests {
         db.insert("R", Relation::from_rows(vec![0, 1], [[1, 2], [2, 3]]));
         db.insert("S", Relation::from_rows(vec![1, 2], [[2, 3], [3, 1]]));
         db.insert("T", Relation::from_rows(vec![2, 0], [[3, 1], [1, 2]]));
-        let (expect, _) = naive_join(&q, &db);
-        let opts = CsmaOptions {
-            degree_bounds: vec![UserDegreeBound { atom: 0, on: vec![0], max_degree: 1 }],
-        };
-        let got = csma_join_with(&q, &db, &opts).unwrap();
+        let expect = naive_join(&q, &db).unwrap().output;
+        let opts = ExecOptions::new()
+            .algorithm(Algorithm::Csma)
+            .degree_bound(UserDegreeBound {
+                atom: 0,
+                on: vec![0],
+                max_degree: 1,
+            });
+        let got = Engine::new().execute(&q, &db, &opts).unwrap();
         assert_eq!(got.output, expect);
         // The degree bound tightens the budget below 3/2·n.
         let plain = csma_join(&q, &db).unwrap();
-        assert!(got.log_bound <= plain.log_bound);
+        assert!(got.predicted_log_bound.unwrap() <= plain.predicted_log_bound.unwrap());
     }
 }

@@ -1,0 +1,740 @@
+//! The unified execution engine — the crate's front door.
+//!
+//! The paper's central message is that the *choice* of join algorithm is
+//! itself bound-driven: the Chain Algorithm is optimal exactly when the
+//! chain bound is tight (distributive lattices, Cor. 5.15, or condition
+//! (15)), SMA needs a good SM-proof sequence (Def. 5.26), and CSMA covers
+//! the general GLVV/CLLP case. This module packages that decision procedure
+//! behind one API:
+//!
+//! - [`Algorithm`]: which algorithm to run ([`Algorithm::Auto`] lets the
+//!   planner decide and records its choice in the result);
+//! - [`ExecOptions`]: builder-style per-run options, absorbing the old
+//!   per-algorithm option structs (degree bounds, FD-binding, variable and
+//!   atom orders, chain overrides);
+//! - [`JoinResult`] / [`JoinError`]: one result and one error type shared
+//!   by every algorithm;
+//! - [`Engine::prepare`] / [`PreparedQuery`]: split the data-independent
+//!   preprocessing (lattice presentation; per-size-profile chain search,
+//!   LLP solve, proof-sequence construction) from execution, so repeated
+//!   executions reuse the plans. [`PreparedQuery::prep_stats`] counts the
+//!   preparation work actually performed, making the reuse observable.
+//!
+//! The free functions at the bottom ([`chain_join`], [`sma_join`], …) are
+//! thin shims over the engine, kept for ergonomic one-shot calls.
+
+use crate::{chain_algo, csma, naive, sma};
+use fdjoin_bigint::Rational;
+use fdjoin_bounds::chain::{best_chain_bound, chain_bound, Chain, ChainBound};
+use fdjoin_bounds::csm::CsmSequence;
+use fdjoin_bounds::llp::{solve_llp, LlpSolution};
+use fdjoin_bounds::smproof::SmProof;
+use fdjoin_query::{LatticePresentation, Query};
+use fdjoin_storage::{Database, MissingRelation, Relation};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+
+use crate::Stats;
+
+/// The join algorithms the engine can run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Bound-driven automatic selection (chain → SMA → CSMA); the decision
+    /// is recorded in [`JoinResult::algorithm_used`].
+    #[default]
+    Auto,
+    /// The Chain Algorithm (Algorithm 1, Sec. 5.1).
+    Chain,
+    /// Chain Algorithm without the per-tuple argmin (the A1 ablation).
+    ChainNoArgmin,
+    /// The Submodularity Algorithm (Algorithm 2, Sec. 5.2).
+    Sma,
+    /// The Conditional Submodularity Algorithm (Sec. 5.3.3).
+    Csma,
+    /// Generic-Join (NPRR/LFTJ), FD-oblivious worst-case-optimal baseline.
+    GenericJoin,
+    /// Left-deep binary hash-join plans.
+    BinaryJoin,
+    /// The quadratic correctness oracle.
+    Naive,
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Algorithm::Auto => "auto",
+            Algorithm::Chain => "chain",
+            Algorithm::ChainNoArgmin => "chain-no-argmin",
+            Algorithm::Sma => "sma",
+            Algorithm::Csma => "csma",
+            Algorithm::GenericJoin => "generic-join",
+            Algorithm::BinaryJoin => "binary-join",
+            Algorithm::Naive => "naive",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A user-declared maximum-degree bound on an input relation
+/// (the "Known Frequencies" scenario of Sec. 1.1), consumed by CSMA.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UserDegreeBound {
+    /// Index of the atom whose relation is degree-bounded.
+    pub atom: usize,
+    /// The conditioning attributes: for every value of these, at most
+    /// `max_degree` matching tuples exist.
+    pub on: Vec<u32>,
+    /// The degree cap.
+    pub max_degree: u64,
+}
+
+/// Builder-style per-execution options.
+///
+/// ```
+/// use fdjoin_core::{Algorithm, ExecOptions};
+/// let opts = ExecOptions::new()
+///     .algorithm(Algorithm::GenericJoin)
+///     .bind_fds(true);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ExecOptions {
+    algorithm: Algorithm,
+    degree_bounds: Vec<UserDegreeBound>,
+    bind_fds: bool,
+    var_order: Option<Vec<u32>>,
+    atom_order: Option<Vec<usize>>,
+    chain: Option<Chain>,
+}
+
+impl ExecOptions {
+    /// Defaults: [`Algorithm::Auto`], no extra constraints.
+    pub fn new() -> ExecOptions {
+        ExecOptions::default()
+    }
+
+    /// Select the algorithm ([`Algorithm::Auto`] by default).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Add one extra degree bound (CSMA only).
+    pub fn degree_bound(mut self, bound: UserDegreeBound) -> Self {
+        self.degree_bounds.push(bound);
+        self
+    }
+
+    /// Replace the set of extra degree bounds (CSMA only).
+    pub fn degree_bounds(mut self, bounds: Vec<UserDegreeBound>) -> Self {
+        self.degree_bounds = bounds;
+        self
+    }
+
+    /// Bind FD-determined variables eagerly in Generic-Join (the paper's
+    /// footnote 1).
+    pub fn bind_fds(mut self, on: bool) -> Self {
+        self.bind_fds = on;
+        self
+    }
+
+    /// Variable binding order for Generic-Join (default: ascending id).
+    pub fn var_order(mut self, order: Vec<u32>) -> Self {
+        self.var_order = Some(order);
+        self
+    }
+
+    /// Atom order for binary join plans (default: body order).
+    pub fn atom_order(mut self, order: Vec<usize>) -> Self {
+        self.atom_order = Some(order);
+        self
+    }
+
+    /// Execute the Chain Algorithm on this specific chain instead of the
+    /// best one found by search.
+    pub fn chain(mut self, chain: Chain) -> Self {
+        self.chain = Some(chain);
+        self
+    }
+}
+
+/// Why a join could not be executed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JoinError {
+    /// A query atom references a relation absent from the database.
+    MissingRelation(String),
+    /// No candidate chain has a finite chain bound (isolated vertices in
+    /// every chain hypergraph) — or a user-supplied chain is not good.
+    NoGoodChain,
+    /// No good SM-proof sequence exists for the dual inequality
+    /// (Example 5.31's situation — use CSMA instead).
+    NoGoodProof,
+    /// CSM proof-sequence construction got stuck (should not happen for
+    /// exact dual-feasible solutions; kept as a safe failure mode).
+    NoCsmSequence,
+    /// The options are inconsistent with the query (bad variable/atom
+    /// order, out-of-range degree bound, …).
+    InvalidOptions(String),
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinError::MissingRelation(name) => {
+                write!(f, "relation {name:?} not in database")
+            }
+            JoinError::NoGoodChain => {
+                write!(
+                    f,
+                    "no good chain with a finite chain bound exists for this query"
+                )
+            }
+            JoinError::NoGoodProof => {
+                write!(f, "no good SM-proof sequence exists; fall back to CSMA")
+            }
+            JoinError::NoCsmSequence => write!(f, "CSM proof sequence construction failed"),
+            JoinError::InvalidOptions(msg) => write!(f, "invalid options: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+impl From<MissingRelation> for JoinError {
+    fn from(e: MissingRelation) -> JoinError {
+        JoinError::MissingRelation(e.0)
+    }
+}
+
+/// The plan object the executed algorithm ran from, for introspection.
+#[derive(Clone, Debug, Default)]
+pub enum PlanDetail {
+    /// No data-independent plan (Generic-Join, binary join, naive).
+    #[default]
+    None,
+    /// The chain the Chain Algorithm climbed.
+    Chain(Chain),
+    /// The good SM-proof sequence SMA executed.
+    SmProof(SmProof),
+    /// The CSM rule sequence CSMA interpreted.
+    CsmSequence(CsmSequence),
+}
+
+/// The unified result of any engine execution.
+#[derive(Clone, Debug)]
+pub struct JoinResult {
+    /// The query answer over all variables (ascending id order).
+    pub output: Relation,
+    /// Deterministic work counters.
+    pub stats: Stats,
+    /// The algorithm that actually ran (resolves [`Algorithm::Auto`]).
+    pub algorithm_used: Algorithm,
+    /// `log₂` of the bound the run was budgeted against (chain bound, LLP,
+    /// or CLLP value; `None` for the unbudgeted baselines).
+    pub predicted_log_bound: Option<Rational>,
+    /// The plan object behind the run.
+    pub plan: PlanDetail,
+}
+
+impl JoinResult {
+    /// The executed chain, if the Chain Algorithm ran.
+    pub fn chain(&self) -> Option<&Chain> {
+        match &self.plan {
+            PlanDetail::Chain(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The executed SM-proof sequence, if SMA ran.
+    pub fn sm_proof(&self) -> Option<&SmProof> {
+        match &self.plan {
+            PlanDetail::SmProof(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The interpreted CSM sequence, if CSMA ran.
+    pub fn csm_sequence(&self) -> Option<&CsmSequence> {
+        match &self.plan {
+            PlanDetail::CsmSequence(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Counters of data-independent preparation work actually performed by a
+/// [`PreparedQuery`]. Re-executing against the same database must not grow
+/// them — that is the contract the engine's caching provides (and the test
+/// suite asserts).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrepStats {
+    /// Lattice presentations computed (1 per [`Engine::prepare`]).
+    pub lattice_presentations: u64,
+    /// Best-chain searches over the candidate chain set.
+    pub chain_searches: u64,
+    /// Exact LLP solves.
+    pub llp_solves: u64,
+    /// Good-SM-proof searches.
+    pub proof_searches: u64,
+    /// Exact CLLP solves (including CSM sequence construction).
+    pub cllp_solves: u64,
+}
+
+impl PrepStats {
+    /// Total planning operations.
+    pub fn total(&self) -> u64 {
+        self.lattice_presentations
+            + self.chain_searches
+            + self.llp_solves
+            + self.proof_searches
+            + self.cllp_solves
+    }
+}
+
+/// Cached per-size-profile plans. Keys are the relevant size profiles: raw
+/// atom cardinalities for chain/LLP plans, expanded cardinalities plus the
+/// degree-bound options for CSMA plans.
+#[derive(Default)]
+struct PlanCache {
+    prep: PrepStats,
+    chain: HashMap<Vec<u64>, Option<ChainBound>>,
+    chain_override: HashMap<(Vec<u64>, Vec<usize>), Option<ChainBound>>,
+    llp: HashMap<Vec<u64>, LlpSolution>,
+    sma: HashMap<Vec<u64>, Result<sma::SmaPlan, JoinError>>,
+    csma: HashMap<CsmaKey, Result<csma::CsmaPlan, JoinError>>,
+}
+
+type CsmaKey = (Vec<u64>, Vec<(usize, Vec<u32>, u64)>);
+
+/// The engine: the single entry point for executing join queries.
+///
+/// Stateless today; it exists as a value so that cross-query planning state
+/// (plan caches shared across databases, batching, admission control) has a
+/// home as the system grows.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Engine;
+
+impl Engine {
+    /// Create an engine.
+    pub fn new() -> Engine {
+        Engine
+    }
+
+    /// Compute the data-independent preprocessing for `q` — the lattice
+    /// presentation — and return a handle that caches all further
+    /// (size-profile-dependent) planning across executions.
+    pub fn prepare(&self, q: &Query) -> PreparedQuery {
+        let pres = q.lattice_presentation();
+        PreparedQuery {
+            query: q.clone(),
+            pres,
+            cache: Mutex::new(PlanCache {
+                prep: PrepStats {
+                    lattice_presentations: 1,
+                    ..PrepStats::default()
+                },
+                ..PlanCache::default()
+            }),
+        }
+    }
+
+    /// One-shot convenience: prepare and execute.
+    pub fn execute(
+        &self,
+        q: &Query,
+        db: &Database,
+        opts: &ExecOptions,
+    ) -> Result<JoinResult, JoinError> {
+        self.prepare(q).execute(db, opts)
+    }
+}
+
+/// A query with its preprocessing done once and its per-size-profile plans
+/// (chain bounds, LLP solutions, proof sequences) cached across executions.
+///
+/// ```
+/// use fdjoin_core::{Engine, ExecOptions};
+/// use fdjoin_storage::{Database, Relation};
+///
+/// let q = fdjoin_query::examples::triangle();
+/// let mut db = Database::new();
+/// db.insert("R", Relation::from_rows(vec![0, 1], [[1, 2]]));
+/// db.insert("S", Relation::from_rows(vec![1, 2], [[2, 3]]));
+/// db.insert("T", Relation::from_rows(vec![2, 0], [[3, 1]]));
+///
+/// let prepared = Engine::new().prepare(&q);
+/// let first = prepared.execute(&db, &ExecOptions::new()).unwrap();
+/// let after_first = prepared.prep_stats();
+/// let second = prepared.execute(&db, &ExecOptions::new()).unwrap();
+/// assert_eq!(first.output, second.output);
+/// // The second run reused every cached plan:
+/// assert_eq!(prepared.prep_stats(), after_first);
+/// ```
+pub struct PreparedQuery {
+    query: Query,
+    pres: LatticePresentation,
+    cache: Mutex<PlanCache>,
+}
+
+impl PreparedQuery {
+    /// The prepared query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The lattice presentation `(L, R)`, computed once at prepare time.
+    pub fn presentation(&self) -> &LatticePresentation {
+        &self.pres
+    }
+
+    /// Counters of preparation work performed so far.
+    pub fn prep_stats(&self) -> PrepStats {
+        self.cache.lock().unwrap().prep
+    }
+
+    /// Execute against a database. Plans for previously seen size profiles
+    /// are reused; see [`PrepStats`].
+    pub fn execute(&self, db: &Database, opts: &ExecOptions) -> Result<JoinResult, JoinError> {
+        let q = &self.query;
+        // Validate the database up front so every algorithm shares the
+        // non-panicking MissingRelation path.
+        let mut raw_lens: Vec<u64> = Vec::with_capacity(q.atoms().len());
+        for a in q.atoms() {
+            raw_lens.push(db.relation(&a.name)?.len() as u64);
+        }
+        self.validate(opts)?;
+
+        let algorithm = match opts.algorithm {
+            Algorithm::Auto => self.choose(&raw_lens, opts),
+            explicit => explicit,
+        };
+
+        match algorithm {
+            Algorithm::Auto => unreachable!("choose() returns a concrete algorithm"),
+            Algorithm::Chain | Algorithm::ChainNoArgmin => {
+                let use_argmin = algorithm == Algorithm::Chain;
+                let bound = match &opts.chain {
+                    Some(c) => self
+                        .chain_override_plan(&raw_lens, c)
+                        .ok_or(JoinError::NoGoodChain)?,
+                    None => self.chain_plan(&raw_lens).ok_or(JoinError::NoGoodChain)?,
+                };
+                let (output, stats) = chain_algo::execute(q, db, &self.pres, &bound, use_argmin)?;
+                Ok(JoinResult {
+                    output,
+                    stats,
+                    algorithm_used: algorithm,
+                    predicted_log_bound: Some(bound.log_bound.clone()),
+                    plan: PlanDetail::Chain(bound.chain),
+                })
+            }
+            Algorithm::Sma => {
+                let plan = self.sma_plan(&raw_lens)?;
+                let (output, stats) = sma::execute(q, db, &self.pres, &plan)?;
+                Ok(JoinResult {
+                    output,
+                    stats,
+                    algorithm_used: Algorithm::Sma,
+                    predicted_log_bound: Some(plan.log_bound.clone()),
+                    plan: PlanDetail::SmProof(plan.proof),
+                })
+            }
+            Algorithm::Csma => {
+                let mut stats = Stats::default();
+                let ex = crate::Expander::new(q, db)?;
+                let mut expanded: Vec<Relation> = Vec::with_capacity(q.atoms().len());
+                for a in q.atoms() {
+                    expanded.push(ex.expand_relation(db.relation(&a.name)?, &mut stats));
+                }
+                let expanded_lens: Vec<u64> = expanded.iter().map(|r| r.len() as u64).collect();
+                let plan = self.csma_plan(&expanded_lens, &opts.degree_bounds)?;
+                let (output, stats) =
+                    csma::execute(q, db, &self.pres, &plan, &expanded, &ex, stats)?;
+                Ok(JoinResult {
+                    output,
+                    stats,
+                    algorithm_used: Algorithm::Csma,
+                    predicted_log_bound: Some(plan.log_bound.clone()),
+                    plan: PlanDetail::CsmSequence(plan.seq),
+                })
+            }
+            Algorithm::GenericJoin => {
+                let cfg = crate::generic_join::GjConfig {
+                    bind_fds: opts.bind_fds,
+                    var_order: opts.var_order.clone(),
+                };
+                let (output, stats) = crate::generic_join::execute(q, db, &cfg)?;
+                Ok(JoinResult {
+                    output,
+                    stats,
+                    algorithm_used: Algorithm::GenericJoin,
+                    predicted_log_bound: None,
+                    plan: PlanDetail::None,
+                })
+            }
+            Algorithm::BinaryJoin => {
+                let (output, stats) =
+                    crate::binary_join::execute(q, db, opts.atom_order.as_deref())?;
+                Ok(JoinResult {
+                    output,
+                    stats,
+                    algorithm_used: Algorithm::BinaryJoin,
+                    predicted_log_bound: None,
+                    plan: PlanDetail::None,
+                })
+            }
+            Algorithm::Naive => {
+                let (output, stats) = naive::execute(q, db)?;
+                Ok(JoinResult {
+                    output,
+                    stats,
+                    algorithm_used: Algorithm::Naive,
+                    predicted_log_bound: None,
+                    plan: PlanDetail::None,
+                })
+            }
+        }
+    }
+
+    /// Bound-driven automatic algorithm selection:
+    ///
+    /// 0. options that only one algorithm honors (degree bounds ⇒ CSMA,
+    ///    a chain override ⇒ chain) pin the choice — silently dropping a
+    ///    user constraint would be worse than skipping the bound analysis;
+    /// 1. distributive lattice + good chain ⇒ **chain** (tight by
+    ///    Cor. 5.15);
+    /// 2. good chain matching the LLP optimum for these sizes ⇒ **chain**
+    ///    (tight by Theorem 5.14's condition);
+    /// 3. good SM-proof sequence ⇒ **SMA**;
+    /// 4. otherwise ⇒ **CSMA** (always applicable).
+    fn choose(&self, raw_lens: &[u64], opts: &ExecOptions) -> Algorithm {
+        if !opts.degree_bounds.is_empty() {
+            return Algorithm::Csma;
+        }
+        if opts.chain.is_some() {
+            return Algorithm::Chain;
+        }
+        let chain = self.chain_plan(raw_lens);
+        if chain.is_some() && self.pres.lattice.is_distributive() {
+            return Algorithm::Chain;
+        }
+        if let Some(cb) = &chain {
+            let llp_value = self.llp_plan(raw_lens).value;
+            if cb.log_bound == llp_value {
+                return Algorithm::Chain;
+            }
+        }
+        if self.sma_plan(raw_lens).is_ok() {
+            return Algorithm::Sma;
+        }
+        Algorithm::Csma
+    }
+
+    fn validate(&self, opts: &ExecOptions) -> Result<(), JoinError> {
+        let q = &self.query;
+        let nv = q.n_vars();
+        if let Some(order) = &opts.var_order {
+            let mut seen = vec![false; nv];
+            for &v in order {
+                if (v as usize) >= nv || seen[v as usize] {
+                    return Err(JoinError::InvalidOptions(format!(
+                        "var_order must be a set of distinct variable ids < {nv}"
+                    )));
+                }
+                seen[v as usize] = true;
+            }
+            // Every atom variable must be bound by the search order; only
+            // FD-derived variables may be omitted (they are filled by
+            // expansion).
+            for a in q.atoms() {
+                for v in a.var_set().iter() {
+                    if !seen[v as usize] {
+                        return Err(JoinError::InvalidOptions(format!(
+                            "var_order omits variable {} of atom {}",
+                            q.var_name(v),
+                            a.name
+                        )));
+                    }
+                }
+            }
+        }
+        if let Some(order) = &opts.atom_order {
+            let na = q.atoms().len();
+            let mut seen = vec![false; na];
+            if order.len() != na {
+                return Err(JoinError::InvalidOptions(format!(
+                    "atom_order must be a permutation of 0..{na}"
+                )));
+            }
+            for &a in order {
+                if a >= na || seen[a] {
+                    return Err(JoinError::InvalidOptions(format!(
+                        "atom_order must be a permutation of 0..{na}"
+                    )));
+                }
+                seen[a] = true;
+            }
+        }
+        for b in &opts.degree_bounds {
+            if b.atom >= q.atoms().len() {
+                return Err(JoinError::InvalidOptions(format!(
+                    "degree bound references atom {} but the query has {} atoms",
+                    b.atom,
+                    q.atoms().len()
+                )));
+            }
+            for &v in &b.on {
+                if (v as usize) >= nv {
+                    return Err(JoinError::InvalidOptions(format!(
+                        "degree bound on atom {} conditions on variable id {v}, but the \
+                         query has {nv} variables",
+                        b.atom
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // Plan lookups. Each public wrapper takes the cache lock once and holds
+    // it across the computation: concurrent executions serialize on a plan
+    // miss (planning is data-independent and amortized away) but never
+    // double-compute or double-count `PrepStats`.
+
+    fn chain_plan(&self, raw_lens: &[u64]) -> Option<ChainBound> {
+        let mut cache = self.cache.lock().unwrap();
+        self.chain_plan_locked(&mut cache, raw_lens)
+    }
+
+    fn chain_plan_locked(&self, cache: &mut PlanCache, raw_lens: &[u64]) -> Option<ChainBound> {
+        if let Some(hit) = cache.chain.get(raw_lens) {
+            return hit.clone();
+        }
+        cache.prep.chain_searches += 1;
+        let logs = log_sizes_of(raw_lens);
+        let bound = best_chain_bound(&self.pres.lattice, &self.pres.inputs, &logs);
+        cache.chain.insert(raw_lens.to_vec(), bound.clone());
+        bound
+    }
+
+    fn chain_override_plan(&self, raw_lens: &[u64], chain: &Chain) -> Option<ChainBound> {
+        let mut cache = self.cache.lock().unwrap();
+        let key = (raw_lens.to_vec(), chain.elems.clone());
+        if let Some(hit) = cache.chain_override.get(&key) {
+            return hit.clone();
+        }
+        cache.prep.chain_searches += 1;
+        let logs = log_sizes_of(raw_lens);
+        let bound = chain_bound(&self.pres.lattice, &self.pres.inputs, &logs, chain);
+        cache.chain_override.insert(key, bound.clone());
+        bound
+    }
+
+    fn llp_plan(&self, raw_lens: &[u64]) -> LlpSolution {
+        let mut cache = self.cache.lock().unwrap();
+        self.llp_plan_locked(&mut cache, raw_lens)
+    }
+
+    fn llp_plan_locked(&self, cache: &mut PlanCache, raw_lens: &[u64]) -> LlpSolution {
+        if let Some(hit) = cache.llp.get(raw_lens) {
+            return hit.clone();
+        }
+        cache.prep.llp_solves += 1;
+        let logs = log_sizes_of(raw_lens);
+        let sol = solve_llp(&self.pres.lattice, &self.pres.inputs, &logs);
+        cache.llp.insert(raw_lens.to_vec(), sol.clone());
+        sol
+    }
+
+    fn sma_plan(&self, raw_lens: &[u64]) -> Result<sma::SmaPlan, JoinError> {
+        let mut cache = self.cache.lock().unwrap();
+        if let Some(hit) = cache.sma.get(raw_lens) {
+            return hit.clone();
+        }
+        let llp = self.llp_plan_locked(&mut cache, raw_lens);
+        let logs = log_sizes_of(raw_lens);
+        let plan = sma::plan(&self.pres, &llp, &logs);
+        cache.prep.proof_searches += 1;
+        cache.sma.insert(raw_lens.to_vec(), plan.clone());
+        plan
+    }
+
+    fn csma_plan(
+        &self,
+        expanded_lens: &[u64],
+        degree_bounds: &[UserDegreeBound],
+    ) -> Result<csma::CsmaPlan, JoinError> {
+        let key: CsmaKey = (
+            expanded_lens.to_vec(),
+            degree_bounds
+                .iter()
+                .map(|b| (b.atom, b.on.clone(), b.max_degree))
+                .collect(),
+        );
+        let mut cache = self.cache.lock().unwrap();
+        if let Some(hit) = cache.csma.get(&key) {
+            return hit.clone();
+        }
+        let logs = log_sizes_of(expanded_lens);
+        let plan = csma::plan(&self.query, &self.pres, &logs, degree_bounds);
+        cache.prep.cllp_solves += 1;
+        cache.csma.insert(key, plan.clone());
+        plan
+    }
+}
+
+/// Dyadic upper approximations `log₂ max(len, 1)` for a size profile.
+fn log_sizes_of(lens: &[u64]) -> Vec<Rational> {
+    lens.iter()
+        .map(|&l| Rational::log2_approx(l.max(1), 16))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Free-function shims: ergonomic one-shot calls over the engine.
+// ---------------------------------------------------------------------------
+
+fn run(q: &Query, db: &Database, algorithm: Algorithm) -> Result<JoinResult, JoinError> {
+    Engine::new().execute(q, db, &ExecOptions::new().algorithm(algorithm))
+}
+
+/// Run the Chain Algorithm with an automatically selected chain (the best
+/// over all maximal chains plus the Corollary 5.9/5.11 constructions).
+pub fn chain_join(q: &Query, db: &Database) -> Result<JoinResult, JoinError> {
+    run(q, db, Algorithm::Chain)
+}
+
+/// Ablation A1: like [`chain_join`] but *without* the per-tuple `argmin`
+/// relation choice — always iterates the first covering relation. This is
+/// the "crucial fact" of Sec. 5.1 turned off; Theorem 5.7's accounting
+/// breaks and the runtime can degrade to the worse relation's degree.
+pub fn chain_join_no_argmin(q: &Query, db: &Database) -> Result<JoinResult, JoinError> {
+    run(q, db, Algorithm::ChainNoArgmin)
+}
+
+/// Run SMA end to end.
+pub fn sma_join(q: &Query, db: &Database) -> Result<JoinResult, JoinError> {
+    run(q, db, Algorithm::Sma)
+}
+
+/// Run CSMA with cardinality constraints only (degree bounds go through
+/// [`ExecOptions::degree_bounds`]).
+pub fn csma_join(q: &Query, db: &Database) -> Result<JoinResult, JoinError> {
+    run(q, db, Algorithm::Csma)
+}
+
+/// Evaluate with Generic-Join (options go through [`ExecOptions`]).
+pub fn generic_join(q: &Query, db: &Database) -> Result<JoinResult, JoinError> {
+    run(q, db, Algorithm::GenericJoin)
+}
+
+/// Evaluate with left-deep binary hash joins in body order (custom orders
+/// go through [`ExecOptions::atom_order`]).
+pub fn binary_join(q: &Query, db: &Database) -> Result<JoinResult, JoinError> {
+    run(q, db, Algorithm::BinaryJoin)
+}
+
+/// Evaluate naively (the correctness oracle).
+pub fn naive_join(q: &Query, db: &Database) -> Result<JoinResult, JoinError> {
+    run(q, db, Algorithm::Naive)
+}

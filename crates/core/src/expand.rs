@@ -10,7 +10,7 @@
 use crate::Stats;
 use fdjoin_lattice::VarSet;
 use fdjoin_query::Query;
-use fdjoin_storage::{Database, Relation, Value};
+use fdjoin_storage::{Database, MissingRelation, Relation, Value};
 
 /// Precomputed expansion machinery for a query + database.
 pub struct Expander<'a> {
@@ -22,13 +22,14 @@ pub struct Expander<'a> {
 }
 
 impl<'a> Expander<'a> {
-    /// Build the expander, materializing guard projections.
-    pub fn new(query: &'a Query, db: &'a Database) -> Expander<'a> {
+    /// Build the expander, materializing guard projections. Fails if a
+    /// guard atom's relation is absent from the database.
+    pub fn new(query: &'a Query, db: &'a Database) -> Result<Expander<'a>, MissingRelation> {
         let mut guards = Vec::new();
         for fd in query.fds.fds() {
             if let Some(j) = query.guard_of(fd) {
                 let atom = &query.atoms()[j];
-                let rel = db.relation(&atom.name);
+                let rel = db.relation(&atom.name)?;
                 for v in fd.rhs.minus(fd.lhs).iter() {
                     let mut cols: Vec<u32> = fd.lhs.iter().collect();
                     cols.push(v);
@@ -36,7 +37,7 @@ impl<'a> Expander<'a> {
                 }
             }
         }
-        Expander { query, db, guards }
+        Ok(Expander { query, db, guards })
     }
 
     /// Attempt to bind one more variable of `bound`/`vals`; returns
@@ -210,7 +211,7 @@ mod tests {
     #[test]
     fn expand_via_udf() {
         let (q, db) = fig1_db();
-        let ex = Expander::new(&q, &db);
+        let ex = Expander::new(&q, &db).unwrap();
         let mut stats = Stats::default();
         // Tuple over {x,z}: closure adds u (= x), then... {x,z,u}+ = xzu.
         let rel = Relation::from_rows(vec![0, 2], [[7, 5]]);
@@ -224,7 +225,7 @@ mod tests {
     #[test]
     fn expand_checks_consistency() {
         let (q, db) = fig1_db();
-        let ex = Expander::new(&q, &db);
+        let ex = Expander::new(&q, &db).unwrap();
         let mut stats = Stats::default();
         // Tuple over {x,y,z,u} where u ≠ f(x,z): verify_fds must reject.
         let bound = VarSet::from_vars([0, 1, 2, 3]);
@@ -241,8 +242,11 @@ mod tests {
         let mut db = Database::new();
         db.insert("R", Relation::from_rows(vec![0], [[1], [2]]));
         db.insert("S", Relation::from_rows(vec![1], [[10]]));
-        db.insert("T", Relation::from_rows(vec![0, 1, 2], [[1, 10, 100], [2, 10, 200]]));
-        let ex = Expander::new(&q, &db);
+        db.insert(
+            "T",
+            Relation::from_rows(vec![0, 1, 2], [[1, 10, 100], [2, 10, 200]]),
+        );
+        let ex = Expander::new(&q, &db).unwrap();
         let mut stats = Stats::default();
         let rel = Relation::from_rows(vec![0, 1], [[1, 10], [2, 10], [3, 10]]);
         let expanded = ex.expand_relation(&rel, &mut stats);
@@ -255,7 +259,7 @@ mod tests {
     #[test]
     fn expansion_of_closed_set_is_identity_with_semijoin_semantics() {
         let (q, db) = fig1_db();
-        let ex = Expander::new(&q, &db);
+        let ex = Expander::new(&q, &db).unwrap();
         let mut stats = Stats::default();
         let rel = Relation::from_rows(vec![0, 1], [[1, 2], [9, 9]]);
         let expanded = ex.expand_relation(&rel, &mut stats);

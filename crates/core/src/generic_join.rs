@@ -16,11 +16,11 @@
 use crate::{Expander, Stats};
 use fdjoin_lattice::VarSet;
 use fdjoin_query::Query;
-use fdjoin_storage::{Database, Relation, Value};
+use fdjoin_storage::{Database, MissingRelation, Relation, Value};
 
-/// Options for [`generic_join`].
+/// Per-run knobs, resolved by the engine from `ExecOptions`.
 #[derive(Clone, Debug, Default)]
-pub struct GjOptions {
+pub(crate) struct GjConfig {
     /// Bind FD-determined variables eagerly (footnote 1 of the paper).
     pub bind_fds: bool,
     /// Variable order; defaults to ascending variable id.
@@ -36,9 +36,13 @@ struct AtomState<'a> {
 
 /// Evaluate `q` on `db` with Generic-Join. Output columns are all query
 /// variables in ascending id.
-pub fn generic_join(q: &Query, db: &Database, opts: &GjOptions) -> (Relation, Stats) {
+pub(crate) fn execute(
+    q: &Query,
+    db: &Database,
+    opts: &GjConfig,
+) -> Result<(Relation, Stats), MissingRelation> {
     let mut stats = Stats::default();
-    let ex = Expander::new(q, db);
+    let ex = Expander::new(q, db)?;
     let nv = q.n_vars();
     let order: Vec<u32> = opts
         .var_order
@@ -46,10 +50,15 @@ pub fn generic_join(q: &Query, db: &Database, opts: &GjOptions) -> (Relation, St
         .unwrap_or_else(|| (0..nv as u32).collect());
     // Only bind variables that occur in atoms during search; the rest are
     // filled by expansion at the end (UDF-only variables).
-    let atom_vars: VarSet =
-        q.atoms().iter().fold(VarSet::EMPTY, |s, a| s.union(a.var_set()));
-    let search_order: Vec<u32> =
-        order.iter().copied().filter(|&v| atom_vars.contains(v)).collect();
+    let atom_vars: VarSet = q
+        .atoms()
+        .iter()
+        .fold(VarSet::EMPTY, |s, a| s.union(a.var_set()));
+    let search_order: Vec<u32> = order
+        .iter()
+        .copied()
+        .filter(|&v| atom_vars.contains(v))
+        .collect();
     let rank: Vec<usize> = {
         let mut r = vec![usize::MAX; nv];
         for (i, &v) in search_order.iter().enumerate() {
@@ -60,19 +69,16 @@ pub fn generic_join(q: &Query, db: &Database, opts: &GjOptions) -> (Relation, St
 
     // Reorder every atom's columns by the global order so that bound
     // variables always form a prefix.
-    let atoms: Vec<AtomState> = q
-        .atoms()
-        .iter()
-        .map(|a| {
-            let mut ordered: Vec<u32> = a.vars.clone();
-            ordered.sort_by_key(|&v| rank[v as usize]);
-            AtomState {
-                rel: db.relation(&a.name).project(&ordered),
-                ordered_vars: ordered,
-                _marker: std::marker::PhantomData,
-            }
-        })
-        .collect();
+    let mut atoms: Vec<AtomState> = Vec::with_capacity(q.atoms().len());
+    for a in q.atoms() {
+        let mut ordered: Vec<u32> = a.vars.clone();
+        ordered.sort_by_key(|&v| rank[v as usize]);
+        atoms.push(AtomState {
+            rel: db.relation(&a.name)?.project(&ordered),
+            ordered_vars: ordered,
+            _marker: std::marker::PhantomData,
+        });
+    }
 
     let all: Vec<u32> = (0..nv as u32).collect();
     let target = VarSet::full(nv as u32);
@@ -93,7 +99,7 @@ pub fn generic_join(q: &Query, db: &Database, opts: &GjOptions) -> (Relation, St
         &mut stats,
     );
     out.sort_dedup();
-    (out, stats)
+    Ok((out, stats))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -106,7 +112,7 @@ fn search(
     bound: &mut VarSet,
     vals: &mut [Value],
     target: VarSet,
-    opts: &GjOptions,
+    opts: &GjConfig,
     out: &mut Relation,
     stats: &mut Stats,
 ) {
@@ -154,7 +160,19 @@ fn search(
                 if check_candidate(atoms, &ranges, candidate, vals, stats) {
                     vals[var as usize] = candidate;
                     *bound = bound.insert(var);
-                    search(q, ex, atoms, order, depth + 1, bound, vals, target, opts, out, stats);
+                    search(
+                        q,
+                        ex,
+                        atoms,
+                        order,
+                        depth + 1,
+                        bound,
+                        vals,
+                        target,
+                        opts,
+                        out,
+                        stats,
+                    );
                     *bound = bound.remove(var);
                 }
             }
@@ -183,7 +201,19 @@ fn search(
         if check_candidate(atoms, &ranges, candidate, vals, stats) {
             vals[var as usize] = candidate;
             *bound = bound.insert(var);
-            search(q, ex, atoms, order, depth + 1, bound, vals, target, opts, out, stats);
+            search(
+                q,
+                ex,
+                atoms,
+                order,
+                depth + 1,
+                bound,
+                vals,
+                target,
+                opts,
+                out,
+                stats,
+            );
             *bound = bound.remove(var);
         }
     }
@@ -215,7 +245,7 @@ fn check_candidate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::naive::naive_join;
+    use crate::engine::{generic_join, naive_join, Algorithm, Engine, ExecOptions};
 
     #[test]
     fn triangle_matches_naive() {
@@ -225,12 +255,18 @@ mod tests {
             "R",
             Relation::from_rows(vec![0, 1], [[1, 2], [1, 3], [2, 3], [4, 5]]),
         );
-        db.insert("S", Relation::from_rows(vec![1, 2], [[2, 3], [3, 1], [5, 4]]));
-        db.insert("T", Relation::from_rows(vec![2, 0], [[3, 1], [1, 1], [4, 4]]));
-        let (expect, _) = naive_join(&q, &db);
-        let (got, stats) = generic_join(&q, &db, &GjOptions::default());
-        assert_eq!(got, expect);
-        assert!(stats.probes > 0);
+        db.insert(
+            "S",
+            Relation::from_rows(vec![1, 2], [[2, 3], [3, 1], [5, 4]]),
+        );
+        db.insert(
+            "T",
+            Relation::from_rows(vec![2, 0], [[3, 1], [1, 1], [4, 4]]),
+        );
+        let expect = naive_join(&q, &db).unwrap().output;
+        let got = generic_join(&q, &db).unwrap();
+        assert_eq!(got.output, expect);
+        assert!(got.stats.probes > 0);
     }
 
     #[test]
@@ -242,12 +278,19 @@ mod tests {
         db.insert("T", Relation::from_rows(vec![2, 3], [[1, 1], [2, 2]]));
         db.udfs.register(VarSet::from_vars([0, 2]), 3, |v| v[0]); // u = x
         db.udfs.register(VarSet::from_vars([1, 3]), 0, |v| v[1]); // x = u
-        let (expect, _) = naive_join(&q, &db);
-        let (plain, _) = generic_join(&q, &db, &GjOptions::default());
-        let (fdbind, _) =
-            generic_join(&q, &db, &GjOptions { bind_fds: true, var_order: None });
-        assert_eq!(plain, expect);
-        assert_eq!(fdbind, expect);
+        let expect = naive_join(&q, &db).unwrap().output;
+        let plain = generic_join(&q, &db).unwrap();
+        let fdbind = Engine::new()
+            .execute(
+                &q,
+                &db,
+                &ExecOptions::new()
+                    .algorithm(Algorithm::GenericJoin)
+                    .bind_fds(true),
+            )
+            .unwrap();
+        assert_eq!(plain.output, expect);
+        assert_eq!(fdbind.output, expect);
     }
 
     #[test]
@@ -258,13 +301,12 @@ mod tests {
         db.insert("S", Relation::from_rows(vec![1, 2], [[2, 3]]));
         db.insert("T", Relation::from_rows(vec![2, 0], [[3, 1]]));
         for order in [vec![0, 1, 2], vec![2, 1, 0], vec![1, 0, 2]] {
-            let (out, _) = generic_join(
-                &q,
-                &db,
-                &GjOptions { bind_fds: false, var_order: Some(order) },
-            );
-            assert_eq!(out.len(), 1);
-            assert_eq!(out.row(0), &[1, 2, 3]);
+            let opts = ExecOptions::new()
+                .algorithm(Algorithm::GenericJoin)
+                .var_order(order);
+            let out = Engine::new().execute(&q, &db, &opts).unwrap();
+            assert_eq!(out.output.len(), 1);
+            assert_eq!(out.output.row(0), &[1, 2, 3]);
         }
     }
 
@@ -275,7 +317,7 @@ mod tests {
         db.insert("R", Relation::from_rows(vec![0, 1], [[1, 2]]));
         db.insert("S", Relation::new(vec![1, 2]));
         db.insert("T", Relation::from_rows(vec![2, 0], [[3, 1]]));
-        let (out, _) = generic_join(&q, &db, &GjOptions::default());
-        assert!(out.is_empty());
+        let out = generic_join(&q, &db).unwrap();
+        assert!(out.output.is_empty());
     }
 }

@@ -1,33 +1,50 @@
 //! Join algorithms for queries with functional dependencies — the paper's
-//! primary contribution, plus every baseline it compares against.
+//! primary contribution, plus every baseline it compares against — behind
+//! one unified execution API, the [`Engine`].
 //!
 //! | Algorithm | Paper | Runtime budget |
 //! |-----------|-------|----------------|
-//! | [`chain_join`] | Algorithm 1 (Sec. 5.1) | chain bound (tight on distributive lattices) |
-//! | [`sma_join`] | Algorithm 2 (Sec. 5.2) | SM bound (needs a *good* proof sequence) |
-//! | [`csma_join`] | CSMA (Sec. 5.3) | GLVV/CLLP bound up to polylog; supports degree bounds |
-//! | [`generic_join`] | WCOJ baseline (NPRR/LFTJ) | AGM bound of the FD-stripped query |
-//! | [`binary_join`] | traditional plans | unbounded intermediates (Sec. 1.1) |
-//! | [`naive_join`] | — | correctness oracle |
+//! | [`Algorithm::Chain`] | Algorithm 1 (Sec. 5.1) | chain bound (tight on distributive lattices) |
+//! | [`Algorithm::Sma`] | Algorithm 2 (Sec. 5.2) | SM bound (needs a *good* proof sequence) |
+//! | [`Algorithm::Csma`] | CSMA (Sec. 5.3) | GLVV/CLLP bound up to polylog; supports degree bounds |
+//! | [`Algorithm::GenericJoin`] | WCOJ baseline (NPRR/LFTJ) | AGM bound of the FD-stripped query |
+//! | [`Algorithm::BinaryJoin`] | traditional plans | unbounded intermediates (Sec. 1.1) |
+//! | [`Algorithm::Naive`] | — | correctness oracle |
+//!
+//! [`Algorithm::Auto`] picks among the first three bound-drivenly, the way
+//! the paper's results dictate (chain on distributive/tight lattices, SMA
+//! given a good proof sequence, CSMA otherwise).
+//!
+//! Every algorithm is callable three ways:
+//!
+//! 1. **one-shot**: `Engine::new().execute(&q, &db, &opts)`;
+//! 2. **prepared**: `Engine::new().prepare(&q)` then
+//!    [`PreparedQuery::execute`] — lattice presentation, chain search, LLP
+//!    solve, and proof sequences are computed once and reused;
+//! 3. **free functions**: [`chain_join`], [`sma_join`], [`csma_join`],
+//!    [`generic_join`], [`binary_join`], [`naive_join`] — thin shims over
+//!    the engine.
 //!
 //! All algorithms share the [`Expander`] (the Sec. 2 expansion procedure)
 //! and report deterministic work counters ([`Stats`]) so experiments can
-//! verify asymptotic *shapes* without wall-clock noise.
+//! verify asymptotic *shapes* without wall-clock noise. Results come back
+//! as one [`JoinResult`]; failures as one [`JoinError`].
 
 mod binary_join;
-pub mod chain_algo;
+mod chain_algo;
 mod csma;
+pub mod engine;
 mod expand;
 mod generic_join;
 mod naive;
 mod sma;
 mod stats;
 
-pub use binary_join::binary_join;
-pub use chain_algo::{chain_join, chain_join_no_argmin, chain_join_with, ChainError, ChainJoinOutput};
-pub use csma::{csma_join, csma_join_with, CsmaError, CsmaOptions, CsmaOutput, UserDegreeBound};
+pub use chain_algo::atom_log_sizes;
+pub use engine::{
+    binary_join, chain_join, chain_join_no_argmin, csma_join, generic_join, naive_join, sma_join,
+    Algorithm, Engine, ExecOptions, JoinError, JoinResult, PlanDetail, PrepStats, PreparedQuery,
+    UserDegreeBound,
+};
 pub use expand::Expander;
-pub use generic_join::{generic_join, GjOptions};
-pub use naive::naive_join;
-pub use sma::{sma_join, SmaError, SmaOutput};
 pub use stats::Stats;

@@ -6,19 +6,19 @@
 use crate::{Expander, Stats};
 use fdjoin_lattice::VarSet;
 use fdjoin_query::Query;
-use fdjoin_storage::{Database, Relation, Value};
+use fdjoin_storage::{Database, MissingRelation, Relation, Value};
 
 /// Evaluate `q` on `db` naively. Output columns are all query variables in
 /// ascending id order.
-pub fn naive_join(q: &Query, db: &Database) -> (Relation, Stats) {
+pub(crate) fn execute(q: &Query, db: &Database) -> Result<(Relation, Stats), MissingRelation> {
     let mut stats = Stats::default();
-    let ex = Expander::new(q, db);
+    let ex = Expander::new(q, db)?;
     let nv = q.n_vars();
 
     // Accumulate partial tuples as (bound set, values).
     let mut partials: Vec<(VarSet, Vec<Value>)> = vec![(VarSet::EMPTY, vec![0; nv])];
     for atom in q.atoms() {
-        let rel = db.relation(&atom.name);
+        let rel = db.relation(&atom.name)?;
         let mut next = Vec::new();
         for (bound, vals) in &partials {
             for row in rel.rows() {
@@ -58,12 +58,13 @@ pub fn naive_join(q: &Query, db: &Database) -> (Relation, Stats) {
         }
     }
     out.sort_dedup();
-    (out, stats)
+    Ok((out, stats))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::naive_join;
 
     #[test]
     fn triangle_naive() {
@@ -73,7 +74,7 @@ mod tests {
         db.insert("R", Relation::from_rows(vec![0, 1], [[1, 2], [1, 9]]));
         db.insert("S", Relation::from_rows(vec![1, 2], [[2, 3]]));
         db.insert("T", Relation::from_rows(vec![2, 0], [[3, 1]]));
-        let (out, _) = naive_join(&q, &db);
+        let out = naive_join(&q, &db).unwrap().output;
         assert_eq!(out.len(), 1);
         assert_eq!(out.row(0), &[1, 2, 3]);
     }
@@ -87,7 +88,7 @@ mod tests {
         db.insert("T", Relation::from_rows(vec![2, 3], [[5, 1], [5, 2]]));
         db.udfs.register(VarSet::from_vars([0, 2]), 3, |v| v[0]); // u = x
         db.udfs.register(VarSet::from_vars([1, 3]), 0, |v| v[1]); // x = u
-        let (out, _) = naive_join(&q, &db);
+        let out = naive_join(&q, &db).unwrap().output;
         // x=1,y=2,z=5: u must equal f(1,5)=1 and g(2,1)=1=x. T(5,1) ✓;
         // T(5,2) fails u=f(x,z).
         assert_eq!(out.len(), 1);
@@ -101,10 +102,21 @@ mod tests {
         let mut db = Database::new();
         db.insert("R", Relation::from_rows(vec![0], [[1], [2]]));
         db.insert("S", Relation::from_rows(vec![1], [[10], [20]]));
-        db.udfs.register(VarSet::from_vars([0, 1]), 2, |v| v[0] + v[1]);
-        let (out, _) = naive_join(&q, &db);
+        db.udfs
+            .register(VarSet::from_vars([0, 1]), 2, |v| v[0] + v[1]);
+        let out = naive_join(&q, &db).unwrap().output;
         assert_eq!(out.len(), 4);
         assert!(out.contains_row(&[1, 10, 11]));
         assert!(out.contains_row(&[2, 20, 22]));
+    }
+
+    #[test]
+    fn missing_relation_is_reported() {
+        let q = fdjoin_query::examples::triangle();
+        let mut db = Database::new();
+        db.insert("R", Relation::from_rows(vec![0, 1], [[1, 2]]));
+        // S and T absent.
+        let err = naive_join(&q, &db).unwrap_err();
+        assert!(matches!(err, crate::engine::JoinError::MissingRelation(ref n) if n == "S"));
     }
 }

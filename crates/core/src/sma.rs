@@ -1,78 +1,49 @@
 //! The Submodularity Algorithm (Algorithm 2, Sec. 5.2).
 //!
-//! Solves the LLP for the actual input sizes, takes the dual output
-//! inequality `Σ w*_j h(R_j) ≥ h(1̂)`, finds a *good* SM-proof sequence for
-//! it (Definition 5.26), and executes each elementary compression as an
+//! Planning ([`plan`]): solve the LLP for the actual input sizes, take the
+//! dual output inequality `Σ w*_j h(R_j) ≥ h(1̂)`, and find a *good*
+//! SM-proof sequence for it (Definition 5.26), falling back to a fractional
+//! edge cover of the co-atomic hypergraph (Corollary 5.22).
+//!
+//! Execution ([`execute`]): run each elementary compression as an
 //! *SM-join*: the light part of `T(Y)` (prefix degree `≤ 2^{h*(Y)−h*(Z)}`)
 //! joins with `T(X)` into `T(X ∨ Y)`; the heavy prefixes become
 //! `T(X ∧ Y)`. Lemma 5.24 keeps every temporary within `2^{h*(·)}`.
 
+use crate::engine::JoinError;
 use crate::{Expander, Stats};
 use fdjoin_bigint::Rational;
-use fdjoin_bounds::llp::solve_llp;
+use fdjoin_bounds::llp::LlpSolution;
 use fdjoin_bounds::smproof::{scale_weights, search_good_sm_proof, SmProof};
 use fdjoin_bounds::LatticeFn;
-use fdjoin_query::Query;
-use fdjoin_storage::{Database, Relation, Value};
-use std::fmt;
+use fdjoin_query::{LatticePresentation, Query};
+use fdjoin_storage::{Database, MissingRelation, Relation, Value};
 
-/// Why SMA could not run.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum SmaError {
-    /// No good SM-proof sequence exists for the dual inequality
-    /// (Example 5.31's situation — use CSMA instead).
-    NoGoodProof,
-}
-
-impl fmt::Display for SmaError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SmaError::NoGoodProof => {
-                write!(f, "no good SM-proof sequence exists; fall back to CSMA")
-            }
-        }
-    }
-}
-
-impl std::error::Error for SmaError {}
-
-/// Result of an SMA run.
-#[derive(Debug)]
-pub struct SmaOutput {
-    /// The query answer over all variables (ascending id order).
-    pub output: Relation,
-    /// Work counters.
-    pub stats: Stats,
-    /// `log₂` of the LLP bound the run was budgeted against.
-    pub log_bound: Rational,
-    /// The good proof sequence that was executed.
+/// The data-independent part of an SMA run: everything derived from the
+/// lattice presentation and the input *sizes* alone, reusable across
+/// executions (and cached by `PreparedQuery`).
+#[derive(Clone, Debug)]
+pub(crate) struct SmaPlan {
+    /// `(atom index, multiplicity)` — the proof's starting multiset in atom
+    /// terms, determining how many temporary-table copies to seed.
+    pub multiset: Vec<(usize, u64)>,
+    /// The good proof sequence to execute.
     pub proof: SmProof,
+    /// The LLP optimum `h*`, read for the heavy/light degree thresholds.
+    pub h: LatticeFn,
+    /// `log₂` of the LLP bound the run is budgeted against.
+    pub log_bound: Rational,
 }
 
-/// Convert a rational log-threshold to a concrete degree threshold
-/// `⌊2^θ⌋`, exactly for small denominators and via `f64` otherwise (the
-/// bucketing slack is within the algorithm's constant-factor budget).
-fn degree_threshold(theta: &Rational) -> u64 {
-    if theta.is_negative() {
-        return 0;
-    }
-    if theta.denom().to_u64().is_some_and(|d| d <= 64) {
-        return theta.exp2_floor().to_u64().unwrap_or(u64::MAX);
-    }
-    let f = theta.to_f64();
-    if f >= 63.0 {
-        u64::MAX
-    } else {
-        f.exp2().floor() as u64
-    }
-}
-
-/// Run SMA end to end.
-pub fn sma_join(q: &Query, db: &Database) -> Result<SmaOutput, SmaError> {
-    let pres = q.lattice_presentation();
+/// Build an [`SmaPlan`] from a pre-solved LLP for the given input sizes, or
+/// [`JoinError::NoGoodProof`] if no good SM-proof sequence exists
+/// (Example 5.31's situation — use CSMA instead).
+pub(crate) fn plan(
+    pres: &LatticePresentation,
+    llp: &LlpSolution,
+    log_sizes: &[Rational],
+) -> Result<SmaPlan, JoinError> {
     let lat = &pres.lattice;
-    let log_sizes = crate::chain_algo::atom_log_sizes(q, db);
-    let llp = solve_llp(lat, &pres.inputs, &log_sizes);
     let (qmul, d) = scale_weights(&llp.input_duals);
 
     // Multiset of input closures with dual multiplicities.
@@ -97,13 +68,13 @@ pub fn sma_join(q: &Query, db: &Database) -> Result<SmaOutput, SmaError> {
         Some(p) => p,
         None => {
             let (p, _cover_bound) =
-                fdjoin_bounds::smproof::coatomic_cover_proof(lat, &pres.inputs, &log_sizes)
-                    .ok_or(SmaError::NoGoodProof)?;
+                fdjoin_bounds::smproof::coatomic_cover_proof(lat, &pres.inputs, log_sizes)
+                    .ok_or(JoinError::NoGoodProof)?;
             // Rebuild the atom-level multiset to match the fallback proof.
             let (qc, _dc) = {
                 let hco = fdjoin_bounds::normal::coatomic_hypergraph(lat, &pres.inputs);
                 let cover = hco
-                    .fractional_edge_cover(&log_sizes)
+                    .fractional_edge_cover(log_sizes)
                     .expect("fallback cover exists");
                 scale_weights(&cover.weights)
             };
@@ -116,9 +87,24 @@ pub fn sma_join(q: &Query, db: &Database) -> Result<SmaOutput, SmaError> {
             p
         }
     };
+    Ok(SmaPlan {
+        multiset,
+        proof,
+        h: llp.h.clone(),
+        log_bound: llp.value.clone(),
+    })
+}
 
+/// Execute a pre-computed [`SmaPlan`] against a database.
+pub(crate) fn execute(
+    q: &Query,
+    db: &Database,
+    pres: &LatticePresentation,
+    sma: &SmaPlan,
+) -> Result<(Relation, Stats), MissingRelation> {
+    let lat = &pres.lattice;
     let mut stats = Stats::default();
-    let ex = Expander::new(q, db);
+    let ex = Expander::new(q, db)?;
 
     // Temporary-table pool: one entry per multiset copy.
     struct Entry {
@@ -127,18 +113,22 @@ pub fn sma_join(q: &Query, db: &Database) -> Result<SmaOutput, SmaError> {
         consumed: bool,
     }
     let mut pool: Vec<Entry> = Vec::new();
-    for &(j, m) in &multiset {
-        let expanded = ex.expand_relation(db.relation(&q.atoms()[j].name), &mut stats);
+    for &(j, m) in &sma.multiset {
+        let expanded = ex.expand_relation(db.relation(&q.atoms()[j].name)?, &mut stats);
         for _ in 0..m {
-            pool.push(Entry { elem: pres.inputs[j], rel: expanded.clone(), consumed: false });
+            pool.push(Entry {
+                elem: pres.inputs[j],
+                rel: expanded.clone(),
+                consumed: false,
+            });
         }
     }
 
-    let h: &LatticeFn = &llp.h;
+    let h: &LatticeFn = &sma.h;
     let nv = q.n_vars();
     let mut vals = vec![0 as Value; nv];
 
-    for step in &proof.steps {
+    for step in &sma.proof.steps {
         let xi = pool
             .iter()
             .position(|e| !e.consumed && e.elem == step.x)
@@ -159,7 +149,12 @@ pub fn sma_join(q: &Query, db: &Database) -> Result<SmaOutput, SmaError> {
         let ty = {
             let mut order = z_vars.clone();
             order.extend(
-                pool[yi].rel.vars().iter().copied().filter(|v| !z_vars.contains(v)),
+                pool[yi]
+                    .rel
+                    .vars()
+                    .iter()
+                    .copied()
+                    .filter(|v| !z_vars.contains(v)),
             );
             pool[yi].rel.project(&order)
         };
@@ -201,8 +196,10 @@ pub fn sma_join(q: &Query, db: &Database) -> Result<SmaOutput, SmaError> {
         let mut t_join = Relation::new(out_vars.clone());
         let mut buf = vec![0 as Value; out_vars.len()];
         let mut key: Vec<Value> = Vec::new();
-        let tx_z_cols: Vec<usize> =
-            z_vars.iter().map(|&v| tx.col_of(v).expect("Z ⊆ X")).collect();
+        let tx_z_cols: Vec<usize> = z_vars
+            .iter()
+            .map(|&v| tx.col_of(v).expect("Z ⊆ X"))
+            .collect();
         for row in tx.rows() {
             key.clear();
             key.extend(tx_z_cols.iter().map(|&c| row[c]));
@@ -238,8 +235,16 @@ pub fn sma_join(q: &Query, db: &Database) -> Result<SmaOutput, SmaError> {
         }
         t_join.sort_dedup();
 
-        pool.push(Entry { elem: z, rel: t_meet, consumed: false });
-        pool.push(Entry { elem: join, rel: t_join, consumed: false });
+        pool.push(Entry {
+            elem: z,
+            rel: t_meet,
+            consumed: false,
+        });
+        pool.push(Entry {
+            elem: join,
+            rel: t_join,
+            consumed: false,
+        });
     }
 
     // Union the T(1̂) tables, semijoin-reduce with every input, verify FDs.
@@ -258,12 +263,8 @@ pub fn sma_join(q: &Query, db: &Database) -> Result<SmaOutput, SmaError> {
     let full = fdjoin_lattice::VarSet::full(nv as u32);
     'rows: for row in out.rows() {
         for atom in q.atoms() {
-            let rel = db.relation(&atom.name);
-            let key: Vec<Value> = rel
-                .vars()
-                .iter()
-                .map(|&v| row[v as usize])
-                .collect();
+            let rel = db.relation(&atom.name)?;
+            let key: Vec<Value> = rel.vars().iter().map(|&v| row[v as usize]).collect();
             stats.probes += 1;
             if !rel.contains_row(&key) {
                 continue 'rows;
@@ -277,13 +278,31 @@ pub fn sma_join(q: &Query, db: &Database) -> Result<SmaOutput, SmaError> {
     }
     reduced.sort_dedup();
 
-    Ok(SmaOutput { output: reduced, stats, log_bound: llp.value, proof })
+    Ok((reduced, stats))
+}
+
+/// Convert a rational log-threshold to a concrete degree threshold
+/// `⌊2^θ⌋`, exactly for small denominators and via `f64` otherwise (the
+/// bucketing slack is within the algorithm's constant-factor budget).
+fn degree_threshold(theta: &Rational) -> u64 {
+    if theta.is_negative() {
+        return 0;
+    }
+    if theta.denom().to_u64().is_some_and(|d| d <= 64) {
+        return theta.exp2_floor().to_u64().unwrap_or(u64::MAX);
+    }
+    let f = theta.to_f64();
+    if f >= 63.0 {
+        u64::MAX
+    } else {
+        f.exp2().floor() as u64
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::naive::naive_join;
+    use crate::engine::{naive_join, sma_join};
     use fdjoin_lattice::VarSet;
 
     #[test]
@@ -294,23 +313,43 @@ mod tests {
             "R",
             Relation::from_rows(vec![0, 1], [[1, 2], [1, 3], [2, 3], [5, 6]]),
         );
-        db.insert("S", Relation::from_rows(vec![1, 2], [[2, 3], [3, 1], [6, 5]]));
-        db.insert("T", Relation::from_rows(vec![2, 0], [[3, 1], [1, 1], [5, 5]]));
-        let (expect, _) = naive_join(&q, &db);
+        db.insert(
+            "S",
+            Relation::from_rows(vec![1, 2], [[2, 3], [3, 1], [6, 5]]),
+        );
+        db.insert(
+            "T",
+            Relation::from_rows(vec![2, 0], [[3, 1], [1, 1], [5, 5]]),
+        );
+        let expect = naive_join(&q, &db).unwrap().output;
         let got = sma_join(&q, &db).unwrap();
-        assert_eq!(got.output, expect, "proof: {:?}", got.proof.steps);
+        assert_eq!(
+            got.output,
+            expect,
+            "proof: {:?}",
+            got.sm_proof().map(|p| p.steps.clone())
+        );
     }
 
     #[test]
     fn fig1_udf_matches_naive() {
         let q = fdjoin_query::examples::fig1_udf();
         let mut db = Database::new();
-        db.insert("R", Relation::from_rows(vec![0, 1], [[1, 1], [2, 1], [1, 2], [2, 2]]));
-        db.insert("S", Relation::from_rows(vec![1, 2], [[1, 1], [2, 1], [1, 2]]));
-        db.insert("T", Relation::from_rows(vec![2, 3], [[1, 1], [1, 2], [2, 1], [2, 2]]));
+        db.insert(
+            "R",
+            Relation::from_rows(vec![0, 1], [[1, 1], [2, 1], [1, 2], [2, 2]]),
+        );
+        db.insert(
+            "S",
+            Relation::from_rows(vec![1, 2], [[1, 1], [2, 1], [1, 2]]),
+        );
+        db.insert(
+            "T",
+            Relation::from_rows(vec![2, 3], [[1, 1], [1, 2], [2, 1], [2, 2]]),
+        );
         db.udfs.register(VarSet::from_vars([0, 2]), 3, |v| v[0]); // u = x
         db.udfs.register(VarSet::from_vars([1, 3]), 0, |v| v[1]); // x = u
-        let (expect, _) = naive_join(&q, &db);
+        let expect = naive_join(&q, &db).unwrap().output;
         let got = sma_join(&q, &db).unwrap();
         assert_eq!(got.output, expect);
     }

@@ -42,8 +42,20 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = Stats { probes: 1, intermediate_tuples: 2, output_tuples: 3, expansions: 4, branches: 5 };
-        let b = Stats { probes: 10, intermediate_tuples: 20, output_tuples: 30, expansions: 40, branches: 50 };
+        let mut a = Stats {
+            probes: 1,
+            intermediate_tuples: 2,
+            output_tuples: 3,
+            expansions: 4,
+            branches: 5,
+        };
+        let b = Stats {
+            probes: 10,
+            intermediate_tuples: 20,
+            output_tuples: 30,
+            expansions: 40,
+            branches: 50,
+        };
         a.merge(&b);
         assert_eq!(a.probes, 11);
         assert_eq!(a.work(), 11 + 22 + 33 + 44);

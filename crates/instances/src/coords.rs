@@ -39,7 +39,10 @@ impl CoordScheme {
             offset += width;
         }
         assert!(offset <= 63, "instance exponent too large for u64 values");
-        CoordScheme { fields, total_bits: offset }
+        CoordScheme {
+            fields,
+            total_bits: offset,
+        }
     }
 
     /// The bit mask of coordinates visible to an element `e` (those `Z`
@@ -116,8 +119,7 @@ pub fn materialize(
                 .expect("variable closure is a lattice element")
         })
         .collect();
-    let var_mask: Vec<u64> =
-        var_elem.iter().map(|&e| scheme.mask_of(lat, e)).collect();
+    let var_mask: Vec<u64> = var_elem.iter().map(|&e| scheme.mask_of(lat, e)).collect();
 
     // Generate each relation directly over its relevant coordinate fields.
     for (j, atom) in q.atoms().iter().enumerate() {
@@ -129,7 +131,11 @@ pub fn materialize(
             .map(|&(_, off, w)| (off, w))
             .collect();
         let total: u32 = relevant.iter().map(|&(_, w)| w).sum();
-        assert!(total <= 40, "relation {} would need 2^{total} rows", atom.name);
+        assert!(
+            total <= 40,
+            "relation {} would need 2^{total} rows",
+            atom.name
+        );
         let mut rel = Relation::new(atom.vars.clone());
         let mut row = vec![0 as Value; atom.vars.len()];
         for combo in 0u64..(1u64 << total) {
@@ -164,7 +170,10 @@ pub fn register_coordinate_udfs(
 ) {
     let lat = &pres.lattice;
     let var_elem: Vec<ElemId> = (0..q.n_vars() as u32)
-        .map(|v| lat.closure_of(fdjoin_lattice::VarSet::singleton(v)).unwrap())
+        .map(|v| {
+            lat.closure_of(fdjoin_lattice::VarSet::singleton(v))
+                .unwrap()
+        })
         .collect();
     for fd in q.fds.fds() {
         if q.guard_of(fd).is_some() {
@@ -211,11 +220,7 @@ pub fn register_coordinate_udfs(
 /// per-atom log sizes and materialize if the coefficients are integral and
 /// attain `target` (callers pick sizes making this exact — e.g. `n` divisible
 /// by the bound's denominator).
-pub fn normal_worst_case(
-    q: &Query,
-    log_sizes: &[Rational],
-    target: &Rational,
-) -> Option<Database> {
+pub fn normal_worst_case(q: &Query, log_sizes: &[Rational], target: &Rational) -> Option<Database> {
     let pres = q.lattice_presentation();
     let coef = strictly_normal_coefficients(&pres.lattice, &pres.inputs, log_sizes, target)?;
     Some(materialize(q, &pres, &coef))
@@ -234,9 +239,9 @@ mod tests {
         let q = examples::triangle();
         let db = normal_worst_case(&q, &vec![rat(4, 1); 3], &rat(6, 1)).expect("integral");
         for name in ["R", "S", "T"] {
-            assert_eq!(db.relation(name).len(), 16, "{name}");
+            assert_eq!(db.relation(name).unwrap().len(), 16, "{name}");
         }
-        let (out, _) = fdjoin_core::naive_join(&q, &db);
+        let out = fdjoin_core::naive_join(&q, &db).unwrap().output;
         assert_eq!(out.len(), 64);
     }
 
@@ -246,9 +251,9 @@ mod tests {
         let q = examples::fig4_query();
         let db = normal_worst_case(&q, &vec![rat(3, 1); 4], &rat(4, 1)).expect("integral");
         for atom in q.atoms() {
-            assert_eq!(db.relation(&atom.name).len(), 8, "{}", atom.name);
+            assert_eq!(db.relation(&atom.name).unwrap().len(), 8, "{}", atom.name);
         }
-        let (out, _) = fdjoin_core::naive_join(&q, &db);
+        let out = fdjoin_core::naive_join(&q, &db).unwrap().output;
         assert_eq!(out.len(), 16);
     }
 
@@ -258,9 +263,9 @@ mod tests {
         let q = examples::fig9_query();
         let db = normal_worst_case(&q, &vec![rat(2, 1); 3], &rat(3, 1)).expect("integral");
         for atom in q.atoms() {
-            assert_eq!(db.relation(&atom.name).len(), 4, "{}", atom.name);
+            assert_eq!(db.relation(&atom.name).unwrap().len(), 4, "{}", atom.name);
         }
-        let (out, _) = fdjoin_core::naive_join(&q, &db);
+        let out = fdjoin_core::naive_join(&q, &db).unwrap().output;
         assert_eq!(out.len(), 8);
     }
 
@@ -269,8 +274,7 @@ mod tests {
         let q = examples::fig1_udf();
         let pres = q.lattice_presentation();
         let lat = &pres.lattice;
-        let coef: Vec<(ElemId, u32)> =
-            lat.coatoms().into_iter().map(|z| (z, 1)).collect();
+        let coef: Vec<(ElemId, u32)> = lat.coatoms().into_iter().map(|z| (z, 1)).collect();
         let scheme = CoordScheme::new(&coef);
         // Monotone: e ≤ f implies mask(e) ⊆ mask(f).
         for e in lat.elems() {

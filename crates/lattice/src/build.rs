@@ -14,7 +14,14 @@ pub fn boolean(k: u32) -> Lattice {
 pub fn m3() -> Lattice {
     Lattice::from_covers(
         &["0", "x", "y", "z", "1"],
-        &[("0", "x"), ("0", "y"), ("0", "z"), ("x", "1"), ("y", "1"), ("z", "1")],
+        &[
+            ("0", "x"),
+            ("0", "y"),
+            ("0", "z"),
+            ("x", "1"),
+            ("y", "1"),
+            ("z", "1"),
+        ],
     )
     .expect("M3 is a lattice")
 }
@@ -34,7 +41,10 @@ pub fn n5() -> Lattice {
 /// representation of finite distributive lattices, and the object behind
 /// Proposition 3.2 (simple FDs generate exactly such lattices).
 pub fn order_ideals(k: u32, hasse: &[(u32, u32)]) -> Lattice {
-    assert!(k <= 20, "order-ideal enumeration limited to 20 poset elements");
+    assert!(
+        k <= 20,
+        "order-ideal enumeration limited to 20 poset elements"
+    );
     // Transitive closure of the strict order.
     let mut lt = vec![false; (k * k) as usize];
     for &(a, b) in hasse {
@@ -72,8 +82,9 @@ pub fn chain(k: usize) -> Lattice {
     assert!(k >= 1);
     let names: Vec<String> = (0..k).map(|i| format!("c{i}")).collect();
     let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
-    let covers: Vec<(&str, &str)> =
-        (0..k - 1).map(|i| (name_refs[i], name_refs[i + 1])).collect();
+    let covers: Vec<(&str, &str)> = (0..k - 1)
+        .map(|i| (name_refs[i], name_refs[i + 1]))
+        .collect();
     Lattice::from_covers(&name_refs, &covers).expect("chain is a lattice")
 }
 
@@ -140,8 +151,8 @@ pub fn fig8() -> Lattice {
 pub fn fig9() -> Lattice {
     Lattice::from_covers(
         &[
-            "0", "D", "E", "F", "G", "I", "J", "M", "N", "O", "Z", "P", "S", "T", "U", "V",
-            "W", "1",
+            "0", "D", "E", "F", "G", "I", "J", "M", "N", "O", "Z", "P", "S", "T", "U", "V", "W",
+            "1",
         ],
         &[
             ("0", "D"),
@@ -184,7 +195,9 @@ pub fn fig9() -> Lattice {
 /// (`N^{4/3}`).
 pub fn fig4() -> Lattice {
     Lattice::from_covers(
-        &["0", "a", "b", "c", "d", "e", "f", "abc", "ade", "bdf", "cef", "1"],
+        &[
+            "0", "a", "b", "c", "d", "e", "f", "abc", "ade", "bdf", "cef", "1",
+        ],
         &[
             ("0", "a"),
             ("0", "b"),
@@ -219,7 +232,17 @@ mod tests {
 
     #[test]
     fn all_builders_produce_lattices() {
-        for l in [boolean(2), boolean(4), m3(), n5(), chain(5), fig4(), fig7(), fig8(), fig9()] {
+        for l in [
+            boolean(2),
+            boolean(4),
+            m3(),
+            n5(),
+            chain(5),
+            fig4(),
+            fig7(),
+            fig8(),
+            fig9(),
+        ] {
             assert!(l.verify_lattice_axioms(), "lattice axioms violated");
         }
     }

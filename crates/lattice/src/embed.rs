@@ -43,8 +43,7 @@ impl Embedding {
     pub fn right_adjoint(&self, src: &Lattice, dst: &Lattice) -> Vec<ElemId> {
         let mut r = vec![src.bottom(); dst.len()];
         for (y, ry) in r.iter_mut().enumerate() {
-            let below: Vec<ElemId> =
-                src.elems().filter(|&x| dst.leq(self.map[x], y)).collect();
+            let below: Vec<ElemId> = src.elems().filter(|&x| dst.leq(self.map[x], y)).collect();
             *ry = src.join_all(below);
         }
         r
@@ -98,7 +97,11 @@ mod tests {
             .elems()
             .map(|e| {
                 let s = src.set_of(e).unwrap();
-                let img = if s.is_empty() { VarSet::EMPTY } else { VarSet::singleton(0) };
+                let img = if s.is_empty() {
+                    VarSet::EMPTY
+                } else {
+                    VarSet::singleton(0)
+                };
                 dst.elem_of_set(img).unwrap()
             })
             .collect();

@@ -187,13 +187,19 @@ impl Lattice {
             for j in 0..n {
                 // Meet: the greatest common lower bound, if unique.
                 let lowers: Vec<usize> = (0..n).filter(|&k| le(k, i) && le(k, j)).collect();
-                let m = lowers.iter().copied().find(|&m| lowers.iter().all(|&k| le(k, m)));
+                let m = lowers
+                    .iter()
+                    .copied()
+                    .find(|&m| lowers.iter().all(|&k| le(k, m)));
                 match m {
                     Some(m) => meet_tbl[i * n + j] = m as u32,
                     None => return Err(LatticeError::NoMeet(i, j)),
                 }
                 let uppers: Vec<usize> = (0..n).filter(|&k| le(i, k) && le(j, k)).collect();
-                let jn = uppers.iter().copied().find(|&m| uppers.iter().all(|&k| le(m, k)));
+                let jn = uppers
+                    .iter()
+                    .copied()
+                    .find(|&m| uppers.iter().all(|&k| le(m, k)));
                 match jn {
                     Some(jn) => join_tbl[i * n + j] = jn as u32,
                     None => return Err(LatticeError::NoJoin(i, j)),
@@ -351,7 +357,10 @@ impl Lattice {
 
     /// Join-irreducibles `≤ x` (the set `Λx` of the paper).
     pub fn irreducibles_below(&self, x: ElemId) -> Vec<ElemId> {
-        self.join_irreducibles().into_iter().filter(|&j| self.leq(j, x)).collect()
+        self.join_irreducibles()
+            .into_iter()
+            .filter(|&j| self.leq(j, x))
+            .collect()
     }
 
     /// All maximal chains `0̂ = C₀ ≺ C₁ ≺ … ≺ C_k = 1̂`, enumerated by DFS
@@ -431,7 +440,10 @@ impl fmt::Debug for Lattice {
                 f,
                 "  [{e}] {} covers {:?}",
                 self.names[e],
-                self.lower_covers(e).iter().map(|&c| self.name(c)).collect::<Vec<_>>()
+                self.lower_covers(e)
+                    .iter()
+                    .map(|&c| self.name(c))
+                    .collect::<Vec<_>>()
             )?;
         }
         Ok(())

@@ -79,10 +79,7 @@ impl Lattice {
     }
 
     /// Find an `M3` sublattice whose pairwise join equals the given element.
-    pub fn find_m3_with_join(
-        &self,
-        t: ElemId,
-    ) -> Option<(ElemId, ElemId, ElemId, ElemId)> {
+    pub fn find_m3_with_join(&self, t: ElemId) -> Option<(ElemId, ElemId, ElemId, ElemId)> {
         let n = self.len();
         for x in 0..n {
             for y in (x + 1)..n {
@@ -164,7 +161,9 @@ impl Lattice {
     /// repeated single queries).
     pub fn mobius_row(&self, x: ElemId) -> Vec<i64> {
         let mut memo = HashMap::new();
-        (0..self.len()).map(|y| self.mobius_memo(x, y, &mut memo)).collect()
+        (0..self.len())
+            .map(|y| self.mobius_memo(x, y, &mut memo))
+            .collect()
     }
 }
 
@@ -225,9 +224,8 @@ mod tests {
         for x in l.elems() {
             for y in l.elems() {
                 if l.leq(x, y) {
-                    let diff =
-                        l.set_of(y).unwrap().minus(l.set_of(x).unwrap()).len();
-                    let expect = if diff % 2 == 0 { 1 } else { -1 };
+                    let diff = l.set_of(y).unwrap().minus(l.set_of(x).unwrap()).len();
+                    let expect = if diff.is_multiple_of(2) { 1 } else { -1 };
                     assert_eq!(l.mobius(x, y), expect, "μ({x},{y})");
                 } else {
                     assert_eq!(l.mobius(x, y), 0);
@@ -243,8 +241,7 @@ mod tests {
         for l in [build::boolean(3), build::m3(), build::n5(), build::fig9()] {
             for x in l.elems() {
                 let row = l.mobius_row(x);
-                let total: i64 =
-                    l.elems().filter(|&z| l.leq(x, z)).map(|z| row[z]).sum();
+                let total: i64 = l.elems().filter(|&z| l.leq(x, z)).map(|z| row[z]).sum();
                 let expect = if x == l.top() { 1 } else { 0 };
                 assert_eq!(total, expect);
             }

@@ -62,7 +62,12 @@ pub struct Lp {
 impl Lp {
     /// Create an LP with a zero objective over `n_vars` non-negative variables.
     pub fn new(sense: Sense, n_vars: usize) -> Self {
-        Lp { sense, n_vars, objective: vec![Rational::zero(); n_vars], constraints: Vec::new() }
+        Lp {
+            sense,
+            n_vars,
+            objective: vec![Rational::zero(); n_vars],
+            constraints: Vec::new(),
+        }
     }
 
     /// Set the objective coefficient of variable `v`.
@@ -214,10 +219,10 @@ impl Simplex {
 
         // Internal orientation is always "maximize".
         let mut cost = vec![Rational::zero(); n_cols];
-        for v in 0..n {
-            cost[v] = match lp.sense {
-                Sense::Max => lp.objective[v].clone(),
-                Sense::Min => -lp.objective[v].clone(),
+        for (c, obj) in cost.iter_mut().zip(&lp.objective) {
+            *c = match lp.sense {
+                Sense::Max => obj.clone(),
+                Sense::Min => -obj.clone(),
             };
         }
 
@@ -288,7 +293,11 @@ impl Simplex {
             Sense::Max => value,
             Sense::Min => -value,
         };
-        Ok(Solution { value: user_value, primal, dual })
+        Ok(Solution {
+            value: user_value,
+            primal,
+            dual,
+        })
     }
 
     /// Run simplex iterations maximizing `cost`, considering entering columns
@@ -367,9 +376,9 @@ impl Simplex {
             if factor.is_zero() {
                 continue;
             }
-            for j in 0..self.n_cols {
-                if !pivot_row[j].is_zero() {
-                    let delta = &factor * &pivot_row[j];
+            for (j, p) in pivot_row.iter().enumerate() {
+                if !p.is_zero() {
+                    let delta = &factor * p;
                     self.rows[r][j] -= &delta;
                 }
             }
@@ -400,8 +409,8 @@ mod tests {
         let sol = solve(&lp).unwrap();
         assert_eq!(sol.value, r(4, 1));
         // Strong duality.
-        let dual_val = &(&sol.dual[0] * &r(2, 1))
-            + &(&(&sol.dual[1] * &r(3, 1)) + &(&sol.dual[2] * &r(4, 1)));
+        let dual_val =
+            &(&sol.dual[0] * &r(2, 1)) + &(&(&sol.dual[1] * &r(3, 1)) + &(&sol.dual[2] * &r(4, 1)));
         assert_eq!(dual_val, r(4, 1));
     }
 

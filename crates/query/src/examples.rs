@@ -38,7 +38,9 @@ pub fn degree_triangle() -> Query {
         .atom("T", &[z, x])
         .atom("C1", &[c1])
         .atom("C2", &[c2]);
-    b.fd(&[x, c1], &[y]).fd(&[y, c2], &[x]).fd(&[x, y], &[c1, c2]);
+    b.fd(&[x, c1], &[y])
+        .fd(&[y, c2], &[x])
+        .fd(&[x, y], &[c1, c2]);
     b.build()
 }
 
@@ -48,7 +50,10 @@ pub fn degree_triangle() -> Query {
 pub fn four_cycle_key() -> Query {
     let mut b = Query::builder();
     let (x, y, z, u) = (b.var("x"), b.var("y"), b.var("z"), b.var("u"));
-    b.atom("R", &[x, y]).atom("S", &[y, z]).atom("T", &[z, u]).atom("K", &[u, x]);
+    b.atom("R", &[x, y])
+        .atom("S", &[y, z])
+        .atom("T", &[z, u])
+        .atom("K", &[u, x]);
     b.fd(&[y], &[z]);
     b.build()
 }

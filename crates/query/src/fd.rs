@@ -94,9 +94,14 @@ impl FdSet {
     /// lattice, Definition 3.1). Exponential in `|universe|`; queries here
     /// have at most a dozen variables.
     pub fn closed_sets(&self, universe: VarSet) -> Vec<VarSet> {
-        assert!(universe.len() <= 22, "closed-set enumeration limited to 22 variables");
-        let mut out: Vec<VarSet> =
-            universe.subsets().filter(|&s| self.closure(s).is_subset(universe) && self.is_closed(s)).collect();
+        assert!(
+            universe.len() <= 22,
+            "closed-set enumeration limited to 22 variables"
+        );
+        let mut out: Vec<VarSet> = universe
+            .subsets()
+            .filter(|&s| self.closure(s).is_subset(universe) && self.is_closed(s))
+            .collect();
         out.sort_by_key(|s| (s.len(), s.0));
         out
     }
@@ -160,14 +165,14 @@ mod tests {
         // Paper Fig. 1: 12 closed sets.
         assert_eq!(closed.len(), 12);
         assert!(closed.contains(&vs(&[])));
-        assert!(closed.contains(&vs(&[0, 1])));        // xy
-        assert!(closed.contains(&vs(&[0, 3])));        // xu
-        assert!(closed.contains(&vs(&[2, 3])));        // zu
-        assert!(closed.contains(&vs(&[1, 2])));        // yz
-        assert!(closed.contains(&vs(&[0, 1, 3])));     // xyu
-        assert!(closed.contains(&vs(&[0, 2, 3])));     // xzu
-        assert!(!closed.contains(&vs(&[0, 2])));       // xz not closed
-        assert!(!closed.contains(&vs(&[1, 3])));       // yu not closed
+        assert!(closed.contains(&vs(&[0, 1]))); // xy
+        assert!(closed.contains(&vs(&[0, 3]))); // xu
+        assert!(closed.contains(&vs(&[2, 3]))); // zu
+        assert!(closed.contains(&vs(&[1, 2]))); // yz
+        assert!(closed.contains(&vs(&[0, 1, 3]))); // xyu
+        assert!(closed.contains(&vs(&[0, 2, 3]))); // xzu
+        assert!(!closed.contains(&vs(&[0, 2]))); // xz not closed
+        assert!(!closed.contains(&vs(&[1, 3]))); // yu not closed
     }
 
     #[test]

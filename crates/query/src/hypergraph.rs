@@ -80,7 +80,11 @@ impl Hypergraph {
             lp.add_constraint(coeffs, Cmp::Ge, Rational::one());
         }
         match solve(&lp) {
-            Ok(sol) => Some(EdgeCover { value: sol.value, weights: sol.primal, packing: sol.dual }),
+            Ok(sol) => Some(EdgeCover {
+                value: sol.value,
+                weights: sol.primal,
+                packing: sol.dual,
+            }),
             Err(LpError::Infeasible) | Err(LpError::Unbounded) => None,
         }
     }
@@ -99,11 +103,11 @@ impl Hypergraph {
             lp.set_objective(v, Rational::one());
         }
         for (j, e) in self.edges.iter().enumerate() {
-            let coeffs: Vec<(usize, Rational)> =
-                e.iter().map(|&v| (v, Rational::one())).collect();
+            let coeffs: Vec<(usize, Rational)> = e.iter().map(|&v| (v, Rational::one())).collect();
             lp.add_constraint(coeffs, Cmp::Le, log_sizes[j].clone());
         }
-        let sol = solve(&lp).expect("packing LP is feasible (0) and bounded when no isolated vertex");
+        let sol =
+            solve(&lp).expect("packing LP is feasible (0) and bounded when no isolated vertex");
         (sol.value, sol.primal)
     }
 }

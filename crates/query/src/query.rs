@@ -63,7 +63,10 @@ impl Query {
 
     /// Variable id by name.
     pub fn var_id(&self, name: &str) -> Option<u32> {
-        self.var_names.iter().position(|n| n == name).map(|i| i as u32)
+        self.var_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| i as u32)
     }
 
     /// The query body atoms.
@@ -89,7 +92,9 @@ impl Query {
     /// Whether an FD is *guarded* by some atom (its variables fall inside
     /// that atom's attribute set); returns the guarding atom index.
     pub fn guard_of(&self, fd: &Fd) -> Option<usize> {
-        self.atoms.iter().position(|a| fd.lhs.union(fd.rhs).is_subset(a.var_set()))
+        self.atoms
+            .iter()
+            .position(|a| fd.lhs.union(fd.rhs).is_subset(a.var_set()))
     }
 
     /// The query hypergraph `H_Q` (vertices = variables, edges = atoms).
@@ -131,16 +136,25 @@ impl Query {
             .iter()
             .map(|a| {
                 let closed = self.closure(a.var_set());
-                Atom { name: a.name.clone(), vars: closed.iter().collect() }
+                Atom {
+                    name: a.name.clone(),
+                    vars: closed.iter().collect(),
+                }
             })
             .collect();
-        Query { var_names: self.var_names.clone(), atoms, fds: FdSet::new() }
+        Query {
+            var_names: self.var_names.clone(),
+            atoms,
+            fds: FdSet::new(),
+        }
     }
 
     /// Variables that are *redundant* in the sense of Sec. 3.1 (functionally
     /// equivalent to a set not containing them).
     pub fn redundant_vars(&self) -> Vec<u32> {
-        (0..self.n_vars() as u32).filter(|&v| self.fds.is_redundant(v)).collect()
+        (0..self.n_vars() as u32)
+            .filter(|&v| self.fds.is_redundant(v))
+            .collect()
     }
 
     /// Pretty-print the query body.
@@ -149,8 +163,7 @@ impl Query {
             .atoms
             .iter()
             .map(|a| {
-                let vars: Vec<&str> =
-                    a.vars.iter().map(|&v| self.var_name(v)).collect();
+                let vars: Vec<&str> = a.vars.iter().map(|&v| self.var_name(v)).collect();
                 format!("{}({})", a.name, vars.join(","))
             })
             .collect();
@@ -184,7 +197,10 @@ impl QueryBuilder {
 
     /// Add an atom `name(vars…)`.
     pub fn atom(&mut self, name: &str, vars: &[u32]) -> &mut Self {
-        self.atoms.push(Atom { name: name.to_string(), vars: vars.to_vec() });
+        self.atoms.push(Atom {
+            name: name.to_string(),
+            vars: vars.to_vec(),
+        });
         self
     }
 
@@ -200,7 +216,11 @@ impl QueryBuilder {
     /// Finish, validating that every variable occurs in some atom or is
     /// determined by FDs from atom variables.
     pub fn build(self) -> Query {
-        let q = Query { var_names: self.var_names, atoms: self.atoms, fds: self.fds };
+        let q = Query {
+            var_names: self.var_names,
+            atoms: self.atoms,
+            fds: self.fds,
+        };
         let mut covered = VarSet::EMPTY;
         for a in &q.atoms {
             covered = covered.union(a.var_set());
@@ -226,10 +246,13 @@ pub fn query_from_lattice(lat: &Lattice, inputs: &[ElemId]) -> (Query, Vec<(Elem
     let irr = lat.join_irreducibles();
     assert!(irr.len() <= 64, "too many join-irreducibles");
     let mut b = Query::builder();
-    let var_of: Vec<(ElemId, u32)> =
-        irr.iter().map(|&j| (j, b.var(lat.name(j)))).collect();
+    let var_of: Vec<(ElemId, u32)> = irr.iter().map(|&j| (j, b.var(lat.name(j)))).collect();
     let vs_of = |e: ElemId| -> Vec<u32> {
-        var_of.iter().filter(|(j, _)| lat.leq(*j, e)).map(|(_, v)| *v).collect()
+        var_of
+            .iter()
+            .filter(|(j, _)| lat.leq(*j, e))
+            .map(|(_, v)| *v)
+            .collect()
     };
     for (k, &r) in inputs.iter().enumerate() {
         b.atom(&format!("T{k}_{}", lat.name(r)), &vs_of(r));
@@ -299,7 +322,10 @@ mod tests {
         // Q :- R(x,y), S(y,z), T(z,u), K(u,x) with y -> z.
         let mut b = Query::builder();
         let (x, y, z, u) = (b.var("x"), b.var("y"), b.var("z"), b.var("u"));
-        b.atom("R", &[x, y]).atom("S", &[y, z]).atom("T", &[z, u]).atom("K", &[u, x]);
+        b.atom("R", &[x, y])
+            .atom("S", &[y, z])
+            .atom("T", &[z, u])
+            .atom("K", &[u, x]);
         b.fd(&[y], &[z]);
         let q = b.build();
         let qp = q.closure_query();

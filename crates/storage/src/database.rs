@@ -2,6 +2,23 @@
 
 use crate::{Relation, UdfRegistry};
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error: a lookup referenced a relation the database does not contain.
+///
+/// Algorithm crates fold this into their own error enums (e.g.
+/// `fdjoin_core::JoinError::MissingRelation`) so that evaluating a query
+/// against an incomplete database is a recoverable error, not a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MissingRelation(pub String);
+
+impl fmt::Display for MissingRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "relation {:?} not in database", self.0)
+    }
+}
+
+impl std::error::Error for MissingRelation {}
 
 /// A database instance `D`: one [`Relation`] per relation symbol, plus the
 /// UDFs backing unguarded functional dependencies.
@@ -29,11 +46,11 @@ impl Database {
         self.relations.get(name)
     }
 
-    /// Get a relation by name, panicking with a clear message if absent.
-    pub fn relation(&self, name: &str) -> &Relation {
+    /// Get a relation by name, or a [`MissingRelation`] error if absent.
+    pub fn relation(&self, name: &str) -> Result<&Relation, MissingRelation> {
         self.relations
             .get(name)
-            .unwrap_or_else(|| panic!("relation {name:?} not in database"))
+            .ok_or_else(|| MissingRelation(name.to_string()))
     }
 
     /// Iterate over `(name, relation)` pairs in name order.
@@ -66,15 +83,16 @@ mod tests {
         let mut db = Database::new();
         let r = Relation::from_rows(vec![0], [[3], [1], [2], [1]]);
         db.insert("R", r);
-        let r = db.relation("R");
+        let r = db.relation("R").unwrap();
         assert!(r.is_sorted());
         assert_eq!(r.len(), 3);
         assert_eq!(db.total_tuples(), 3);
     }
 
     #[test]
-    #[should_panic(expected = "not in database")]
-    fn missing_relation_panics() {
-        Database::new().relation("nope");
+    fn missing_relation_is_an_error() {
+        let err = Database::new().relation("nope").unwrap_err();
+        assert_eq!(err, MissingRelation("nope".to_string()));
+        assert!(err.to_string().contains("nope"));
     }
 }

@@ -18,7 +18,7 @@ mod database;
 mod relation;
 mod udf;
 
-pub use database::Database;
+pub use database::{Database, MissingRelation};
 pub use relation::{HashIndex, Relation};
 pub use udf::{UdfFn, UdfRegistry};
 

@@ -24,14 +24,24 @@ impl Relation {
     pub fn new(vars: Vec<u32>) -> Relation {
         let mut seen = VarSet::EMPTY;
         for &v in &vars {
-            assert!(!seen.contains(v), "duplicate variable {v} in relation schema");
+            assert!(
+                !seen.contains(v),
+                "duplicate variable {v} in relation schema"
+            );
             seen = seen.insert(v);
         }
-        Relation { vars, data: Vec::new(), sorted: true }
+        Relation {
+            vars,
+            data: Vec::new(),
+            sorted: true,
+        }
     }
 
     /// Create from explicit rows.
-    pub fn from_rows<R: AsRef<[Value]>>(vars: Vec<u32>, rows: impl IntoIterator<Item = R>) -> Relation {
+    pub fn from_rows<R: AsRef<[Value]>>(
+        vars: Vec<u32>,
+        rows: impl IntoIterator<Item = R>,
+    ) -> Relation {
         let mut rel = Relation::new(vars);
         for r in rows {
             rel.push_row(r.as_ref());
@@ -218,7 +228,11 @@ impl Relation {
 
     /// Reorder columns to `new_order` (a permutation of `vars`), then sort.
     pub fn reorder(&self, new_order: &[u32]) -> Relation {
-        assert_eq!(new_order.len(), self.arity(), "reorder must be a permutation");
+        assert_eq!(
+            new_order.len(),
+            self.arity(),
+            "reorder must be a permutation"
+        );
         self.project(new_order)
     }
 
@@ -240,8 +254,7 @@ impl Relation {
             };
         }
         let other_proj = other.project(&shared);
-        let cols: Vec<usize> =
-            shared.iter().map(|&v| self.col_of(v).unwrap()).collect();
+        let cols: Vec<usize> = shared.iter().map(|&v| self.col_of(v).unwrap()).collect();
         let mut out = Relation::new(self.vars.clone());
         let mut key = vec![0 as Value; shared.len()];
         for row in self.rows() {
@@ -276,7 +289,11 @@ impl Relation {
     /// Maximum degree over distinct prefixes of length `prefix_len`
     /// (requires sorted). Returns 0 for an empty relation.
     pub fn max_degree(&self, prefix_len: usize) -> usize {
-        self.group_ranges(prefix_len).into_iter().map(|r| r.end - r.start).max().unwrap_or(0)
+        self.group_ranges(prefix_len)
+            .into_iter()
+            .map(|r| r.end - r.start)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of distinct prefixes of length `prefix_len` (requires sorted).
@@ -348,7 +365,9 @@ impl HashIndex {
             for (slot, &c) in key.iter_mut().zip(&key_cols) {
                 *slot = row[c];
             }
-            map.entry(key.clone().into_boxed_slice()).or_default().push(i as u32);
+            map.entry(key.clone().into_boxed_slice())
+                .or_default()
+                .push(i as u32);
         }
         HashIndex { key_cols, map }
     }
@@ -369,10 +388,7 @@ mod tests {
     use super::*;
 
     fn rel3() -> Relation {
-        let mut r = Relation::from_rows(
-            vec![0, 1],
-            [[1, 10], [1, 11], [2, 10], [1, 10], [3, 30]],
-        );
+        let mut r = Relation::from_rows(vec![0, 1], [[1, 10], [1, 11], [2, 10], [1, 10], [3, 30]]);
         r.sort_dedup();
         r
     }

@@ -107,7 +107,9 @@ mod tests {
         let mut reg = UdfRegistry::new();
         let args = VarSet::from_vars([0, 1]);
         reg.register(args, 2, |v| v[0] ^ v[1]);
-        assert!(reg.find_applicable(VarSet::from_vars([0, 1, 3]), 2).is_some());
+        assert!(reg
+            .find_applicable(VarSet::from_vars([0, 1, 3]), 2)
+            .is_some());
         assert!(reg.find_applicable(VarSet::from_vars([0, 3]), 2).is_none());
         assert!(reg.find_applicable(VarSet::from_vars([0, 1]), 5).is_none());
     }

@@ -46,7 +46,7 @@ proptest! {
             model.iter().map(|r| vec![r[2], r[0]]).collect();
         prop_assert_eq!(proj.len(), expect.len());
         for row in proj.rows() {
-            prop_assert!(expect.contains(&row.to_vec()));
+            prop_assert!(expect.contains(row));
         }
     }
 
@@ -66,7 +66,7 @@ proptest! {
             .collect();
         prop_assert_eq!(result.len(), expect.len());
         for row in result.rows() {
-            prop_assert!(expect.contains(&row.to_vec()));
+            prop_assert!(expect.contains(row));
         }
     }
 

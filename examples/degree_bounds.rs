@@ -7,7 +7,7 @@
 //! cargo run --release --example degree_bounds
 //! ```
 
-use fdjoin::core::{csma_join_with, CsmaOptions, UserDegreeBound};
+use fdjoin::core::{Algorithm, Engine, ExecOptions, UserDegreeBound};
 use fdjoin::instances::bounded_degree_triangle;
 use fdjoin::query::examples;
 
@@ -15,18 +15,26 @@ fn main() {
     let q = examples::triangle();
     let n = 256u64;
     println!("triangle query with out-degree bound d on R(x → y), N = {n}\n");
-    println!("{:>6} {:>16} {:>12} {:>10}", "d", "CLLP bound (log2)", "output", "branches");
+    println!(
+        "{:>6} {:>16} {:>12} {:>10}",
+        "d", "CLLP bound (log2)", "output", "branches"
+    );
+    let prepared = Engine::new().prepare(&q);
     for d in [1u64, 2, 4, 16, 64, 256] {
         let db = bounded_degree_triangle(n, d);
-        let real_d = db.relation("R").max_degree(1) as u64;
-        let opts = CsmaOptions {
-            degree_bounds: vec![UserDegreeBound { atom: 0, on: vec![0], max_degree: real_d }],
-        };
-        let out = csma_join_with(&q, &db, &opts).expect("CSM sequence");
+        let real_d = db.relation("R").unwrap().max_degree(1) as u64;
+        let opts = ExecOptions::new()
+            .algorithm(Algorithm::Csma)
+            .degree_bound(UserDegreeBound {
+                atom: 0,
+                on: vec![0],
+                max_degree: real_d,
+            });
+        let out = prepared.execute(&db, &opts).expect("CSM sequence");
         println!(
             "{:>6} {:>16.3} {:>12} {:>10}",
             real_d,
-            out.log_bound.to_f64(),
+            out.predicted_log_bound.as_ref().unwrap().to_f64(),
             out.output.len(),
             out.stats.branches
         );

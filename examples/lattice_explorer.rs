@@ -35,12 +35,20 @@ fn report(name: &str, q: &Query, n: i64) {
 
     let logs: Vec<Rational> = vec![rat(n, 1); q.atoms().len()];
     let llp = solve_llp(lat, &pres.inputs, &logs);
-    println!("   GLVV/LLP bound:  N^{:.4}  (log2 = {})", llp.value.to_f64() / n as f64, llp.value);
+    println!(
+        "   GLVV/LLP bound:  N^{:.4}  (log2 = {})",
+        llp.value.to_f64() / n as f64,
+        llp.value
+    );
     match best_chain_bound(lat, &pres.inputs, &logs) {
         Some(cb) => println!(
             "   chain bound:     N^{:.4}  via chain {:?}",
             cb.log_bound.to_f64() / n as f64,
-            cb.chain.elems.iter().map(|&e| lat.name(e)).collect::<Vec<_>>()
+            cb.chain
+                .elems
+                .iter()
+                .map(|&e| lat.name(e))
+                .collect::<Vec<_>>()
         ),
         None => println!("   chain bound:     ∞ (no good chain)"),
     }
@@ -53,7 +61,10 @@ fn report(name: &str, q: &Query, n: i64) {
         .map(|(&e, &m)| (e, m))
         .collect();
     match search_good_sm_proof(lat, &multiset, d) {
-        Some(p) => println!("   SM proof:        good sequence with {} steps (d = {d})", p.steps.len()),
+        Some(p) => println!(
+            "   SM proof:        good sequence with {} steps (d = {d})",
+            p.steps.len()
+        ),
         None => println!("   SM proof:        none — CSMA required (Example 5.31 situation)"),
     }
     println!();

@@ -61,14 +61,24 @@ fn main() {
         .map(|&r| DegreePair::cardinality(lat, r, rat(2, 1)))
         .collect();
     let sol = solve_cllp(lat, &pairs);
-    println!("  CLLP OPT = {} = (3/2)·n; dual c = {:?}", sol.value,
-        sol.pair_duals.iter().map(|c| c.to_f64()).collect::<Vec<_>>());
+    println!(
+        "  CLLP OPT = {} = (3/2)·n; dual c = {:?}",
+        sol.value,
+        sol.pair_duals
+            .iter()
+            .map(|c| c.to_f64())
+            .collect::<Vec<_>>()
+    );
     let seq = csm_sequence(lat, &pairs, &sol).expect("Theorem 5.34");
     println!("  CSM sequence (cf. the paper's rules (29)–(36)):");
     for r in &seq.rules {
         match *r {
             CsmRule::Cd { x, y } => {
-                println!("    CD: h({0}) → h({0}|{1}) + h({1})", lat.name(y), lat.name(x))
+                println!(
+                    "    CD: h({0}) → h({0}|{1}) + h({1})",
+                    lat.name(y),
+                    lat.name(x)
+                )
             }
             CsmRule::Cc { pair } => println!(
                 "    CC: h({}) + h({}|{}) → h({})",

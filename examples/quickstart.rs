@@ -1,12 +1,13 @@
 //! Quickstart: build the triangle query, load a small graph, compute its
-//! AGM bound, and run the worst-case-optimal algorithms.
+//! AGM bound, and run it through the unified `Engine` — once with the
+//! bound-driven auto-planner, once pinned to Generic-Join.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
 use fdjoin::bigint::Rational;
-use fdjoin::core::{chain_join, generic_join, GjOptions};
+use fdjoin::core::{Algorithm, Engine, ExecOptions};
 use fdjoin::query::Query;
 use fdjoin::storage::{Database, Relation};
 
@@ -19,8 +20,7 @@ fn main() {
     println!("query: Q :- {}", q.display_body());
 
     // A small directed graph: triangles (1,2,3) and (1,2,4), plus noise.
-    let edges: Vec<[u64; 2]> =
-        vec![[1, 2], [2, 3], [3, 1], [2, 4], [4, 1], [5, 6], [6, 7]];
+    let edges: Vec<[u64; 2]> = vec![[1, 2], [2, 3], [3, 1], [2, 4], [4, 1], [5, 6], [6, 7]];
     let mut db = Database::new();
     db.insert("R", Relation::from_rows(vec![0, 1], edges.clone()));
     db.insert("S", Relation::from_rows(vec![1, 2], edges.clone()));
@@ -30,7 +30,7 @@ fn main() {
     let logs: Vec<Rational> = q
         .atoms()
         .iter()
-        .map(|a| Rational::log2_approx(db.relation(&a.name).len() as u64, 16))
+        .map(|a| Rational::log2_approx(db.relation(&a.name).unwrap().len() as u64, 16))
         .collect();
     let agm = fdjoin::bounds::agm::agm_log_bound(&q, &logs).expect("covered");
     println!(
@@ -40,18 +40,37 @@ fn main() {
         agm.weights.iter().map(|w| w.to_f64()).collect::<Vec<_>>()
     );
 
-    // Run Generic-Join (worst-case optimal) and the Chain Algorithm.
-    let (out, stats) = generic_join(&q, &db, &GjOptions::default());
-    println!("generic join: {} triangles, {} probes", out.len(), stats.probes);
-    for row in out.rows() {
+    // Prepare once, execute as often as you like: the lattice presentation
+    // and all per-size planning are cached inside the PreparedQuery.
+    let engine = Engine::new();
+    let prepared = engine.prepare(&q);
+
+    let auto = prepared
+        .execute(&db, &ExecOptions::new())
+        .expect("complete database");
+    println!(
+        "auto-planner chose {}: {} triangles, bound 2^{:.2}, {} probes",
+        auto.algorithm_used,
+        auto.output.len(),
+        auto.predicted_log_bound
+            .as_ref()
+            .map(|b| b.to_f64())
+            .unwrap_or(f64::NAN),
+        auto.stats.probes
+    );
+    for row in auto.output.rows() {
         println!("  (x={}, y={}, z={})", row[0], row[1], row[2]);
     }
-    let ca = chain_join(&q, &db).expect("Boolean algebra always has good chains");
+
+    // Pin an explicit algorithm through the same API.
+    let gj = prepared
+        .execute(&db, &ExecOptions::new().algorithm(Algorithm::GenericJoin))
+        .expect("complete database");
     println!(
-        "chain algorithm: {} triangles via chain of {} steps, bound 2^{:.2}",
-        ca.output.len(),
-        ca.chain.steps(),
-        ca.log_bound.to_f64()
+        "generic join agrees: {} triangles, {} probes",
+        gj.output.len(),
+        gj.stats.probes
     );
-    assert_eq!(ca.output, out);
+    assert_eq!(auto.output, gj.output);
+    println!("planning work done once: {:?}", prepared.prep_stats());
 }

@@ -11,7 +11,7 @@
 //! cargo run --release --example udf_pipeline
 //! ```
 
-use fdjoin::core::{binary_join, chain_join, generic_join, GjOptions};
+use fdjoin::core::{binary_join, chain_join, generic_join};
 use fdjoin::instances::fig1_adversarial;
 use fdjoin::query::examples;
 
@@ -26,16 +26,16 @@ fn main() {
         let n = 1u64 << exp;
         let db = fig1_adversarial(n);
         let ca = chain_join(&q, &db).expect("good chain exists");
-        let (gout, gj) = generic_join(&q, &db, &GjOptions::default());
-        let (bout, bj) = binary_join(&q, &db, None);
-        assert_eq!(ca.output, gout);
-        assert_eq!(ca.output, bout);
+        let gj = generic_join(&q, &db).expect("complete database");
+        let bj = binary_join(&q, &db).expect("complete database");
+        assert_eq!(ca.output, gj.output);
+        assert_eq!(ca.output, bj.output);
         println!(
             "{:>6} {:>14} {:>14} {:>14}",
             n,
             ca.stats.work(),
-            gj.work(),
-            bj.work()
+            gj.stats.work(),
+            bj.stats.work()
         );
     }
     println!("\nchain algorithm work grows ~N^1.5; both baselines grow ~N^2");

@@ -8,7 +8,13 @@
 //!
 //! ## Quick start
 //!
+//! The front door is [`core::Engine`]: one entry point over all six join
+//! algorithms, with a bound-driven auto-planner choosing among them the way
+//! the paper's theorems dictate (chain bound tight ⇒ Chain Algorithm; good
+//! SM-proof sequence ⇒ SMA; otherwise CSMA).
+//!
 //! ```
+//! use fdjoin::core::{Engine, ExecOptions};
 //! use fdjoin::query::Query;
 //! use fdjoin::storage::{Database, Relation};
 //!
@@ -23,9 +29,34 @@
 //! db.insert("S", Relation::from_rows(vec![1, 2], [[2, 3]]));
 //! db.insert("T", Relation::from_rows(vec![2, 0], [[3, 1]]));
 //!
-//! let out = fdjoin::core::chain_join(&q, &db).unwrap();
+//! let out = Engine::new().execute(&q, &db, &ExecOptions::new()).unwrap();
 //! assert_eq!(out.output.len(), 1);
+//! println!("ran {}, bound 2^{:?}", out.algorithm_used, out.predicted_log_bound);
 //! ```
+//!
+//! For repeated executions, prepare once — the lattice presentation, chain
+//! search, LLP solve, and proof sequences are computed once per size
+//! profile and cached:
+//!
+//! ```
+//! # use fdjoin::core::{Engine, ExecOptions};
+//! # use fdjoin::storage::{Database, Relation};
+//! # let q = fdjoin::query::examples::triangle();
+//! # let mut db = Database::new();
+//! # db.insert("R", Relation::from_rows(vec![0, 1], [[1, 2]]));
+//! # db.insert("S", Relation::from_rows(vec![1, 2], [[2, 3]]));
+//! # db.insert("T", Relation::from_rows(vec![2, 0], [[3, 1]]));
+//! let prepared = Engine::new().prepare(&q);
+//! let first = prepared.execute(&db, &ExecOptions::new()).unwrap();
+//! let planning_after_first = prepared.prep_stats();
+//! let second = prepared.execute(&db, &ExecOptions::new()).unwrap();
+//! assert_eq!(first.output, second.output);
+//! assert_eq!(prepared.prep_stats(), planning_after_first); // plans reused
+//! ```
+//!
+//! Explicit algorithms, degree bounds, variable/atom orders, and chain
+//! overrides all go through [`core::ExecOptions`]; every run returns the
+//! same [`core::JoinResult`] and fails with the same [`core::JoinError`].
 //!
 //! ## Crate map
 //!
@@ -37,7 +68,8 @@
 //! | [`storage`] | relations, indexes, UDFs |
 //! | [`query`] | queries, FDs, hypergraphs, lattice presentations |
 //! | [`bounds`] | AGM / GLVV / chain / SM / CLLP bounds and proof objects |
-//! | [`core`] | the Chain Algorithm, SMA, CSMA, and baselines |
+//! | [`core`] | the `Engine` + Chain Algorithm, SMA, CSMA, and baselines |
+//! | [`core::engine`] | `Engine`, `PreparedQuery`, `Algorithm`, `ExecOptions`, `JoinResult`, `JoinError` |
 //! | [`instances`] | worst-case and random instance generators |
 
 pub use fdjoin_bigint as bigint;

@@ -3,7 +3,8 @@
 //! binary join) must produce exactly the naive evaluator's answer.
 
 use fdjoin::core::{
-    binary_join, chain_join, csma_join, generic_join, naive_join, sma_join, GjOptions, SmaError,
+    binary_join, chain_join, csma_join, generic_join, naive_join, sma_join, Algorithm, Engine,
+    ExecOptions, JoinError,
 };
 use fdjoin::instances::random_instance;
 use fdjoin::query::{examples, Query};
@@ -12,28 +13,71 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn check_all(q: &Query, db: &fdjoin::storage::Database) {
-    let (expect, _) = naive_join(q, db);
+    let expect = naive_join(q, db).unwrap().output;
 
-    let (gj, _) = generic_join(q, db, &GjOptions::default());
-    assert_eq!(gj, expect, "generic join mismatch on {}", q.display_body());
+    let gj = generic_join(q, db).unwrap();
+    assert_eq!(
+        gj.output,
+        expect,
+        "generic join mismatch on {}",
+        q.display_body()
+    );
 
-    let (gj_fd, _) = generic_join(q, db, &GjOptions { bind_fds: true, var_order: None });
-    assert_eq!(gj_fd, expect, "FD-binding GJ mismatch on {}", q.display_body());
+    let fd_bind = ExecOptions::new()
+        .algorithm(Algorithm::GenericJoin)
+        .bind_fds(true);
+    let gj_fd = Engine::new().execute(q, db, &fd_bind).unwrap();
+    assert_eq!(
+        gj_fd.output,
+        expect,
+        "FD-binding GJ mismatch on {}",
+        q.display_body()
+    );
 
-    let (bj, _) = binary_join(q, db, None);
-    assert_eq!(bj, expect, "binary join mismatch on {}", q.display_body());
+    let bj = binary_join(q, db).unwrap();
+    assert_eq!(
+        bj.output,
+        expect,
+        "binary join mismatch on {}",
+        q.display_body()
+    );
 
-    if let Ok(ca) = chain_join(q, db) {
-        assert_eq!(ca.output, expect, "chain algorithm mismatch on {}", q.display_body());
+    match chain_join(q, db) {
+        Ok(ca) => {
+            assert_eq!(
+                ca.output,
+                expect,
+                "chain algorithm mismatch on {}",
+                q.display_body()
+            )
+        }
+        Err(JoinError::NoGoodChain) => {}
+        Err(e) => panic!("unexpected chain error on {}: {e}", q.display_body()),
     }
 
     match sma_join(q, db) {
         Ok(sma) => assert_eq!(sma.output, expect, "SMA mismatch on {}", q.display_body()),
-        Err(SmaError::NoGoodProof) => {} // Example 5.31 queries; CSMA covers them.
+        Err(JoinError::NoGoodProof) => {} // Example 5.31 queries; CSMA covers them.
+        Err(e) => panic!("unexpected SMA error on {}: {e}", q.display_body()),
     }
 
     let csma = csma_join(q, db).expect("CSMA sequence");
     assert_eq!(csma.output, expect, "CSMA mismatch on {}", q.display_body());
+
+    // The auto-planner must agree too, whatever it picked.
+    let auto = Engine::new().execute(q, db, &ExecOptions::new()).unwrap();
+    assert_eq!(
+        auto.output,
+        expect,
+        "auto ({}) mismatch on {}",
+        auto.algorithm_used,
+        q.display_body()
+    );
+    assert_ne!(
+        auto.algorithm_used,
+        Algorithm::Auto,
+        "auto must record its decision"
+    );
 }
 
 fn queries() -> Vec<Query> {
@@ -75,7 +119,7 @@ proptest! {
         let q = examples::fig9_query();
         let mut rng = StdRng::seed_from_u64(seed);
         let db = random_instance(&q, &mut rng, rows, 85);
-        let (expect, _) = naive_join(&q, &db);
+        let expect = naive_join(&q, &db).unwrap().output;
         let csma = csma_join(&q, &db).expect("sequence exists");
         prop_assert_eq!(csma.output, expect);
     }
@@ -105,7 +149,10 @@ fn all_algorithms_agree_on_worst_case_instances() {
             .unwrap(),
         ),
         (examples::fig1_udf(), fdjoin::instances::fig1_tight(3)),
-        (examples::fig1_udf(), fdjoin::instances::fig1_adversarial(16)),
+        (
+            examples::fig1_udf(),
+            fdjoin::instances::fig1_adversarial(16),
+        ),
         (examples::m3_query(), fdjoin::instances::m3_parity(5)),
     ];
     for (q, db) in &cases {
@@ -117,12 +164,11 @@ fn all_algorithms_agree_on_worst_case_instances() {
 fn fig9_worst_case_all_consistent() {
     use fdjoin::bigint::rat;
     let q = examples::fig9_query();
-    let db =
-        fdjoin::instances::normal_worst_case(&q, &vec![rat(2, 1); 3], &rat(3, 1)).unwrap();
-    let (expect, _) = naive_join(&q, &db);
+    let db = fdjoin::instances::normal_worst_case(&q, &vec![rat(2, 1); 3], &rat(3, 1)).unwrap();
+    let expect = naive_join(&q, &db).unwrap().output;
     assert_eq!(expect.len(), 8); // 2^{3/2 · 2}
     let csma = csma_join(&q, &db).unwrap();
     assert_eq!(csma.output, expect);
     // SMA must *refuse* (no good proof sequence) — Example 5.31.
-    assert_eq!(sma_join(&q, &db).unwrap_err(), SmaError::NoGoodProof);
+    assert_eq!(sma_join(&q, &db).unwrap_err(), JoinError::NoGoodProof);
 }

@@ -1,0 +1,452 @@
+//! The unified `Engine` API: auto-planning, option routing, prepared-query
+//! plan reuse, and the shared `JoinResult`/`JoinError` contract.
+
+use fdjoin::core::{
+    binary_join, chain_join, chain_join_no_argmin, csma_join, generic_join, naive_join, sma_join,
+    Algorithm, Engine, ExecOptions, JoinError, JoinResult, UserDegreeBound,
+};
+use fdjoin::query::{examples, Query};
+use fdjoin::storage::{Database, Relation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn triangle_db() -> Database {
+    let mut db = Database::new();
+    db.insert(
+        "R",
+        Relation::from_rows(vec![0, 1], [[1, 2], [1, 3], [2, 3], [7, 8]]),
+    );
+    db.insert(
+        "S",
+        Relation::from_rows(vec![1, 2], [[2, 3], [3, 1], [8, 9]]),
+    );
+    db.insert(
+        "T",
+        Relation::from_rows(vec![2, 0], [[3, 1], [1, 1], [9, 7]]),
+    );
+    db
+}
+
+fn fig1_db() -> Database {
+    let mut db = Database::new();
+    db.insert(
+        "R",
+        Relation::from_rows(vec![0, 1], [[1, 1], [2, 1], [1, 2]]),
+    );
+    db.insert(
+        "S",
+        Relation::from_rows(vec![1, 2], [[1, 1], [2, 1], [1, 2]]),
+    );
+    db.insert(
+        "T",
+        Relation::from_rows(vec![2, 3], [[1, 1], [1, 2], [2, 1]]),
+    );
+    db.udfs
+        .register(fdjoin::lattice::VarSet::from_vars([0, 2]), 3, |v| v[0]);
+    db.udfs
+        .register(fdjoin::lattice::VarSet::from_vars([1, 3]), 0, |v| v[1]);
+    db
+}
+
+// ---------------------------------------------------------------------------
+// Auto selection is bound-driven.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn auto_picks_chain_on_triangle() {
+    // No FDs ⇒ Boolean (distributive) lattice ⇒ the chain bound is tight.
+    let q = examples::triangle();
+    let db = triangle_db();
+    let r = Engine::new().execute(&q, &db, &ExecOptions::new()).unwrap();
+    assert_eq!(r.algorithm_used, Algorithm::Chain);
+    assert!(r.chain().is_some(), "chain plan must be recorded");
+    assert_eq!(r.output, naive_join(&q, &db).unwrap().output);
+}
+
+#[test]
+fn auto_picks_chain_on_fd_examples() {
+    // simple_fd_path: simple FDs ⇒ distributive (Prop. 3.2).
+    // fig1_udf: non-distributive, but the best chain matches the LLP value
+    // (the Fig. 6 tightness situation) — the planner detects it.
+    for (q, db) in [
+        (examples::simple_fd_path(), {
+            let mut db = Database::new();
+            db.insert(
+                "R",
+                Relation::from_rows(vec![0, 1], [[1, 1], [2, 1], [3, 2]]),
+            );
+            db.insert("S", Relation::from_rows(vec![1, 2], [[1, 5], [2, 6]]));
+            db.insert(
+                "T",
+                Relation::from_rows(vec![2, 3], [[5, 9], [6, 8], [7, 7]]),
+            );
+            db
+        }),
+        (examples::fig1_udf(), fig1_db()),
+    ] {
+        let r = Engine::new().execute(&q, &db, &ExecOptions::new()).unwrap();
+        assert_eq!(
+            r.algorithm_used,
+            Algorithm::Chain,
+            "auto must pick chain on {}",
+            q.display_body()
+        );
+        assert_eq!(r.output, naive_join(&q, &db).unwrap().output);
+    }
+}
+
+#[test]
+fn auto_falls_back_to_sma_then_csma() {
+    // Fig 4: chain bound 3/2·n strictly above the LLP 4/3·n, but a good
+    // SM-proof exists ⇒ SMA.
+    let q4 = examples::fig4_query();
+    let mut rng = StdRng::seed_from_u64(11);
+    let db4 = fdjoin::instances::random_instance(&q4, &mut rng, 10, 85);
+    let r4 = Engine::new()
+        .execute(&q4, &db4, &ExecOptions::new())
+        .unwrap();
+    assert_eq!(r4.algorithm_used, Algorithm::Sma);
+    assert!(r4.sm_proof().is_some());
+    assert_eq!(r4.output, naive_join(&q4, &db4).unwrap().output);
+
+    // Fig 9: no good SM proof exists (Example 5.31) ⇒ CSMA.
+    let q9 = examples::fig9_query();
+    let mut rng = StdRng::seed_from_u64(11);
+    let db9 = fdjoin::instances::random_instance(&q9, &mut rng, 8, 85);
+    let r9 = Engine::new()
+        .execute(&q9, &db9, &ExecOptions::new())
+        .unwrap();
+    assert_eq!(r9.algorithm_used, Algorithm::Csma);
+    assert!(r9.csm_sequence().is_some());
+    assert_eq!(r9.output, naive_join(&q9, &db9).unwrap().output);
+}
+
+// ---------------------------------------------------------------------------
+// Every explicit variant matches its free-function shim.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn explicit_variants_match_free_functions() {
+    let q = examples::fig1_udf();
+    let db = fig1_db();
+    let engine = Engine::new();
+    let cases: Vec<(Algorithm, JoinResult)> = vec![
+        (Algorithm::Chain, chain_join(&q, &db).unwrap()),
+        (
+            Algorithm::ChainNoArgmin,
+            chain_join_no_argmin(&q, &db).unwrap(),
+        ),
+        (Algorithm::Sma, sma_join(&q, &db).unwrap()),
+        (Algorithm::Csma, csma_join(&q, &db).unwrap()),
+        (Algorithm::GenericJoin, generic_join(&q, &db).unwrap()),
+        (Algorithm::BinaryJoin, binary_join(&q, &db).unwrap()),
+        (Algorithm::Naive, naive_join(&q, &db).unwrap()),
+    ];
+    for (alg, free) in cases {
+        let via_engine = engine
+            .execute(&q, &db, &ExecOptions::new().algorithm(alg))
+            .unwrap();
+        assert_eq!(via_engine.algorithm_used, alg);
+        assert_eq!(free.algorithm_used, alg);
+        assert_eq!(via_engine.output, free.output, "{alg} output mismatch");
+        assert_eq!(via_engine.stats, free.stats, "{alg} stats mismatch");
+        assert_eq!(
+            via_engine.predicted_log_bound, free.predicted_log_bound,
+            "{alg} bound mismatch"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PreparedQuery reuses plans and reproduces direct-call results exactly.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn prepared_query_skips_recomputation() {
+    let q = examples::fig1_udf();
+    let db = fig1_db();
+    let prepared = Engine::new().prepare(&q);
+    assert_eq!(prepared.prep_stats().lattice_presentations, 1);
+    assert_eq!(
+        prepared.prep_stats().total(),
+        1,
+        "prepare does no size-dependent work"
+    );
+
+    for alg in [
+        Algorithm::Chain,
+        Algorithm::Sma,
+        Algorithm::Csma,
+        Algorithm::Auto,
+    ] {
+        let opts = ExecOptions::new().algorithm(alg);
+        let first = prepared.execute(&db, &opts).unwrap();
+        let after_first = prepared.prep_stats();
+        let second = prepared.execute(&db, &opts).unwrap();
+        let after_second = prepared.prep_stats();
+
+        // Re-execution reuses every cached plan: the preparation work
+        // counter must not grow.
+        assert_eq!(
+            after_first, after_second,
+            "{alg}: second execution must not re-plan (lattice/LLP/chain/proof)"
+        );
+        // And the results are deterministic.
+        assert_eq!(first.output, second.output);
+        assert_eq!(
+            first.stats, second.stats,
+            "{alg}: identical Stats across reruns"
+        );
+
+        // The prepared path is execution-equivalent to two direct calls.
+        let direct = Engine::new().execute(&q, &db, &opts).unwrap();
+        assert_eq!(first.output, direct.output);
+        assert_eq!(
+            first.stats, direct.stats,
+            "{alg}: prepared Stats == direct Stats"
+        );
+    }
+
+    // Only one lattice presentation was ever computed.
+    assert_eq!(prepared.prep_stats().lattice_presentations, 1);
+}
+
+#[test]
+fn prepared_query_replans_for_new_size_profile() {
+    let q = examples::triangle();
+    let prepared = Engine::new().prepare(&q);
+    let db1 = triangle_db();
+    prepared.execute(&db1, &ExecOptions::new()).unwrap();
+    let after_db1 = prepared.prep_stats();
+
+    // A database with a different size profile needs (and gets) a new plan…
+    let mut db2 = triangle_db();
+    db2.insert("R", Relation::from_rows(vec![0, 1], [[1, 2]]));
+    prepared.execute(&db2, &ExecOptions::new()).unwrap();
+    let after_db2 = prepared.prep_stats();
+    assert!(after_db2.chain_searches > after_db1.chain_searches);
+
+    // …but re-running either database stays cached.
+    prepared.execute(&db1, &ExecOptions::new()).unwrap();
+    prepared.execute(&db2, &ExecOptions::new()).unwrap();
+    assert_eq!(prepared.prep_stats(), after_db2);
+}
+
+// ---------------------------------------------------------------------------
+// The shared error type.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn missing_relation_is_a_join_error_everywhere() {
+    let q = examples::triangle();
+    let mut db = Database::new();
+    db.insert("R", Relation::from_rows(vec![0, 1], [[1, 2]]));
+    // S and T absent.
+    for alg in [
+        Algorithm::Auto,
+        Algorithm::Chain,
+        Algorithm::Sma,
+        Algorithm::Csma,
+        Algorithm::GenericJoin,
+        Algorithm::BinaryJoin,
+        Algorithm::Naive,
+    ] {
+        let err = Engine::new()
+            .execute(&q, &db, &ExecOptions::new().algorithm(alg))
+            .unwrap_err();
+        assert!(
+            matches!(err, JoinError::MissingRelation(ref name) if name == "S"),
+            "{alg}: expected MissingRelation(S), got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn sma_refusal_is_typed() {
+    // Fig 9 admits no good SM-proof sequence (Example 5.31).
+    let q = examples::fig9_query();
+    let mut rng = StdRng::seed_from_u64(3);
+    let db = fdjoin::instances::random_instance(&q, &mut rng, 6, 90);
+    assert_eq!(sma_join(&q, &db).unwrap_err(), JoinError::NoGoodProof);
+}
+
+#[test]
+fn invalid_options_are_rejected() {
+    let q = examples::triangle();
+    let db = triangle_db();
+    let engine = Engine::new();
+
+    let bad_var = ExecOptions::new()
+        .algorithm(Algorithm::GenericJoin)
+        .var_order(vec![0, 0]);
+    assert!(matches!(
+        engine.execute(&q, &db, &bad_var).unwrap_err(),
+        JoinError::InvalidOptions(_)
+    ));
+
+    // A partial order that omits an atom variable must be rejected, not
+    // panic mid-expansion.
+    let partial_var = ExecOptions::new()
+        .algorithm(Algorithm::GenericJoin)
+        .var_order(vec![0, 1]);
+    assert!(matches!(
+        engine.execute(&q, &db, &partial_var).unwrap_err(),
+        JoinError::InvalidOptions(_)
+    ));
+
+    let bad_atom = ExecOptions::new()
+        .algorithm(Algorithm::BinaryJoin)
+        .atom_order(vec![0, 1]);
+    assert!(matches!(
+        engine.execute(&q, &db, &bad_atom).unwrap_err(),
+        JoinError::InvalidOptions(_)
+    ));
+
+    let bad_bound = ExecOptions::new()
+        .algorithm(Algorithm::Csma)
+        .degree_bound(UserDegreeBound {
+            atom: 9,
+            on: vec![0],
+            max_degree: 1,
+        });
+    assert!(matches!(
+        engine.execute(&q, &db, &bad_bound).unwrap_err(),
+        JoinError::InvalidOptions(_)
+    ));
+
+    // Out-of-range conditioning variable in a degree bound.
+    let bad_on = ExecOptions::new()
+        .algorithm(Algorithm::Csma)
+        .degree_bound(UserDegreeBound {
+            atom: 0,
+            on: vec![77],
+            max_degree: 1,
+        });
+    assert!(matches!(
+        engine.execute(&q, &db, &bad_on).unwrap_err(),
+        JoinError::InvalidOptions(_)
+    ));
+}
+
+#[test]
+fn auto_honors_algorithm_specific_options() {
+    let q = examples::triangle();
+    let db = triangle_db();
+    let engine = Engine::new();
+
+    // Degree bounds are a CSMA-only constraint: Auto must not drop them.
+    let with_bound = ExecOptions::new().degree_bound(UserDegreeBound {
+        atom: 0,
+        on: vec![0],
+        max_degree: 2,
+    });
+    let r = engine.execute(&q, &db, &with_bound).unwrap();
+    assert_eq!(r.algorithm_used, Algorithm::Csma);
+
+    // A chain override pins Auto to the chain algorithm, and the override's
+    // bound is cached across re-executions.
+    let pres = q.lattice_presentation();
+    let chain = fdjoin::bounds::chain::cor59_chain(&pres.lattice, &pres.inputs);
+    let with_chain = ExecOptions::new().chain(chain);
+    let prepared = engine.prepare(&q);
+    let r1 = prepared.execute(&db, &with_chain).unwrap();
+    assert_eq!(r1.algorithm_used, Algorithm::Chain);
+    let after_first = prepared.prep_stats();
+    let r2 = prepared.execute(&db, &with_chain).unwrap();
+    assert_eq!(
+        prepared.prep_stats(),
+        after_first,
+        "override plan must be cached"
+    );
+    assert_eq!(r1.output, r2.output);
+}
+
+// ---------------------------------------------------------------------------
+// Option routing through the one options struct.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn chain_override_is_respected() {
+    use fdjoin::bounds::chain::Chain;
+    // The Fig. 6 chain 0̂ ≺ y ≺ yz ≺ 1̂ on the Fig. 1 query.
+    let q = examples::fig1_udf();
+    let db = fig1_db();
+    let pres = q.lattice_presentation();
+    let lat = &pres.lattice;
+    let vs = |v: &[u32]| fdjoin::lattice::VarSet::from_vars(v.iter().copied());
+    let y = q.var_id("y").unwrap();
+    let z = q.var_id("z").unwrap();
+    let fig6 = Chain::new(
+        lat,
+        vec![
+            lat.bottom(),
+            lat.elem_of_set(vs(&[y])).unwrap(),
+            lat.elem_of_set(vs(&[y, z])).unwrap(),
+            lat.top(),
+        ],
+    );
+    let opts = ExecOptions::new()
+        .algorithm(Algorithm::Chain)
+        .chain(fig6.clone());
+    let r = Engine::new().execute(&q, &db, &opts).unwrap();
+    assert_eq!(r.chain().unwrap().elems, fig6.elems);
+    assert_eq!(r.output, naive_join(&q, &db).unwrap().output);
+}
+
+#[test]
+fn degree_bounds_tighten_the_csma_budget() {
+    let q = examples::triangle();
+    let db = fdjoin::instances::bounded_degree_triangle(64, 2);
+    let real_d = db.relation("R").unwrap().max_degree(1) as u64;
+    let with_bound = ExecOptions::new()
+        .algorithm(Algorithm::Csma)
+        .degree_bound(UserDegreeBound {
+            atom: 0,
+            on: vec![0],
+            max_degree: real_d,
+        });
+    let bounded = Engine::new().execute(&q, &db, &with_bound).unwrap();
+    let plain = csma_join(&q, &db).unwrap();
+    assert_eq!(bounded.output, plain.output);
+    assert!(bounded.predicted_log_bound.unwrap() < plain.predicted_log_bound.unwrap());
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence sweep through the engine across all algorithms and queries.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn engine_matches_naive_across_algorithms_and_queries() {
+    let queries: Vec<Query> = vec![
+        examples::triangle(),
+        examples::fig1_udf(),
+        examples::four_cycle_key(),
+        examples::composite_key(),
+        examples::simple_fd_path(),
+        examples::fig4_query(),
+    ];
+    let engine = Engine::new();
+    for q in &queries {
+        let mut rng = StdRng::seed_from_u64(42);
+        let db = fdjoin::instances::random_instance(q, &mut rng, 14, 80);
+        let expect = naive_join(q, &db).unwrap().output;
+        let prepared = engine.prepare(q);
+        for alg in [
+            Algorithm::Auto,
+            Algorithm::Chain,
+            Algorithm::ChainNoArgmin,
+            Algorithm::Sma,
+            Algorithm::Csma,
+            Algorithm::GenericJoin,
+            Algorithm::BinaryJoin,
+            Algorithm::Naive,
+        ] {
+            match prepared.execute(&db, &ExecOptions::new().algorithm(alg)) {
+                Ok(r) => assert_eq!(r.output, expect, "{alg} mismatch on {}", q.display_body()),
+                // Chain/SMA may legitimately refuse on some lattices.
+                Err(JoinError::NoGoodChain) | Err(JoinError::NoGoodProof) => {}
+                Err(e) => panic!("{alg} failed on {}: {e}", q.display_body()),
+            }
+        }
+    }
+}

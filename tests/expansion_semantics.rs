@@ -21,10 +21,10 @@ fn four_cycle() -> (Query, Database) {
 #[test]
 fn guarded_expansion_follows_key() {
     let (q, db) = four_cycle();
-    let ex = Expander::new(&q, &db);
+    let ex = Expander::new(&q, &db).unwrap();
     let mut stats = Stats::default();
     // Expanding R over {x,y} adds z via the key y→z in S.
-    let rel = db.relation("R");
+    let rel = db.relation("R").unwrap();
     let expanded = ex.expand_relation(rel, &mut stats);
     assert_eq!(expanded.vars(), &[0, 1, 2]);
     assert!(expanded.contains_row(&[1, 10, 100]));
@@ -35,19 +35,19 @@ fn guarded_expansion_follows_key() {
 fn dangling_tuples_dropped_by_expansion() {
     let (q, mut db) = four_cycle();
     // Add an R-tuple whose y has no S-entry: expansion must drop it.
-    let mut r = db.relation("R").clone();
+    let mut r = db.relation("R").unwrap().clone();
     r.push_row(&[3, 30]);
     db.insert("R", r);
-    let ex = Expander::new(&q, &db);
+    let ex = Expander::new(&q, &db).unwrap();
     let mut stats = Stats::default();
-    let expanded = ex.expand_relation(db.relation("R"), &mut stats);
+    let expanded = ex.expand_relation(db.relation("R").unwrap(), &mut stats);
     assert_eq!(expanded.len(), 2, "dangling (3,30) removed");
 }
 
 #[test]
 fn full_query_on_four_cycle() {
     let (q, db) = four_cycle();
-    let (out, _) = naive_join(&q, &db);
+    let out = naive_join(&q, &db).unwrap().output;
     assert_eq!(out.len(), 2);
     assert!(out.contains_row(&[1, 10, 100, 7]));
     let ca = fdjoin::core::chain_join(&q, &db).unwrap();
@@ -68,8 +68,9 @@ fn udf_consistency_filters_contradictions() {
     db.insert("R", Relation::from_rows(vec![0, 1], [[1, 1], [2, 2]]));
     // f(x,y) = x + y; W only contains 2, so only (1,1) survives.
     db.insert("W", Relation::from_rows(vec![2], [[2], [5]]));
-    db.udfs.register(VarSet::from_vars([0, 1]), 2, |v| v[0] + v[1]);
-    let (out, _) = naive_join(&q, &db);
+    db.udfs
+        .register(VarSet::from_vars([0, 1]), 2, |v| v[0] + v[1]);
+    let out = naive_join(&q, &db).unwrap().output;
     assert_eq!(out.len(), 1);
     assert_eq!(out.row(0), &[1, 1, 2]);
 }
@@ -77,7 +78,7 @@ fn udf_consistency_filters_contradictions() {
 #[test]
 fn verify_fds_rejects_planted_violations() {
     let (q, db) = four_cycle();
-    let ex = Expander::new(&q, &db);
+    let ex = Expander::new(&q, &db).unwrap();
     let mut stats = Stats::default();
     let all = VarSet::full(4);
     // Correct tuple.
@@ -102,9 +103,9 @@ fn missing_udf_backing_panics_loudly() {
 #[test]
 fn expansion_idempotent_on_closed_relations() {
     let (q, db) = four_cycle();
-    let ex = Expander::new(&q, &db);
+    let ex = Expander::new(&q, &db).unwrap();
     let mut stats = Stats::default();
-    let once = ex.expand_relation(db.relation("R"), &mut stats);
+    let once = ex.expand_relation(db.relation("R").unwrap(), &mut stats);
     let twice = ex.expand_relation(&once, &mut stats);
     assert_eq!(once, twice);
 }

@@ -15,7 +15,7 @@ use rand::SeedableRng;
 fn log_sizes(q: &Query, db: &fdjoin::storage::Database) -> Vec<Rational> {
     q.atoms()
         .iter()
-        .map(|a| Rational::log2_approx(db.relation(&a.name).len().max(1) as u64, 16))
+        .map(|a| Rational::log2_approx(db.relation(&a.name).unwrap().len().max(1) as u64, 16))
         .collect()
 }
 
@@ -25,7 +25,7 @@ fn check_bound_order(q: &Query, db: &fdjoin::storage::Database) {
     let glvv = solve_llp(&pres.lattice, &pres.inputs, &logs).value;
 
     // Output within GLVV.
-    let (out, _) = naive_join(q, db);
+    let out = naive_join(q, db).unwrap().output;
     let out_log = Rational::log2_approx(out.len().max(1) as u64, 16);
     // log2_approx rounds up by < 2^-16; tolerate that slack.
     let slack = fdjoin::bigint::rat(1, 4096);
@@ -39,14 +39,22 @@ fn check_bound_order(q: &Query, db: &fdjoin::storage::Database) {
 
     // GLVV ≤ chain bound (when a finite chain exists).
     if let Some(cb) = best_chain_bound(&pres.lattice, &pres.inputs, &logs) {
-        assert!(glvv <= cb.log_bound, "{}: GLVV above chain bound", q.display_body());
+        assert!(
+            glvv <= cb.log_bound,
+            "{}: GLVV above chain bound",
+            q.display_body()
+        );
     }
 
     // GLVV ≤ AGM(Q⁺) ≤ AGM (when covers exist).
     let agm = fdjoin::bounds::agm::agm_log_bound(q, &logs);
     let agm_plus = fdjoin::bounds::agm::agm_closure_log_bound(q, &logs);
     if let (Some(a), Some(ap)) = (agm, agm_plus) {
-        assert!(ap.value <= a.value, "{}: AGM(Q⁺) above AGM", q.display_body());
+        assert!(
+            ap.value <= a.value,
+            "{}: AGM(Q⁺) above AGM",
+            q.display_body()
+        );
         assert!(glvv <= ap.value, "{}: GLVV above AGM(Q⁺)", q.display_body());
     }
 }
