@@ -8,7 +8,8 @@
 //! behind one API:
 //!
 //! - [`Algorithm`]: which algorithm to run ([`Algorithm::Auto`] lets the
-//!   planner decide and records its choice in the result);
+//!   planner decide and records its choice — and *why* — as an
+//!   [`AutoDecision`] on the result);
 //! - [`ExecOptions`]: builder-style per-run options, absorbing the old
 //!   per-algorithm option structs (degree bounds, FD-binding, variable and
 //!   atom orders, chain overrides);
@@ -19,9 +20,29 @@
 //!   LLP solve, proof-sequence construction) from execution, so repeated
 //!   executions reuse the plans. [`PreparedQuery::prep_stats`] counts the
 //!   preparation work actually performed, making the reuse observable.
+//! - [`PlanCache`]: an engine-level cache shared *across queries*, keyed by
+//!   lattice-presentation isomorphism (canonical fingerprints). Attach one
+//!   with [`Engine::with_plan_cache`] and preparing a query isomorphic to a
+//!   previously served one rehydrates its chain/LLP/SM/CSM plans instead of
+//!   recomputing them.
+//!
+//! Plan lookup is lock-striped end to end: each [`PreparedQuery`] keeps its
+//! per-size-profile plans in sharded reader–writer maps, so concurrent
+//! `execute` calls (e.g. `fdjoin_exec`'s batch driver) do not serialize on
+//! the read path.
 //!
 //! The free functions at the bottom ([`chain_join`], [`sma_join`], …) are
 //! thin shims over the engine, kept for ergonomic one-shot calls.
+
+mod prep;
+mod relabel;
+mod shared;
+
+pub use prep::PrepStats;
+pub use shared::{PlanCache, PlanCacheStats};
+
+use prep::{PrepCounters, Sharded};
+use shared::SharedHandle;
 
 use crate::{chain_algo, csma, naive, sma};
 use fdjoin_bigint::Rational;
@@ -31,9 +52,8 @@ use fdjoin_bounds::llp::{solve_llp, LlpSolution};
 use fdjoin_bounds::smproof::SmProof;
 use fdjoin_query::{LatticePresentation, Query};
 use fdjoin_storage::{Database, MissingRelation, Relation};
-use std::collections::HashMap;
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::Arc;
 
 use crate::Stats;
 
@@ -41,7 +61,8 @@ use crate::Stats;
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// Bound-driven automatic selection (chain → SMA → CSMA); the decision
-    /// is recorded in [`JoinResult::algorithm_used`].
+    /// is recorded in [`JoinResult::algorithm_used`] and explained in
+    /// [`JoinResult::auto`].
     #[default]
     Auto,
     /// The Chain Algorithm (Algorithm 1, Sec. 5.1).
@@ -220,6 +241,57 @@ pub enum PlanDetail {
     CsmSequence(CsmSequence),
 }
 
+/// Why [`Algorithm::Auto`] selected the algorithm it did (the first slice
+/// of cost-based planning observability).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AutoReason {
+    /// User degree bounds are a CSMA-only constraint; dropping them would
+    /// be worse than skipping the bound analysis.
+    DegreeBoundsPinCsma,
+    /// A user-supplied chain pins the Chain Algorithm.
+    ChainOverridePinsChain,
+    /// The lattice is distributive and a good chain exists — the chain
+    /// bound is tight (Cor. 5.15).
+    DistributiveTightChain,
+    /// The best chain bound equals the LLP optimum for these sizes — tight
+    /// by Theorem 5.14's condition.
+    ChainMatchesLlpOptimum,
+    /// A good SM-proof sequence exists for the LLP dual (Def. 5.26).
+    GoodSmProof,
+    /// No tight chain and no good proof sequence: CSMA, the always-
+    /// applicable general case.
+    CsmaFallback,
+}
+
+impl fmt::Display for AutoReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AutoReason::DegreeBoundsPinCsma => "degree bounds pin CSMA",
+            AutoReason::ChainOverridePinsChain => "chain override pins the chain algorithm",
+            AutoReason::DistributiveTightChain => "distributive lattice: chain bound is tight",
+            AutoReason::ChainMatchesLlpOptimum => "chain bound matches the LLP optimum",
+            AutoReason::GoodSmProof => "good SM-proof sequence exists",
+            AutoReason::CsmaFallback => "no tight chain or good proof: CSMA fallback",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The structured record of an [`Algorithm::Auto`] decision: what was
+/// chosen, why, and the bounds that were compared to decide.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AutoDecision {
+    /// The selected algorithm.
+    pub algorithm: Algorithm,
+    /// The rule that fired.
+    pub reason: AutoReason,
+    /// `log₂` of the best chain bound, when a chain search ran and found a
+    /// good chain.
+    pub chain_log_bound: Option<Rational>,
+    /// `log₂` of the LLP (GLVV) optimum, when it was solved en route.
+    pub llp_log_bound: Option<Rational>,
+}
+
 /// The unified result of any engine execution.
 #[derive(Clone, Debug)]
 pub struct JoinResult {
@@ -234,6 +306,9 @@ pub struct JoinResult {
     pub predicted_log_bound: Option<Rational>,
     /// The plan object behind the run.
     pub plan: PlanDetail,
+    /// The planner's decision record when [`Algorithm::Auto`] ran; `None`
+    /// for explicitly selected algorithms.
+    pub auto: Option<AutoDecision>,
 }
 
 impl JoinResult {
@@ -262,79 +337,69 @@ impl JoinResult {
     }
 }
 
-/// Counters of data-independent preparation work actually performed by a
-/// [`PreparedQuery`]. Re-executing against the same database must not grow
-/// them — that is the contract the engine's caching provides (and the test
-/// suite asserts).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct PrepStats {
-    /// Lattice presentations computed (1 per [`Engine::prepare`]).
-    pub lattice_presentations: u64,
-    /// Best-chain searches over the candidate chain set.
-    pub chain_searches: u64,
-    /// Exact LLP solves.
-    pub llp_solves: u64,
-    /// Good-SM-proof searches.
-    pub proof_searches: u64,
-    /// Exact CLLP solves (including CSM sequence construction).
-    pub cllp_solves: u64,
-}
-
-impl PrepStats {
-    /// Total planning operations.
-    pub fn total(&self) -> u64 {
-        self.lattice_presentations
-            + self.chain_searches
-            + self.llp_solves
-            + self.proof_searches
-            + self.cllp_solves
-    }
-}
-
-/// Cached per-size-profile plans. Keys are the relevant size profiles: raw
-/// atom cardinalities for chain/LLP plans, expanded cardinalities plus the
-/// degree-bound options for CSMA plans.
-#[derive(Default)]
-struct PlanCache {
-    prep: PrepStats,
-    chain: HashMap<Vec<u64>, Option<ChainBound>>,
-    chain_override: HashMap<(Vec<u64>, Vec<usize>), Option<ChainBound>>,
-    llp: HashMap<Vec<u64>, LlpSolution>,
-    sma: HashMap<Vec<u64>, Result<sma::SmaPlan, JoinError>>,
-    csma: HashMap<CsmaKey, Result<csma::CsmaPlan, JoinError>>,
+/// Per-query plan caches, sharded for concurrent lookup. Keys are the
+/// relevant size profiles: raw atom cardinalities for chain/LLP plans,
+/// expanded cardinalities plus the degree-bound options for CSMA plans.
+#[derive(Debug, Default)]
+struct LocalPlans {
+    chain: Sharded<Vec<u64>, Option<ChainBound>>,
+    chain_override: Sharded<(Vec<u64>, Vec<usize>), Option<ChainBound>>,
+    llp: Sharded<Vec<u64>, LlpSolution>,
+    sma: Sharded<Vec<u64>, Result<sma::SmaPlan, JoinError>>,
+    csma: Sharded<CsmaKey, Result<csma::CsmaPlan, JoinError>>,
 }
 
 type CsmaKey = (Vec<u64>, Vec<(usize, Vec<u32>, u64)>);
 
 /// The engine: the single entry point for executing join queries.
 ///
-/// Stateless today; it exists as a value so that cross-query planning state
-/// (plan caches shared across databases, batching, admission control) has a
-/// home as the system grows.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct Engine;
+/// An engine is cheap to create and clone. By default it is stateless;
+/// [`Engine::with_plan_cache`] attaches a shared cross-query [`PlanCache`]
+/// so that serving traffic for many isomorphic queries amortizes planning.
+#[derive(Clone, Debug, Default)]
+pub struct Engine {
+    shared: Option<Arc<PlanCache>>,
+}
 
 impl Engine {
-    /// Create an engine.
+    /// Create an engine with no cross-query cache.
     pub fn new() -> Engine {
-        Engine
+        Engine::default()
+    }
+
+    /// Create an engine whose prepared queries publish to — and rehydrate
+    /// from — the given shared plan cache. Clone the `Arc` to share one
+    /// cache among any number of engines and threads.
+    pub fn with_plan_cache(cache: Arc<PlanCache>) -> Engine {
+        Engine {
+            shared: Some(cache),
+        }
+    }
+
+    /// The attached cross-query plan cache, if any.
+    pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.shared.as_ref()
     }
 
     /// Compute the data-independent preprocessing for `q` — the lattice
-    /// presentation — and return a handle that caches all further
+    /// presentation, plus (when a shared [`PlanCache`] is attached) its
+    /// canonical fingerprint — and return a handle that caches all further
     /// (size-profile-dependent) planning across executions.
     pub fn prepare(&self, q: &Query) -> PreparedQuery {
         let pres = q.lattice_presentation();
+        let counters = PrepCounters::default();
+        PrepCounters::bump(&counters.lattice_presentations);
+        let shared = self.shared.as_ref().map(|cache| {
+            PrepCounters::bump(&counters.fingerprints);
+            let fp = fdjoin_lattice::canonical_fingerprint(&pres.lattice, &pres.inputs);
+            SharedHandle::new(cache.shape(&fp), &fp, &pres.inputs)
+        });
         PreparedQuery {
             query: q.clone(),
             pres,
-            cache: Mutex::new(PlanCache {
-                prep: PrepStats {
-                    lattice_presentations: 1,
-                    ..PrepStats::default()
-                },
-                ..PlanCache::default()
-            }),
+            counters,
+            local: LocalPlans::default(),
+            shared,
         }
     }
 
@@ -351,6 +416,11 @@ impl Engine {
 
 /// A query with its preprocessing done once and its per-size-profile plans
 /// (chain bounds, LLP solutions, proof sequences) cached across executions.
+///
+/// `PreparedQuery` is `Send + Sync`: plans live in sharded reader–writer
+/// maps and the preparation counters are atomics, so one prepared query can
+/// serve concurrent `execute` calls (see `fdjoin_exec` for the batch
+/// driver) without serializing on plan lookup.
 ///
 /// ```
 /// use fdjoin_core::{Engine, ExecOptions};
@@ -373,7 +443,9 @@ impl Engine {
 pub struct PreparedQuery {
     query: Query,
     pres: LatticePresentation,
-    cache: Mutex<PlanCache>,
+    counters: PrepCounters,
+    local: LocalPlans,
+    shared: Option<SharedHandle>,
 }
 
 impl PreparedQuery {
@@ -389,7 +461,7 @@ impl PreparedQuery {
 
     /// Counters of preparation work performed so far.
     pub fn prep_stats(&self) -> PrepStats {
-        self.cache.lock().unwrap().prep
+        self.counters.snapshot()
     }
 
     /// Execute against a database. Plans for previously seen size profiles
@@ -404,9 +476,12 @@ impl PreparedQuery {
         }
         self.validate(opts)?;
 
-        let algorithm = match opts.algorithm {
-            Algorithm::Auto => self.choose(&raw_lens, opts),
-            explicit => explicit,
+        let (algorithm, auto) = match opts.algorithm {
+            Algorithm::Auto => {
+                let decision = self.choose(&raw_lens, opts);
+                (decision.algorithm, Some(decision))
+            }
+            explicit => (explicit, None),
         };
 
         match algorithm {
@@ -426,6 +501,7 @@ impl PreparedQuery {
                     algorithm_used: algorithm,
                     predicted_log_bound: Some(bound.log_bound.clone()),
                     plan: PlanDetail::Chain(bound.chain),
+                    auto,
                 })
             }
             Algorithm::Sma => {
@@ -437,6 +513,7 @@ impl PreparedQuery {
                     algorithm_used: Algorithm::Sma,
                     predicted_log_bound: Some(plan.log_bound.clone()),
                     plan: PlanDetail::SmProof(plan.proof),
+                    auto,
                 })
             }
             Algorithm::Csma => {
@@ -456,6 +533,7 @@ impl PreparedQuery {
                     algorithm_used: Algorithm::Csma,
                     predicted_log_bound: Some(plan.log_bound.clone()),
                     plan: PlanDetail::CsmSequence(plan.seq),
+                    auto,
                 })
             }
             Algorithm::GenericJoin => {
@@ -470,6 +548,7 @@ impl PreparedQuery {
                     algorithm_used: Algorithm::GenericJoin,
                     predicted_log_bound: None,
                     plan: PlanDetail::None,
+                    auto,
                 })
             }
             Algorithm::BinaryJoin => {
@@ -481,6 +560,7 @@ impl PreparedQuery {
                     algorithm_used: Algorithm::BinaryJoin,
                     predicted_log_bound: None,
                     plan: PlanDetail::None,
+                    auto,
                 })
             }
             Algorithm::Naive => {
@@ -491,6 +571,7 @@ impl PreparedQuery {
                     algorithm_used: Algorithm::Naive,
                     predicted_log_bound: None,
                     plan: PlanDetail::None,
+                    auto,
                 })
             }
         }
@@ -507,27 +588,68 @@ impl PreparedQuery {
     ///    (tight by Theorem 5.14's condition);
     /// 3. good SM-proof sequence ⇒ **SMA**;
     /// 4. otherwise ⇒ **CSMA** (always applicable).
-    fn choose(&self, raw_lens: &[u64], opts: &ExecOptions) -> Algorithm {
+    ///
+    /// The fired rule and the compared bounds are recorded in the returned
+    /// [`AutoDecision`].
+    fn choose(&self, raw_lens: &[u64], opts: &ExecOptions) -> AutoDecision {
         if !opts.degree_bounds.is_empty() {
-            return Algorithm::Csma;
+            return AutoDecision {
+                algorithm: Algorithm::Csma,
+                reason: AutoReason::DegreeBoundsPinCsma,
+                chain_log_bound: None,
+                llp_log_bound: None,
+            };
         }
         if opts.chain.is_some() {
-            return Algorithm::Chain;
+            return AutoDecision {
+                algorithm: Algorithm::Chain,
+                reason: AutoReason::ChainOverridePinsChain,
+                chain_log_bound: None,
+                llp_log_bound: None,
+            };
         }
         let chain = self.chain_plan(raw_lens);
+        let chain_log_bound = chain.as_ref().map(|cb| cb.log_bound.clone());
         if chain.is_some() && self.pres.lattice.is_distributive() {
-            return Algorithm::Chain;
+            return AutoDecision {
+                algorithm: Algorithm::Chain,
+                reason: AutoReason::DistributiveTightChain,
+                chain_log_bound,
+                llp_log_bound: None,
+            };
         }
+        let mut llp_log_bound = None;
         if let Some(cb) = &chain {
             let llp_value = self.llp_plan(raw_lens).value;
             if cb.log_bound == llp_value {
-                return Algorithm::Chain;
+                return AutoDecision {
+                    algorithm: Algorithm::Chain,
+                    reason: AutoReason::ChainMatchesLlpOptimum,
+                    chain_log_bound,
+                    llp_log_bound: Some(llp_value),
+                };
             }
+            llp_log_bound = Some(llp_value);
         }
-        if self.sma_plan(raw_lens).is_ok() {
-            return Algorithm::Sma;
+        // The SMA planning attempt embeds an LLP solve, so from here on the
+        // optimum is known (as a cache hit) even when the chain analysis
+        // skipped it.
+        let good_proof = self.sma_plan(raw_lens).is_ok();
+        llp_log_bound = llp_log_bound.or_else(|| Some(self.llp_plan(raw_lens).value));
+        if good_proof {
+            return AutoDecision {
+                algorithm: Algorithm::Sma,
+                reason: AutoReason::GoodSmProof,
+                chain_log_bound,
+                llp_log_bound,
+            };
         }
-        Algorithm::Csma
+        AutoDecision {
+            algorithm: Algorithm::Csma,
+            reason: AutoReason::CsmaFallback,
+            chain_log_bound,
+            llp_log_bound,
+        }
     }
 
     fn validate(&self, opts: &ExecOptions) -> Result<(), JoinError> {
@@ -596,67 +718,123 @@ impl PreparedQuery {
         Ok(())
     }
 
-    // Plan lookups. Each public wrapper takes the cache lock once and holds
-    // it across the computation: concurrent executions serialize on a plan
-    // miss (planning is data-independent and amortized away) but never
-    // double-compute or double-count `PrepStats`.
+    // Plan lookups. The fast path is a shard read lock on the local map; a
+    // local miss consults the shared cross-query cache (rehydrating an
+    // isomorphic query's plan through the canonical relabeling) before
+    // solving. Solves, probes, and counter bumps all run under the local
+    // shard write lock, so a plan is never double-computed and hit/miss
+    // accounting never double-counts.
 
-    fn chain_plan(&self, raw_lens: &[u64]) -> Option<ChainBound> {
-        let mut cache = self.cache.lock().unwrap();
-        self.chain_plan_locked(&mut cache, raw_lens)
+    /// The one cache protocol behind every plan kind: local read → (under
+    /// the local shard write lock) shared probe + relabel on hit, else
+    /// solve + publish. `lens` keys the canonical profile; `allow_shared`
+    /// gates kinds that cannot cross queries (degree-bounded CSMA).
+    #[allow(clippy::too_many_arguments)] // one per protocol role, four call sites
+    fn cached_plan<K, V>(
+        &self,
+        local: &Sharded<K, V>,
+        key: &K,
+        lens: &[u64],
+        allow_shared: bool,
+        shared_map: impl Fn(&shared::ShapeEntry) -> &Sharded<shared::CanonKey, V>,
+        apply: impl Fn(&relabel::Relabel, &V) -> V,
+        solve: impl Fn() -> V,
+    ) -> V
+    where
+        K: std::hash::Hash + Eq + Clone,
+        V: Clone,
+    {
+        if let Some(hit) = local.get(key) {
+            return hit;
+        }
+        local.get_or_insert_with(key, || {
+            match self.shared.as_ref().filter(|_| allow_shared) {
+                Some(sh) => {
+                    let kp = sh.canon_key(lens);
+                    if let Some(canon) = shared_map(&sh.entry).get(&kp.key) {
+                        PrepCounters::bump(&self.counters.shared_hits);
+                        return apply(&sh.relabel_to_local(&kp), &canon);
+                    }
+                    PrepCounters::bump(&self.counters.shared_misses);
+                    let v = solve();
+                    let _ = shared_map(&sh.entry)
+                        .get_or_insert_with(&kp.key, || apply(&sh.relabel_to_canon(&kp), &v));
+                    v
+                }
+                None => solve(),
+            }
+        })
     }
 
-    fn chain_plan_locked(&self, cache: &mut PlanCache, raw_lens: &[u64]) -> Option<ChainBound> {
-        if let Some(hit) = cache.chain.get(raw_lens) {
-            return hit.clone();
-        }
-        cache.prep.chain_searches += 1;
+    fn chain_plan(&self, raw_lens: &[u64]) -> Option<ChainBound> {
+        self.cached_plan(
+            &self.local.chain,
+            &raw_lens.to_vec(),
+            raw_lens,
+            true,
+            |e| &e.chain,
+            |r, v| v.as_ref().map(|b| r.chain_bound(b)),
+            || self.solve_chain(raw_lens),
+        )
+    }
+
+    fn solve_chain(&self, raw_lens: &[u64]) -> Option<ChainBound> {
+        PrepCounters::bump(&self.counters.chain_searches);
         let logs = log_sizes_of(raw_lens);
-        let bound = best_chain_bound(&self.pres.lattice, &self.pres.inputs, &logs);
-        cache.chain.insert(raw_lens.to_vec(), bound.clone());
-        bound
+        best_chain_bound(&self.pres.lattice, &self.pres.inputs, &logs)
     }
 
     fn chain_override_plan(&self, raw_lens: &[u64], chain: &Chain) -> Option<ChainBound> {
-        let mut cache = self.cache.lock().unwrap();
+        // Override plans embed a user-supplied chain in local coordinates;
+        // they are cached per query only.
         let key = (raw_lens.to_vec(), chain.elems.clone());
-        if let Some(hit) = cache.chain_override.get(&key) {
-            return hit.clone();
+        if let Some(hit) = self.local.chain_override.get(&key) {
+            return hit;
         }
-        cache.prep.chain_searches += 1;
-        let logs = log_sizes_of(raw_lens);
-        let bound = chain_bound(&self.pres.lattice, &self.pres.inputs, &logs, chain);
-        cache.chain_override.insert(key, bound.clone());
-        bound
+        self.local.chain_override.get_or_insert_with(&key, || {
+            PrepCounters::bump(&self.counters.chain_searches);
+            let logs = log_sizes_of(raw_lens);
+            chain_bound(&self.pres.lattice, &self.pres.inputs, &logs, chain)
+        })
     }
 
     fn llp_plan(&self, raw_lens: &[u64]) -> LlpSolution {
-        let mut cache = self.cache.lock().unwrap();
-        self.llp_plan_locked(&mut cache, raw_lens)
+        self.cached_plan(
+            &self.local.llp,
+            &raw_lens.to_vec(),
+            raw_lens,
+            true,
+            |e| &e.llp,
+            |r, v| r.llp(v),
+            || self.solve_llp(raw_lens),
+        )
     }
 
-    fn llp_plan_locked(&self, cache: &mut PlanCache, raw_lens: &[u64]) -> LlpSolution {
-        if let Some(hit) = cache.llp.get(raw_lens) {
-            return hit.clone();
-        }
-        cache.prep.llp_solves += 1;
+    fn solve_llp(&self, raw_lens: &[u64]) -> LlpSolution {
+        PrepCounters::bump(&self.counters.llp_solves);
         let logs = log_sizes_of(raw_lens);
-        let sol = solve_llp(&self.pres.lattice, &self.pres.inputs, &logs);
-        cache.llp.insert(raw_lens.to_vec(), sol.clone());
-        sol
+        solve_llp(&self.pres.lattice, &self.pres.inputs, &logs)
     }
 
     fn sma_plan(&self, raw_lens: &[u64]) -> Result<sma::SmaPlan, JoinError> {
-        let mut cache = self.cache.lock().unwrap();
-        if let Some(hit) = cache.sma.get(raw_lens) {
-            return hit.clone();
-        }
-        let llp = self.llp_plan_locked(&mut cache, raw_lens);
+        self.cached_plan(
+            &self.local.sma,
+            &raw_lens.to_vec(),
+            raw_lens,
+            true,
+            |e| &e.sma,
+            |r, v| r.sma_result(v),
+            || self.solve_sma(raw_lens),
+        )
+    }
+
+    fn solve_sma(&self, raw_lens: &[u64]) -> Result<sma::SmaPlan, JoinError> {
+        // The nested `llp_plan` call locks a *different* map than the sma
+        // shard held by the caller — the lock order is strictly sma → llp.
+        let llp = self.llp_plan(raw_lens);
+        PrepCounters::bump(&self.counters.proof_searches);
         let logs = log_sizes_of(raw_lens);
-        let plan = sma::plan(&self.pres, &llp, &logs);
-        cache.prep.proof_searches += 1;
-        cache.sma.insert(raw_lens.to_vec(), plan.clone());
-        plan
+        sma::plan(&self.pres, &llp, &logs)
     }
 
     fn csma_plan(
@@ -671,16 +849,39 @@ impl PreparedQuery {
                 .map(|b| (b.atom, b.on.clone(), b.max_degree))
                 .collect(),
         );
-        let mut cache = self.cache.lock().unwrap();
-        if let Some(hit) = cache.csma.get(&key) {
-            return hit.clone();
-        }
-        let logs = log_sizes_of(expanded_lens);
-        let plan = csma::plan(&self.query, &self.pres, &logs, degree_bounds);
-        cache.prep.cllp_solves += 1;
-        cache.csma.insert(key, plan.clone());
-        plan
+        // Degree-bounded plans reference attribute sets of *this* query's
+        // variables; only pure cardinality plans are shared across queries.
+        self.cached_plan(
+            &self.local.csma,
+            &key,
+            expanded_lens,
+            degree_bounds.is_empty(),
+            |e| &e.csma,
+            |r, v| r.csma_result(v),
+            || self.solve_csma(expanded_lens, degree_bounds),
+        )
     }
+
+    fn solve_csma(
+        &self,
+        expanded_lens: &[u64],
+        degree_bounds: &[UserDegreeBound],
+    ) -> Result<csma::CsmaPlan, JoinError> {
+        PrepCounters::bump(&self.counters.cllp_solves);
+        let logs = log_sizes_of(expanded_lens);
+        csma::plan(&self.query, &self.pres, &logs, degree_bounds)
+    }
+}
+
+// `PreparedQuery` is shared by reference across `fdjoin_exec`'s worker
+// threads; keep the auto-traits load-bearing and compiler-checked.
+#[allow(dead_code)]
+fn assert_thread_safe() {
+    fn check<T: Send + Sync>() {}
+    check::<Engine>();
+    check::<PreparedQuery>();
+    check::<PlanCache>();
+    check::<JoinResult>();
 }
 
 /// Dyadic upper approximations `log₂ max(len, 1)` for a size profile.

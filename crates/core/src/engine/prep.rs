@@ -1,0 +1,156 @@
+//! Preparation-work accounting and the sharded concurrent plan-map
+//! primitive used by both the per-query and the cross-query caches.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Counters of data-independent preparation work actually performed by a
+/// [`PreparedQuery`](super::PreparedQuery). Re-executing against the same
+/// database must not grow them — that is the contract the engine's caching
+/// provides (and the test suite asserts). When the engine carries a shared
+/// [`PlanCache`](super::PlanCache), plans rehydrated from another
+/// (isomorphic) query's work count as [`PrepStats::shared_hits`] instead of
+/// solves.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrepStats {
+    /// Lattice presentations computed (1 per `Engine::prepare`).
+    pub lattice_presentations: u64,
+    /// Canonical presentation fingerprints computed (1 per
+    /// `Engine::prepare` when a shared plan cache is attached).
+    pub fingerprints: u64,
+    /// Best-chain searches over the candidate chain set.
+    pub chain_searches: u64,
+    /// Exact LLP solves.
+    pub llp_solves: u64,
+    /// Good-SM-proof searches.
+    pub proof_searches: u64,
+    /// Exact CLLP solves (including CSM sequence construction).
+    pub cllp_solves: u64,
+    /// Plans rehydrated from the shared cross-query [`PlanCache`]
+    /// (a hit replaces the corresponding solve counter).
+    ///
+    /// [`PlanCache`]: super::PlanCache
+    pub shared_hits: u64,
+    /// Shared-cache lookups that missed (the plan was then solved locally
+    /// and published for future isomorphic queries).
+    pub shared_misses: u64,
+}
+
+impl PrepStats {
+    /// Total planning operations (presentations + solves; cache traffic is
+    /// excluded).
+    pub fn total(&self) -> u64 {
+        self.lattice_presentations + self.solves()
+    }
+
+    /// Size-profile-dependent solves only: chain searches, LLP/CLLP solves,
+    /// proof searches. Zero for a query whose every plan came from the
+    /// shared cache.
+    pub fn solves(&self) -> u64 {
+        self.chain_searches + self.llp_solves + self.proof_searches + self.cllp_solves
+    }
+}
+
+/// Lock-free interior-mutable counters behind [`PrepStats`]; snapshots are
+/// taken with relaxed loads (counters are monotonic, not synchronizing).
+#[derive(Debug, Default)]
+pub(crate) struct PrepCounters {
+    pub lattice_presentations: AtomicU64,
+    pub fingerprints: AtomicU64,
+    pub chain_searches: AtomicU64,
+    pub llp_solves: AtomicU64,
+    pub proof_searches: AtomicU64,
+    pub cllp_solves: AtomicU64,
+    pub shared_hits: AtomicU64,
+    pub shared_misses: AtomicU64,
+}
+
+impl PrepCounters {
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> PrepStats {
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        PrepStats {
+            lattice_presentations: ld(&self.lattice_presentations),
+            fingerprints: ld(&self.fingerprints),
+            chain_searches: ld(&self.chain_searches),
+            llp_solves: ld(&self.llp_solves),
+            proof_searches: ld(&self.proof_searches),
+            cllp_solves: ld(&self.cllp_solves),
+            shared_hits: ld(&self.shared_hits),
+            shared_misses: ld(&self.shared_misses),
+        }
+    }
+}
+
+/// Number of shards per plan map. Plan lookups hash the size-profile key to
+/// a shard, so concurrent executions over *different* size profiles never
+/// contend, and executions over the *same* profile share a read lock.
+const SHARDS: usize = 8;
+
+/// Per-shard entry cap. Plans are pure functions of their key, so capping
+/// is only a memory bound, never a correctness concern: a long-lived
+/// server cycling through unboundedly many size profiles replaces an
+/// arbitrary resident entry (random replacement) instead of growing
+/// without limit.
+const MAX_PER_SHARD: usize = 256;
+
+/// A sharded `RwLock<HashMap>`: the concurrent map behind every plan cache.
+///
+/// The read path (`get`) takes one shard read lock — concurrent `execute`
+/// calls on warmed plans proceed in parallel. The write path
+/// (`get_or_insert_with`) holds the shard write lock across the compute so
+/// a plan is never double-computed or double-counted; a miss therefore
+/// serializes only same-shard writers, and planning is amortized away.
+/// Each shard is bounded by [`MAX_PER_SHARD`].
+#[derive(Debug)]
+pub(crate) struct Sharded<K, V> {
+    shards: Vec<RwLock<HashMap<K, V>>>,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Sharded<K, V> {
+    pub fn new() -> Sharded<K, V> {
+        Sharded {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Clone out the cached value, if present.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).read().unwrap().get(key).cloned()
+    }
+
+    /// Get the cached value or compute-and-insert it under the shard write
+    /// lock (re-checked, so `f` runs at most once per key across threads).
+    pub fn get_or_insert_with<F: FnOnce() -> V>(&self, key: &K, f: F) -> V {
+        let mut map = self.shard(key).write().unwrap();
+        if let Some(hit) = map.get(key) {
+            return hit.clone();
+        }
+        let v = f();
+        if map.len() >= MAX_PER_SHARD {
+            if let Some(victim) = map.keys().next().cloned() {
+                map.remove(&victim);
+            }
+        }
+        map.insert(key.clone(), v.clone());
+        v
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Default for Sharded<K, V> {
+    fn default() -> Self {
+        Sharded::new()
+    }
+}

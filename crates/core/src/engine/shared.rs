@@ -1,0 +1,278 @@
+//! The cross-query plan cache: plans shared between *isomorphic* queries.
+//!
+//! The per-query cache in [`PreparedQuery`](super::PreparedQuery) amortizes
+//! planning across executions of one query; this module amortizes it across
+//! *queries*. Two queries whose lattice presentations are isomorphic (same
+//! closed-set lattice up to relabeling, same multiset of input closures)
+//! need exactly the same chain searches, LLP solves, and proof-sequence
+//! constructions — only the labels differ. [`PlanCache`] keys shape entries
+//! by the canonical certificate from
+//! [`fdjoin_lattice::canonical_fingerprint`] and stores every plan in
+//! canonical coordinates; preparing an isomorphic query *rehydrates* the
+//! plans through the relabeling instead of recomputing them (observable as
+//! [`PrepStats::shared_hits`](super::PrepStats::shared_hits)).
+//!
+//! The cache is sharded (16 shards, lock per shard) and handed around as an
+//! `Arc`, so a serving layer can attach one cache to any number of engines
+//! and worker threads. Memory is bounded at both levels: the shape count is
+//! capped (least-recently-*prepared* shapes evicted first), and each
+//! shape's per-size-profile plan maps are themselves bounded `Sharded`
+//! maps (random replacement past their cap).
+
+use super::prep::Sharded;
+use super::relabel::Relabel;
+use crate::engine::JoinError;
+use crate::{csma, sma};
+use fdjoin_bounds::chain::ChainBound;
+use fdjoin_bounds::llp::LlpSolution;
+use fdjoin_lattice::PresentationFingerprint;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A canonical size-profile key: `(canonical input element, size)` pairs in
+/// canonical slot order. Two isomorphic queries executing over databases
+/// with corresponding relation sizes produce the same key.
+pub(crate) type CanonKey = Vec<(u32, u64)>;
+
+/// All cached plans for one presentation shape, in canonical coordinates.
+#[derive(Debug)]
+pub(crate) struct ShapeEntry {
+    pub chain: Sharded<CanonKey, Option<ChainBound>>,
+    pub llp: Sharded<CanonKey, LlpSolution>,
+    pub sma: Sharded<CanonKey, Result<sma::SmaPlan, JoinError>>,
+    pub csma: Sharded<CanonKey, Result<csma::CsmaPlan, JoinError>>,
+    last_used: AtomicU64,
+}
+
+impl ShapeEntry {
+    fn new(stamp: u64) -> ShapeEntry {
+        ShapeEntry {
+            chain: Sharded::new(),
+            llp: Sharded::new(),
+            sma: Sharded::new(),
+            csma: Sharded::new(),
+            last_used: AtomicU64::new(stamp),
+        }
+    }
+}
+
+/// Aggregate counters for a [`PlanCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Prepares that found their shape already cached.
+    pub shape_hits: u64,
+    /// Prepares that inserted a new shape.
+    pub shape_misses: u64,
+    /// Shapes evicted to stay within capacity.
+    pub evictions: u64,
+    /// Shapes currently resident.
+    pub shapes: usize,
+}
+
+const CACHE_SHARDS: usize = 16;
+const DEFAULT_SHAPES_PER_SHARD: usize = 64;
+
+/// An engine-level plan cache shared across queries, keyed by
+/// lattice-presentation isomorphism.
+///
+/// Attach one to an [`Engine`](super::Engine) with
+/// [`Engine::with_plan_cache`](super::Engine::with_plan_cache); every
+/// [`PreparedQuery`](super::PreparedQuery) made by that engine then
+/// publishes the plans it computes and rehydrates the plans isomorphic
+/// queries already paid for:
+///
+/// ```
+/// use fdjoin_core::{Engine, ExecOptions, PlanCache};
+/// use std::sync::Arc;
+///
+/// let cache = Arc::new(PlanCache::new());
+/// let engine = Engine::with_plan_cache(cache.clone());
+/// let q = fdjoin_query::examples::triangle();
+/// let prepared = engine.prepare(&q);
+/// assert_eq!(cache.stats().shapes, 1);
+/// ```
+pub struct PlanCache {
+    shards: Vec<Mutex<HashMap<Vec<u8>, Arc<ShapeEntry>>>>,
+    shapes_per_shard: usize,
+    clock: AtomicU64,
+    shape_hits: AtomicU64,
+    shape_misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    /// A cache with the default capacity (1024 shapes).
+    pub fn new() -> PlanCache {
+        PlanCache::with_capacity(CACHE_SHARDS * DEFAULT_SHAPES_PER_SHARD)
+    }
+
+    /// A cache bounded to roughly `max_shapes` distinct presentation
+    /// shapes (rounded up to a multiple of the shard count).
+    pub fn with_capacity(max_shapes: usize) -> PlanCache {
+        PlanCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            shapes_per_shard: max_shapes.div_ceil(CACHE_SHARDS).max(1),
+            clock: AtomicU64::new(0),
+            shape_hits: AtomicU64::new(0),
+            shape_misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            shape_hits: self.shape_hits.load(Ordering::Relaxed),
+            shape_misses: self.shape_misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            shapes: self.shards.iter().map(|s| s.lock().unwrap().len()).sum(),
+        }
+    }
+
+    /// Get-or-insert the shape entry for a fingerprint, evicting the
+    /// least-recently-prepared shape in the shard when at capacity.
+    pub(crate) fn shape(&self, fp: &PresentationFingerprint) -> Arc<ShapeEntry> {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let shard = &self.shards[(fp.hash() as usize) % CACHE_SHARDS];
+        let mut map = shard.lock().unwrap();
+        if let Some(entry) = map.get(fp.certificate()) {
+            entry.last_used.store(stamp, Ordering::Relaxed);
+            self.shape_hits.fetch_add(1, Ordering::Relaxed);
+            return entry.clone();
+        }
+        self.shape_misses.fetch_add(1, Ordering::Relaxed);
+        if map.len() >= self.shapes_per_shard {
+            let victim = map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone());
+            if let Some(k) = victim {
+                map.remove(&k);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let entry = Arc::new(ShapeEntry::new(stamp));
+        map.insert(fp.certificate().to_vec(), entry.clone());
+        entry
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new()
+    }
+}
+
+impl fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "PlanCache({} shapes, {} hits / {} misses, {} evicted)",
+            s.shapes, s.shape_hits, s.shape_misses, s.evictions
+        )
+    }
+}
+
+/// One canonical labeling of the prepared query's presentation, in the
+/// forms the cache needs.
+#[derive(Debug)]
+struct LabelVariant {
+    /// `to_canon[e]` = canonical index of local element `e`.
+    to_canon: Vec<usize>,
+    /// `from_canon[c]` = local element with canonical index `c`.
+    from_canon: Vec<usize>,
+    /// Canonical element per local atom (`to_canon[inputs[j]]`).
+    input_canon: Vec<usize>,
+}
+
+/// A prepared query's handle into the shared cache: its shape entry plus
+/// the isomorphisms between its local coordinates and the canonical ones.
+///
+/// Symmetric presentations admit several equally canonical labelings (the
+/// automorphism coset reported by `canonical_fingerprint`); the handle
+/// keeps them all and canonicalizes each size-profile key by minimizing
+/// over them, so e.g. the three rotations of a triangle query land on the
+/// same cached plan whichever atom carries which cardinality.
+#[derive(Debug)]
+pub(crate) struct SharedHandle {
+    pub entry: Arc<ShapeEntry>,
+    variants: Vec<LabelVariant>,
+}
+
+/// A canonicalized size profile: the cache key, the slot map of the chosen
+/// labeling (`slot[j]` = canonical slot of local atom `j`), and which
+/// labeling variant produced it.
+pub(crate) struct KeyedProfile {
+    pub key: CanonKey,
+    slot: Vec<usize>,
+    variant: usize,
+}
+
+impl SharedHandle {
+    pub fn new(entry: Arc<ShapeEntry>, fp: &PresentationFingerprint, inputs: &[usize]) -> Self {
+        let variants = fp
+            .labelings()
+            .iter()
+            .map(|labels| LabelVariant {
+                to_canon: labels.clone(),
+                from_canon: PresentationFingerprint::invert(labels),
+                input_canon: inputs.iter().map(|&r| labels[r]).collect(),
+            })
+            .collect();
+        SharedHandle { entry, variants }
+    }
+
+    /// The canonical key for a local size profile: atoms ordered by
+    /// (canonical input element, size), minimized over all canonical
+    /// labelings. Ties within a key are interchangeable — planning sees
+    /// only the (element, size) pair.
+    pub fn canon_key(&self, lens: &[u64]) -> KeyedProfile {
+        let mut best: Option<KeyedProfile> = None;
+        for (v, variant) in self.variants.iter().enumerate() {
+            let mut idx: Vec<usize> = (0..lens.len()).collect();
+            idx.sort_by_key(|&j| (variant.input_canon[j], lens[j], j));
+            let mut slot = vec![0usize; lens.len()];
+            let key: CanonKey = idx
+                .iter()
+                .enumerate()
+                .map(|(k, &j)| {
+                    slot[j] = k;
+                    (variant.input_canon[j] as u32, lens[j])
+                })
+                .collect();
+            if best.as_ref().is_none_or(|b| key < b.key) {
+                best = Some(KeyedProfile {
+                    key,
+                    slot,
+                    variant: v,
+                });
+            }
+        }
+        best.expect("at least one labeling")
+    }
+
+    /// The relabeling carrying local plans into canonical coordinates.
+    pub fn relabel_to_canon(&self, kp: &KeyedProfile) -> Relabel {
+        Relabel {
+            elem: self.variants[kp.variant].to_canon.clone(),
+            slot: kp.slot.clone(),
+        }
+    }
+
+    /// The relabeling carrying canonical plans into local coordinates.
+    pub fn relabel_to_local(&self, kp: &KeyedProfile) -> Relabel {
+        let mut inv_slot = vec![0usize; kp.slot.len()];
+        for (j, &s) in kp.slot.iter().enumerate() {
+            inv_slot[s] = j;
+        }
+        Relabel {
+            elem: self.variants[kp.variant].from_canon.clone(),
+            slot: inv_slot,
+        }
+    }
+}

@@ -43,8 +43,8 @@ mod stats;
 pub use chain_algo::atom_log_sizes;
 pub use engine::{
     binary_join, chain_join, chain_join_no_argmin, csma_join, generic_join, naive_join, sma_join,
-    Algorithm, Engine, ExecOptions, JoinError, JoinResult, PlanDetail, PrepStats, PreparedQuery,
-    UserDegreeBound,
+    Algorithm, AutoDecision, AutoReason, Engine, ExecOptions, JoinError, JoinResult, PlanCache,
+    PlanCacheStats, PlanDetail, PrepStats, PreparedQuery, UserDegreeBound,
 };
 pub use expand::Expander;
 pub use stats::Stats;

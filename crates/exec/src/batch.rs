@@ -1,0 +1,227 @@
+//! Batched and fanned-out execution of prepared queries.
+//!
+//! Two entry points, one contract:
+//!
+//! - [`ExecuteBatch::execute_batch`] — synchronous: fan one
+//!   [`PreparedQuery`] across a borrowed slice of databases on scoped
+//!   work-stealing workers and collect per-database results;
+//! - [`Executor::submit`] — asynchronous: enqueue the same fan-out on a
+//!   persistent thread pool and get a [`BatchHandle`] to wait on, so a
+//!   serving loop can keep admitting batches while earlier ones run.
+//!
+//! Both return per-database [`JoinResult`]s **in database order** plus
+//! aggregate [`BatchStats`]. Results are bit-identical to a serial
+//! `execute` loop: executions share only the prepared query's plan caches,
+//! whose contents do not depend on scheduling.
+
+use crate::pool::{run_scoped, Pool};
+use fdjoin_core::{ExecOptions, JoinError, JoinResult, PreparedQuery};
+use fdjoin_storage::Database;
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Aggregate counters for one batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Databases executed.
+    pub databases: usize,
+    /// Executions that returned `Ok`.
+    pub succeeded: usize,
+    /// Executions that returned `Err`.
+    pub failed: usize,
+    /// Total output tuples across successful executions.
+    pub output_tuples: u64,
+    /// Total deterministic work (`Stats::work`) across successes.
+    pub work: u64,
+    /// Wall-clock time from submission to the last result.
+    pub wall: Duration,
+}
+
+impl BatchStats {
+    /// Databases served per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.databases as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Per-database results (in input order) plus aggregate statistics.
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// `results[i]` is the outcome for `dbs[i]`.
+    pub results: Vec<Result<JoinResult, JoinError>>,
+    /// Aggregate counters.
+    pub stats: BatchStats,
+}
+
+impl BatchResult {
+    fn collect(results: Vec<Result<JoinResult, JoinError>>, wall: Duration) -> BatchResult {
+        let mut stats = BatchStats {
+            databases: results.len(),
+            wall,
+            ..BatchStats::default()
+        };
+        for r in &results {
+            match r {
+                Ok(jr) => {
+                    stats.succeeded += 1;
+                    stats.output_tuples += jr.output.len() as u64;
+                    stats.work += jr.stats.work();
+                }
+                Err(_) => stats.failed += 1,
+            }
+        }
+        BatchResult { results, stats }
+    }
+}
+
+/// Batch execution over a borrowed database slice; implemented for
+/// [`PreparedQuery`].
+pub trait ExecuteBatch {
+    /// Execute against every database concurrently (one logical task per
+    /// database, work-stealing workers, up to one thread per core) and
+    /// return per-database results in input order.
+    fn execute_batch(&self, dbs: &[Database], opts: &ExecOptions) -> BatchResult;
+
+    /// [`ExecuteBatch::execute_batch`] with an explicit worker count.
+    fn execute_batch_with(
+        &self,
+        dbs: &[Database],
+        opts: &ExecOptions,
+        threads: usize,
+    ) -> BatchResult;
+}
+
+impl ExecuteBatch for PreparedQuery {
+    fn execute_batch(&self, dbs: &[Database], opts: &ExecOptions) -> BatchResult {
+        self.execute_batch_with(dbs, opts, default_threads())
+    }
+
+    fn execute_batch_with(
+        &self,
+        dbs: &[Database],
+        opts: &ExecOptions,
+        threads: usize,
+    ) -> BatchResult {
+        let started = Instant::now();
+        let results = run_scoped(dbs.len(), threads, |i| self.execute(&dbs[i], opts));
+        BatchResult::collect(results, started.elapsed())
+    }
+}
+
+/// A persistent work-stealing thread pool that fans prepared queries across
+/// databases.
+///
+/// ```
+/// use fdjoin_core::{Engine, ExecOptions};
+/// use fdjoin_exec::Executor;
+/// use std::sync::Arc;
+///
+/// let q = fdjoin_query::examples::triangle();
+/// let prepared = Arc::new(Engine::new().prepare(&q));
+/// let dbs = Arc::new(vec![fdjoin_storage::Database::new(); 0]);
+/// let exec = Executor::new();
+/// let batch = exec.submit(&prepared, &dbs, &ExecOptions::new()).wait();
+/// assert_eq!(batch.stats.databases, 0);
+/// ```
+pub struct Executor {
+    pool: Pool,
+}
+
+impl Executor {
+    /// A pool with one worker per available core.
+    pub fn new() -> Executor {
+        Executor::with_threads(default_threads())
+    }
+
+    /// A pool with exactly `threads` workers (minimum 1).
+    pub fn with_threads(threads: usize) -> Executor {
+        Executor {
+            pool: Pool::new(threads),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Fan `prepared` across `dbs` on the pool; returns immediately with a
+    /// handle. The `Arc`s are cloned into the jobs, so the caller may drop
+    /// its references while the batch runs.
+    pub fn submit(
+        &self,
+        prepared: &Arc<PreparedQuery>,
+        dbs: &Arc<Vec<Database>>,
+        opts: &ExecOptions,
+    ) -> BatchHandle {
+        let started = Instant::now();
+        let (tx, rx) = channel();
+        let n = dbs.len();
+        for i in 0..n {
+            let prepared = prepared.clone();
+            let dbs = dbs.clone();
+            let opts = opts.clone();
+            let tx = tx.clone();
+            self.pool.spawn(Box::new(move || {
+                let r = prepared.execute(&dbs[i], &opts);
+                let _ = tx.send((i, r));
+            }));
+        }
+        BatchHandle { rx, n, started }
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new()
+    }
+}
+
+/// An in-flight batch submitted to an [`Executor`].
+pub struct BatchHandle {
+    rx: Receiver<(usize, Result<JoinResult, JoinError>)>,
+    n: usize,
+    started: Instant,
+}
+
+impl BatchHandle {
+    /// Number of databases in the batch.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the batch was empty on submission.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Block until every database has been executed.
+    pub fn wait(self) -> BatchResult {
+        let mut slots: Vec<Option<Result<JoinResult, JoinError>>> =
+            (0..self.n).map(|_| None).collect();
+        for _ in 0..self.n {
+            let (i, r) = self
+                .rx
+                .recv()
+                .expect("a batch job panicked before reporting its result");
+            slots[i] = Some(r);
+        }
+        let results = slots
+            .into_iter()
+            .map(|s| s.expect("every database reported"))
+            .collect();
+        BatchResult::collect(results, self.started.elapsed())
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}

@@ -1,0 +1,60 @@
+//! `fdjoin_exec` — the concurrent serving layer over the `fdjoin` engine.
+//!
+//! The paper (Abo Khamis–Ngo–Suciu, PODS 2016) splits query evaluation into
+//! a data-independent *planning* phase (lattice presentation, chain/LLP
+//! bounds, SM/CSM proof sequences) and a data-dependent *execution* phase.
+//! `fdjoin_core` exploits the split per query; this crate exploits it at
+//! serving scale, with two cooperating pieces:
+//!
+//! 1. **Cross-query plan cache** ([`PlanCache`], re-exported from
+//!    `fdjoin_core` where it integrates with `Engine::prepare`): plans are
+//!    keyed by *lattice-presentation isomorphism* using the canonical
+//!    fingerprints of `fdjoin_lattice::canonical_fingerprint`, so preparing
+//!    a query that is structurally isomorphic to one served before — any
+//!    variable/atom renaming — rehydrates its chain, LLP, SM-proof, and
+//!    CSM plans instead of recomputing them. Hits, misses, and evictions
+//!    are observable via [`PlanCacheStats`] and per-query
+//!    [`PrepStats`](fdjoin_core::PrepStats).
+//!
+//! 2. **Concurrent execution driver**: a std-only work-stealing thread
+//!    pool behind two APIs — [`ExecuteBatch::execute_batch`] (synchronous,
+//!    scoped, borrows the databases) and [`Executor::submit`]
+//!    (asynchronous, persistent pool, `Arc`-shared inputs). Both fan one
+//!    `PreparedQuery` across many databases and return per-database
+//!    [`JoinResult`](fdjoin_core::JoinResult)s plus aggregate
+//!    [`BatchStats`] (throughput, totals).
+//!
+//! Prepare once, execute everywhere:
+//!
+//! ```
+//! use fdjoin_core::{Engine, ExecOptions, PlanCache};
+//! use fdjoin_exec::ExecuteBatch;
+//! use fdjoin_storage::{Database, Relation};
+//! use std::sync::Arc;
+//!
+//! let cache = Arc::new(PlanCache::new());
+//! let engine = Engine::with_plan_cache(cache.clone());
+//! let prepared = engine.prepare(&fdjoin_query::examples::triangle());
+//!
+//! let mk = |k: u64| {
+//!     let mut db = Database::new();
+//!     db.insert("R", Relation::from_rows(vec![0, 1], [[k, 2]]));
+//!     db.insert("S", Relation::from_rows(vec![1, 2], [[2, 3]]));
+//!     db.insert("T", Relation::from_rows(vec![2, 0], [[3, k]]));
+//!     db
+//! };
+//! let dbs: Vec<Database> = (0..4).map(mk).collect();
+//! let batch = prepared.execute_batch(&dbs, &ExecOptions::new());
+//! assert_eq!(batch.stats.succeeded, 4);
+//! // One size profile: planned once, reused for every database.
+//! assert_eq!(prepared.prep_stats().chain_searches, 1);
+//! ```
+
+mod batch;
+mod pool;
+
+pub use batch::{BatchHandle, BatchResult, BatchStats, ExecuteBatch, Executor};
+// The cache types live in `fdjoin_core` (they are wired into
+// `Engine::prepare` and relabel crate-private plan structures); this crate
+// is their serving-layer home.
+pub use fdjoin_core::{PlanCache, PlanCacheStats};

@@ -1,0 +1,364 @@
+//! The serving layer end to end: cross-query plan reuse through the shared
+//! `PlanCache`, batch execution equivalence, and concurrency stress.
+
+use fdjoin_core::{
+    naive_join, Algorithm, Engine, ExecOptions, JoinResult, PlanCache, PreparedQuery,
+};
+use fdjoin_exec::{ExecuteBatch, Executor};
+use fdjoin_lattice::VarSet;
+use fdjoin_query::{examples, Query};
+use fdjoin_storage::{Database, Relation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Isomorphic query pair: Fig. 1 and a renamed twin. The twin permutes the
+// variable ids (x,y,z,u ↦ ids 2,3,0,1), the atom order (T,R,S), and every
+// name, so rehydrating its plans exercises both the element and the slot
+// relabelings nontrivially.
+// ---------------------------------------------------------------------------
+
+fn fig1() -> (Query, Database) {
+    let q = examples::fig1_udf();
+    let mut db = Database::new();
+    db.insert(
+        "R",
+        Relation::from_rows(vec![0, 1], [[1, 1], [2, 1], [1, 2]]),
+    );
+    db.insert(
+        "S",
+        Relation::from_rows(vec![1, 2], [[1, 1], [2, 1], [1, 2]]),
+    );
+    db.insert(
+        "T",
+        Relation::from_rows(vec![2, 3], [[1, 1], [1, 2], [2, 1]]),
+    );
+    // u = f(x,z) = x and x = g(y,u) = u, as in tests/engine_api.rs.
+    db.udfs.register(VarSet::from_vars([0, 2]), 3, |v| v[0]);
+    db.udfs.register(VarSet::from_vars([1, 3]), 0, |v| v[1]);
+    (q, db)
+}
+
+/// Fig. 1 with variables declared in the order z,u,x,y (so x,y,z,u get ids
+/// 2,3,0,1), atoms reordered to T,R,S, and everything renamed.
+fn fig1_twin() -> (Query, Database) {
+    let mut b = Query::builder();
+    let (z, u, x, y) = (b.var("zz"), b.var("uu"), b.var("xx"), b.var("yy"));
+    b.atom("T2", &[z, u])
+        .atom("R2", &[x, y])
+        .atom("S2", &[y, z]);
+    b.fd(&[x, z], &[u]).fd(&[y, u], &[x]);
+    let q = b.build();
+
+    let mut db = Database::new();
+    // Same tuples as `fig1`, columns laid out for the new ids (ascending).
+    db.insert(
+        "T2",
+        Relation::from_rows(vec![0, 1], [[1, 1], [1, 2], [2, 1]]),
+    );
+    db.insert(
+        "R2",
+        Relation::from_rows(vec![2, 3], [[1, 1], [2, 1], [1, 2]]),
+    );
+    // S holds (y,z) rows; ascending ids are (z=0, y=3).
+    db.insert(
+        "S2",
+        Relation::from_rows(vec![0, 3], [[1, 1], [1, 2], [2, 1]]),
+    );
+    // u = f(x,z): args {x=2, z=0} arrive ascending as (z, x) ⇒ x is v[1].
+    db.udfs.register(VarSet::from_vars([2, 0]), 1, |v| v[1]);
+    // x = g(y,u): args {y=3, u=1} arrive ascending as (u, y) ⇒ u is v[0].
+    db.udfs.register(VarSet::from_vars([3, 1]), 2, |v| v[0]);
+    (q, db)
+}
+
+fn opts(alg: Algorithm) -> ExecOptions {
+    ExecOptions::new().algorithm(alg)
+}
+
+const PLANNED_ALGS: [Algorithm; 4] = [
+    Algorithm::Auto,
+    Algorithm::Chain,
+    Algorithm::Sma,
+    Algorithm::Csma,
+];
+
+/// The acceptance criterion: preparing two structurally isomorphic but
+/// differently-named queries through one shared `PlanCache` makes the
+/// second query's planning free — zero chain/LLP/SM/CLLP solves, only
+/// shared-cache hits — while producing correct (naive-verified) output.
+#[test]
+fn isomorphic_queries_share_plans() {
+    let cache = Arc::new(PlanCache::new());
+    let engine = Engine::with_plan_cache(cache.clone());
+
+    let (q1, db1) = fig1();
+    let p1 = engine.prepare(&q1);
+    for alg in PLANNED_ALGS {
+        let r = p1.execute(&db1, &opts(alg)).unwrap();
+        assert_eq!(r.output, naive_join(&q1, &db1).unwrap().output);
+    }
+    let s1 = p1.prep_stats();
+    assert!(s1.solves() > 0, "first query pays for planning");
+    assert_eq!(s1.shared_hits, 0, "nothing to reuse yet");
+
+    let (q2, db2) = fig1_twin();
+    let p2 = engine.prepare(&q2);
+    for alg in PLANNED_ALGS {
+        let r = p2.execute(&db2, &opts(alg)).unwrap();
+        assert_eq!(
+            r.output,
+            naive_join(&q2, &db2).unwrap().output,
+            "{alg}: rehydrated plan must compute the right answer"
+        );
+    }
+    let s2 = p2.prep_stats();
+    assert_eq!(
+        s2.solves(),
+        0,
+        "isomorphic query must do zero chain/LLP/SM/CLLP solves: {s2:?}"
+    );
+    assert!(s2.shared_hits >= 4, "chain, LLP, SMA, CSMA all rehydrated");
+    assert_eq!(s2.shared_misses, 0);
+    assert_eq!(s2.fingerprints, 1);
+
+    // One shape, prepared twice: one miss (insert), one hit.
+    let cs = cache.stats();
+    assert_eq!(cs.shapes, 1);
+    assert_eq!(cs.shape_misses, 1);
+    assert_eq!(cs.shape_hits, 1);
+    assert_eq!(cs.evictions, 0);
+
+    // The twin's Auto decision matches the original's (the rehydrated
+    // bounds are the relabeled originals).
+    let r1 = p1.execute(&db1, &opts(Algorithm::Auto)).unwrap();
+    let r2 = p2.execute(&db2, &opts(Algorithm::Auto)).unwrap();
+    let (d1, d2) = (r1.auto.unwrap(), r2.auto.unwrap());
+    assert_eq!(d1.reason, d2.reason);
+    assert_eq!(d1.chain_log_bound, d2.chain_log_bound);
+    assert_eq!(d1.llp_log_bound, d2.llp_log_bound);
+}
+
+/// Plan sharing must never *change answers*: sweep every planned algorithm
+/// over both queries with and without the shared cache.
+#[test]
+fn shared_cache_is_semantically_transparent() {
+    let cache = Arc::new(PlanCache::new());
+    let shared = Engine::with_plan_cache(cache);
+    let plain = Engine::new();
+    for (q, db) in [fig1(), fig1_twin()] {
+        for alg in PLANNED_ALGS {
+            let a = shared.execute(&q, &db, &opts(alg)).unwrap();
+            let b = plain.execute(&q, &db, &opts(alg)).unwrap();
+            assert_eq!(a.output, b.output, "{alg} on {}", q.display_body());
+            assert_eq!(a.algorithm_used, b.algorithm_used);
+            assert_eq!(a.predicted_log_bound, b.predicted_log_bound);
+        }
+    }
+}
+
+/// Non-isomorphic queries must not collide in the cache.
+#[test]
+fn distinct_shapes_get_distinct_entries() {
+    let cache = Arc::new(PlanCache::new());
+    let engine = Engine::with_plan_cache(cache.clone());
+    for q in [
+        examples::triangle(),
+        examples::fig1_udf(),
+        examples::m3_query(),
+        examples::fig4_query(),
+        examples::simple_fd_path(),
+    ] {
+        engine.prepare(&q);
+    }
+    assert_eq!(cache.stats().shapes, 5);
+    assert_eq!(cache.stats().shape_hits, 0);
+}
+
+/// Capacity bounds hold and evictions are counted.
+#[test]
+fn eviction_respects_capacity() {
+    // Capacity 16 rounds to 1 shape per shard (16 shards).
+    let cache = Arc::new(PlanCache::with_capacity(16));
+    let engine = Engine::with_plan_cache(cache.clone());
+    let queries = [
+        examples::triangle(),
+        examples::fig1_udf(),
+        examples::m3_query(),
+        examples::fig4_query(),
+        examples::fig9_query(),
+        examples::simple_fd_path(),
+        examples::four_cycle_key(),
+        examples::composite_key(),
+    ];
+    for _ in 0..3 {
+        for q in &queries {
+            engine.prepare(q);
+        }
+    }
+    let s = cache.stats();
+    assert!(s.shapes <= 16, "capacity respected: {s:?}");
+    // Either everything fit in distinct shards or evictions were counted.
+    assert_eq!(s.shape_hits + s.shape_misses, 24);
+    assert!(s.shapes + s.evictions as usize >= 8);
+}
+
+// ---------------------------------------------------------------------------
+// Batch execution: equivalence with serial loops, and stress.
+// ---------------------------------------------------------------------------
+
+fn triangle_dbs(n: usize) -> Vec<Database> {
+    let q = examples::triangle();
+    (0..n)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(1000 + i as u64);
+            fdjoin_instances::random_instance(&q, &mut rng, 8 + (i % 5), 70)
+        })
+        .collect()
+}
+
+fn assert_batch_matches_serial(
+    prepared: &PreparedQuery,
+    dbs: &[Database],
+    opts: &ExecOptions,
+    batch: &[Result<JoinResult, fdjoin_core::JoinError>],
+) {
+    assert_eq!(batch.len(), dbs.len());
+    for (i, db) in dbs.iter().enumerate() {
+        let serial = prepared.execute(db, opts).unwrap();
+        let b = batch[i].as_ref().unwrap();
+        assert_eq!(b.output, serial.output, "db {i}: outputs must be identical");
+        assert_eq!(b.stats, serial.stats, "db {i}: work counters too");
+        assert_eq!(b.algorithm_used, serial.algorithm_used);
+    }
+}
+
+/// The acceptance criterion: `execute_batch` over ≥ 4 databases is
+/// bit-identical to a serial `execute` loop.
+#[test]
+fn execute_batch_matches_serial() {
+    let q = examples::triangle();
+    let prepared = Engine::new().prepare(&q);
+    let dbs = triangle_dbs(6);
+    let o = ExecOptions::new();
+    let batch = prepared.execute_batch(&dbs, &o);
+    assert_eq!(batch.stats.databases, 6);
+    assert_eq!(batch.stats.succeeded, 6);
+    assert_eq!(batch.stats.failed, 0);
+    assert_batch_matches_serial(&prepared, &dbs, &o, &batch.results);
+    let expected_tuples: u64 = batch
+        .results
+        .iter()
+        .map(|r| r.as_ref().unwrap().output.len() as u64)
+        .sum();
+    assert_eq!(batch.stats.output_tuples, expected_tuples);
+}
+
+/// Same through the persistent `Executor::submit` API, including errors
+/// (a database missing a relation fails *its* slot only).
+#[test]
+fn executor_submit_collects_per_database_results() {
+    let q = examples::triangle();
+    let prepared = Arc::new(Engine::new().prepare(&q));
+    let mut dbs = triangle_dbs(5);
+    let mut broken = Database::new();
+    broken.insert("R", Relation::from_rows(vec![0, 1], [[1, 2]]));
+    dbs.push(broken); // index 5: S and T missing.
+    let dbs = Arc::new(dbs);
+
+    let exec = Executor::with_threads(4);
+    assert_eq!(exec.threads(), 4);
+    let handle = exec.submit(&prepared, &dbs, &ExecOptions::new());
+    assert_eq!(handle.len(), 6);
+    let batch = handle.wait();
+    assert_eq!(batch.stats.succeeded, 5);
+    assert_eq!(batch.stats.failed, 1);
+    assert!(matches!(
+        batch.results[5],
+        Err(fdjoin_core::JoinError::MissingRelation(ref n)) if n == "S"
+    ));
+    assert_batch_matches_serial(
+        &prepared,
+        &dbs[..5],
+        &ExecOptions::new(),
+        &batch.results[..5],
+    );
+
+    // The pool survives its first batch: submit another.
+    let batch2 = exec.submit(&prepared, &dbs, &ExecOptions::new()).wait();
+    assert_eq!(batch2.stats.succeeded, 5);
+}
+
+/// Stress: many databases × several algorithms × repeated rounds, wide
+/// worker counts, one shared `PreparedQuery` — results must stay
+/// bit-identical to serial execution every time.
+#[test]
+fn concurrent_execution_stress() {
+    for (q, db_count) in [
+        (examples::triangle(), 16),
+        (examples::fig1_udf(), 8),
+        (examples::fig4_query(), 6),
+    ] {
+        let cache = Arc::new(PlanCache::new());
+        let prepared = Engine::with_plan_cache(cache).prepare(&q);
+        let dbs: Vec<Database> = (0..db_count)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(7 * i as u64 + 3);
+                fdjoin_instances::random_instance(&q, &mut rng, 6 + (i % 4), 75)
+            })
+            .collect();
+        let o = ExecOptions::new();
+        // Serial baseline (also warms the plan caches deterministically).
+        let serial: Vec<JoinResult> = dbs
+            .iter()
+            .map(|db| prepared.execute(db, &o).unwrap())
+            .collect();
+        let warmed = prepared.prep_stats();
+        for round in 0..4 {
+            let threads = [1, 2, 4, 8][round % 4];
+            let batch = prepared.execute_batch_with(&dbs, &o, threads);
+            assert_eq!(batch.stats.failed, 0, "{}", q.display_body());
+            for (i, r) in batch.results.iter().enumerate() {
+                let r = r.as_ref().unwrap();
+                assert_eq!(r.output, serial[i].output, "round {round}, db {i}");
+                assert_eq!(r.stats, serial[i].stats, "round {round}, db {i}");
+            }
+        }
+        // Concurrency re-used the warmed plans; no re-planning happened.
+        assert_eq!(prepared.prep_stats(), warmed, "{}", q.display_body());
+    }
+}
+
+/// Hammer one `PreparedQuery` from raw threads (not the batch driver) so
+/// plan lookups race on a *cold* cache; every thread must see the same
+/// answers as a serial loop.
+#[test]
+fn cold_cache_racing_executions_agree() {
+    let q = examples::fig1_udf();
+    let dbs = {
+        let (_, db) = fig1();
+        vec![db]
+    };
+    let o = ExecOptions::new();
+    let expect = {
+        let p = Engine::new().prepare(&q);
+        p.execute(&dbs[0], &o).unwrap()
+    };
+    for _ in 0..8 {
+        let prepared = Engine::new().prepare(&q); // cold every iteration
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let (p, db, o, expect) = (&prepared, &dbs[0], &o, &expect);
+                s.spawn(move || {
+                    let r = p.execute(db, o).unwrap();
+                    assert_eq!(r.output, expect.output);
+                    assert_eq!(r.stats, expect.stats);
+                });
+            }
+        });
+        // Exactly one planning pass happened despite the race.
+        let s = prepared.prep_stats();
+        assert_eq!(s.chain_searches, 1, "no double-compute under contention");
+    }
+}

@@ -11,9 +11,12 @@
 //!   detection (Proposition 4.10), Möbius functions (Eq. 10);
 //! - [`Embedding`]: join-preserving maps and Galois adjoints (Sec. 3.4),
 //!   the mechanism behind quasi-product instances;
+//! - [`canonical_fingerprint`]: canonical labeling of lattice presentations
+//!   (the isomorphism-respecting cache key behind cross-query plan reuse);
 //! - [`build`]: the paper's concrete lattices (Boolean algebras, `M3`, `N5`,
 //!   Figures 4, 7, 8, 9).
 
+mod canon;
 mod embed;
 mod lattice;
 mod props;
@@ -21,6 +24,7 @@ mod varset;
 
 pub mod build;
 
+pub use canon::{canonical_fingerprint, PresentationFingerprint};
 pub use embed::{is_embedding, Embedding};
 pub use lattice::{ElemId, Lattice, LatticeError};
 pub use varset::VarSet;

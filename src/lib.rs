@@ -58,23 +58,31 @@
 //! overrides all go through [`core::ExecOptions`]; every run returns the
 //! same [`core::JoinResult`] and fails with the same [`core::JoinError`].
 //!
+//! For serving workloads, [`exec`] adds batched/concurrent execution
+//! ([`exec::ExecuteBatch`], [`exec::Executor`]) and a cross-query plan
+//! cache keyed by lattice-presentation isomorphism
+//! ([`core::PlanCache`] via [`core::Engine::with_plan_cache`]); see
+//! `examples/serving.rs`.
+//!
 //! ## Crate map
 //!
 //! | Module | Contents |
 //! |--------|----------|
 //! | [`bigint`] | exact big integers & rationals |
 //! | [`lp`] | exact two-phase simplex with duals |
-//! | [`lattice`] | closed-set lattices, Möbius, normality machinery |
+//! | [`lattice`] | closed-set lattices, Möbius, normality, canonical fingerprints |
 //! | [`storage`] | relations, indexes, UDFs |
 //! | [`query`] | queries, FDs, hypergraphs, lattice presentations |
 //! | [`bounds`] | AGM / GLVV / chain / SM / CLLP bounds and proof objects |
 //! | [`core`] | the `Engine` + Chain Algorithm, SMA, CSMA, and baselines |
 //! | [`core::engine`] | `Engine`, `PreparedQuery`, `Algorithm`, `ExecOptions`, `JoinResult`, `JoinError` |
+//! | [`exec`] | serving layer: batch/concurrent drivers, shared plan cache |
 //! | [`instances`] | worst-case and random instance generators |
 
 pub use fdjoin_bigint as bigint;
 pub use fdjoin_bounds as bounds;
 pub use fdjoin_core as core;
+pub use fdjoin_exec as exec;
 pub use fdjoin_instances as instances;
 pub use fdjoin_lattice as lattice;
 pub use fdjoin_lp as lp;

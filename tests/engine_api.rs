@@ -3,7 +3,7 @@
 
 use fdjoin::core::{
     binary_join, chain_join, chain_join_no_argmin, csma_join, generic_join, naive_join, sma_join,
-    Algorithm, Engine, ExecOptions, JoinError, JoinResult, UserDegreeBound,
+    Algorithm, AutoReason, Engine, ExecOptions, JoinError, JoinResult, UserDegreeBound,
 };
 use fdjoin::query::{examples, Query};
 use fdjoin::storage::{Database, Relation};
@@ -119,6 +119,90 @@ fn auto_falls_back_to_sma_then_csma() {
     assert_eq!(r9.algorithm_used, Algorithm::Csma);
     assert!(r9.csm_sequence().is_some());
     assert_eq!(r9.output, naive_join(&q9, &db9).unwrap().output);
+}
+
+// ---------------------------------------------------------------------------
+// Auto records a structured decision (what, why, and the compared bounds).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn auto_decision_records_reason_and_bounds() {
+    let engine = Engine::new();
+
+    // Distributive lattice: chain picked before any LLP solve.
+    let q = examples::triangle();
+    let db = triangle_db();
+    let r = engine.execute(&q, &db, &ExecOptions::new()).unwrap();
+    let d = r.auto.expect("Auto records a decision");
+    assert_eq!(d.algorithm, Algorithm::Chain);
+    assert_eq!(d.reason, AutoReason::DistributiveTightChain);
+    assert_eq!(d.chain_log_bound, r.predicted_log_bound);
+    assert_eq!(d.llp_log_bound, None);
+
+    // Fig 1: non-distributive, chain bound == LLP optimum.
+    let q1 = examples::fig1_udf();
+    let db1 = fig1_db();
+    let r1 = engine.execute(&q1, &db1, &ExecOptions::new()).unwrap();
+    let d1 = r1.auto.unwrap();
+    assert_eq!(d1.reason, AutoReason::ChainMatchesLlpOptimum);
+    assert_eq!(d1.chain_log_bound, d1.llp_log_bound.clone());
+
+    // Fig 4: chain bound strictly above the LLP optimum, good proof ⇒ SMA.
+    let q4 = examples::fig4_query();
+    let mut rng = StdRng::seed_from_u64(11);
+    let db4 = fdjoin::instances::random_instance(&q4, &mut rng, 10, 85);
+    let r4 = engine.execute(&q4, &db4, &ExecOptions::new()).unwrap();
+    let d4 = r4.auto.unwrap();
+    assert_eq!(d4.algorithm, Algorithm::Sma);
+    assert_eq!(d4.reason, AutoReason::GoodSmProof);
+    let (cb, llp) = (d4.chain_log_bound.unwrap(), d4.llp_log_bound.unwrap());
+    assert!(cb > llp, "SMA chosen because the chain bound is not tight");
+    assert_eq!(Some(llp), r4.predicted_log_bound);
+
+    // Fig 9: no good proof ⇒ CSMA fallback, both bounds recorded.
+    let q9 = examples::fig9_query();
+    let mut rng = StdRng::seed_from_u64(11);
+    let db9 = fdjoin::instances::random_instance(&q9, &mut rng, 8, 85);
+    let r9 = engine.execute(&q9, &db9, &ExecOptions::new()).unwrap();
+    let d9 = r9.auto.unwrap();
+    assert_eq!(d9.algorithm, Algorithm::Csma);
+    assert_eq!(d9.reason, AutoReason::CsmaFallback);
+    assert!(d9.llp_log_bound.is_some());
+}
+
+#[test]
+fn auto_decision_reports_pinning_options() {
+    let q = examples::triangle();
+    let db = triangle_db();
+    let engine = Engine::new();
+
+    let with_bound = ExecOptions::new().degree_bound(UserDegreeBound {
+        atom: 0,
+        on: vec![0],
+        max_degree: 2,
+    });
+    let d = engine.execute(&q, &db, &with_bound).unwrap().auto.unwrap();
+    assert_eq!(d.algorithm, Algorithm::Csma);
+    assert_eq!(d.reason, AutoReason::DegreeBoundsPinCsma);
+
+    let pres = q.lattice_presentation();
+    let chain = fdjoin::bounds::chain::cor59_chain(&pres.lattice, &pres.inputs);
+    let with_chain = ExecOptions::new().chain(chain);
+    let d = engine.execute(&q, &db, &with_chain).unwrap().auto.unwrap();
+    assert_eq!(d.algorithm, Algorithm::Chain);
+    assert_eq!(d.reason, AutoReason::ChainOverridePinsChain);
+}
+
+#[test]
+fn explicit_algorithms_record_no_auto_decision() {
+    let q = examples::triangle();
+    let db = triangle_db();
+    for alg in [Algorithm::Chain, Algorithm::GenericJoin, Algorithm::Naive] {
+        let r = Engine::new()
+            .execute(&q, &db, &ExecOptions::new().algorithm(alg))
+            .unwrap();
+        assert!(r.auto.is_none(), "{alg}: explicit choice is not Auto's");
+    }
 }
 
 // ---------------------------------------------------------------------------
