@@ -464,6 +464,20 @@ impl PreparedQuery {
         self.counters.snapshot()
     }
 
+    /// The raw size profile of this query's atoms in `db` — the key under
+    /// which chain/LLP/SMA plans are cached. Two databases with the same
+    /// profile execute from the same cached plans; a profile drift (e.g.
+    /// from applied deltas) costs a per-profile re-plan but never touches
+    /// the shared [`PlanCache`] shape entry, which is keyed by presentation
+    /// isomorphism alone.
+    pub fn size_profile(&self, db: &Database) -> Result<Vec<u64>, JoinError> {
+        self.query
+            .atoms()
+            .iter()
+            .map(|a| Ok(db.relation(&a.name)?.len() as u64))
+            .collect()
+    }
+
     /// Execute against a database. Plans for previously seen size profiles
     /// are reused; see [`PrepStats`].
     pub fn execute(&self, db: &Database, opts: &ExecOptions) -> Result<JoinResult, JoinError> {

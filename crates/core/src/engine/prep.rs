@@ -52,6 +52,25 @@ impl PrepStats {
     pub fn solves(&self) -> u64 {
         self.chain_searches + self.llp_solves + self.proof_searches + self.cllp_solves
     }
+
+    /// Counter-wise difference `self - earlier` (saturating), for metering
+    /// the planning work of one execution window: snapshot before, snapshot
+    /// after, and `after.since(&before).solves() == 0` proves the window
+    /// ran entirely from cached plans.
+    pub fn since(&self, earlier: &PrepStats) -> PrepStats {
+        PrepStats {
+            lattice_presentations: self
+                .lattice_presentations
+                .saturating_sub(earlier.lattice_presentations),
+            fingerprints: self.fingerprints.saturating_sub(earlier.fingerprints),
+            chain_searches: self.chain_searches.saturating_sub(earlier.chain_searches),
+            llp_solves: self.llp_solves.saturating_sub(earlier.llp_solves),
+            proof_searches: self.proof_searches.saturating_sub(earlier.proof_searches),
+            cllp_solves: self.cllp_solves.saturating_sub(earlier.cllp_solves),
+            shared_hits: self.shared_hits.saturating_sub(earlier.shared_hits),
+            shared_misses: self.shared_misses.saturating_sub(earlier.shared_misses),
+        }
+    }
 }
 
 /// Lock-free interior-mutable counters behind [`PrepStats`]; snapshots are

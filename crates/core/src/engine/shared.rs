@@ -71,6 +71,15 @@ pub struct PlanCacheStats {
     pub shapes: usize,
 }
 
+impl PlanCacheStats {
+    /// Total prepares that consulted the cache (`shape_hits +
+    /// shape_misses`); with `shapes + evictions == shape_misses` this is
+    /// the reconciliation identity the accounting tests pin down.
+    pub fn prepares(&self) -> u64 {
+        self.shape_hits + self.shape_misses
+    }
+}
+
 const CACHE_SHARDS: usize = 16;
 const DEFAULT_SHAPES_PER_SHARD: usize = 64;
 

@@ -1,0 +1,98 @@
+//! Deterministic maintenance counters.
+
+/// Counters of incremental-maintenance work, per batch and cumulatively
+/// per view ([`MaterializedView::stats`](crate::MaterializedView::stats)).
+///
+/// Like `fdjoin_core::Stats`, these are deterministic work measures, not
+/// wall-clock: the acceptance test for "a 1-tuple delta is cheaper than a
+/// full recompute" compares [`DeltaStats::join_work`] against the full
+/// join's `Stats::work()`, immune to scheduling noise.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Delta batches absorbed (including empty and fallback batches).
+    pub batches: u64,
+    /// Rows actually added to stored relations (inserting a present row is
+    /// a no-op and is not counted).
+    pub inserts_applied: u64,
+    /// Rows actually removed from stored relations.
+    pub deletes_applied: u64,
+    /// Per-relation delta joins executed (one per updated query relation
+    /// with genuinely new rows, on the incremental path).
+    pub delta_joins: u64,
+    /// Materialized output tuples re-validated against the new relation
+    /// versions (only batches with deletions pay this).
+    pub revalidated: u64,
+    /// Output tuples added by this maintenance (post-dedup).
+    pub tuples_added: u64,
+    /// Output tuples removed by this maintenance.
+    pub tuples_removed: u64,
+    /// Join work (`fdjoin_core::Stats::work` of delta joins or fallback
+    /// recomputes, plus one probe per revalidation membership test).
+    pub join_work: u64,
+    /// New chain/LLP/SM/CLLP solves the maintenance triggered (a delta
+    /// changes the size profile, so the first batch of a new profile
+    /// plans; repeats replay cached plans). Metered as a window over the
+    /// `PreparedQuery`'s shared `PrepStats` counters: exact whenever the
+    /// prepared query is not concurrently executing elsewhere; when views
+    /// *share* one prepared query across threads, solves are attributed to
+    /// whichever window observed them (totals stay exact, per-batch
+    /// attribution is approximate).
+    pub planning_solves: u64,
+    /// Executions (delta joins or recomputes) that ran entirely from
+    /// cached plans — zero new solves. Same attribution caveat as
+    /// [`DeltaStats::planning_solves`].
+    pub plans_reused: u64,
+    /// Batches that fell back to a full recompute (delta over the
+    /// [`DeltaOptions::max_delta_fraction`](crate::DeltaOptions) threshold,
+    /// or an algorithm refusal on a delta profile).
+    pub full_recomputes: u64,
+}
+
+impl DeltaStats {
+    /// Tuples the maintenance touched: revalidated + added + removed.
+    pub fn tuples_touched(&self) -> u64 {
+        self.revalidated + self.tuples_added + self.tuples_removed
+    }
+
+    /// Accumulate another batch's counters.
+    pub fn merge(&mut self, other: &DeltaStats) {
+        self.batches += other.batches;
+        self.inserts_applied += other.inserts_applied;
+        self.deletes_applied += other.deletes_applied;
+        self.delta_joins += other.delta_joins;
+        self.revalidated += other.revalidated;
+        self.tuples_added += other.tuples_added;
+        self.tuples_removed += other.tuples_removed;
+        self.join_work += other.join_work;
+        self.planning_solves += other.planning_solves;
+        self.plans_reused += other.plans_reused;
+        self.full_recomputes += other.full_recomputes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_every_field() {
+        let one = DeltaStats {
+            batches: 1,
+            inserts_applied: 2,
+            deletes_applied: 3,
+            delta_joins: 4,
+            revalidated: 5,
+            tuples_added: 6,
+            tuples_removed: 7,
+            join_work: 8,
+            planning_solves: 9,
+            plans_reused: 10,
+            full_recomputes: 11,
+        };
+        let mut acc = one;
+        acc.merge(&one);
+        assert_eq!(acc.batches, 2);
+        assert_eq!(acc.full_recomputes, 22);
+        assert_eq!(acc.tuples_touched(), 2 * (5 + 6 + 7));
+    }
+}

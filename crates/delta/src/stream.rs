@@ -1,0 +1,78 @@
+//! Serving-layer wiring: delta workloads on `fdjoin_exec`'s machinery.
+
+use crate::{DeltaBatch, DeltaStats, MaterializedView};
+use fdjoin_core::JoinError;
+use fdjoin_exec::{run_scoped, Executor};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Mutex;
+
+/// Stream ordered delta batches into materialized views on an
+/// [`Executor`]'s persistent pool.
+///
+/// Each submitted stream runs as one pool job, so its batches apply
+/// strictly in order (view maintenance is stateful); distinct streams —
+/// one per long-lived view — absorb their updates concurrently, sharing
+/// the pool with `Executor::submit` query batches.
+pub trait SubmitDeltas {
+    /// Enqueue `deltas` against `view`; returns immediately with a handle.
+    /// The stream stops at the first failing batch (later batches would
+    /// observe a stale output); the handle returns the view alongside the
+    /// per-batch outcomes, so a caller can
+    /// [`refresh`](MaterializedView::refresh) and resubmit.
+    fn submit_deltas(&self, view: MaterializedView, deltas: Vec<DeltaBatch>) -> DeltaStreamHandle;
+}
+
+impl SubmitDeltas for Executor {
+    fn submit_deltas(
+        &self,
+        mut view: MaterializedView,
+        deltas: Vec<DeltaBatch>,
+    ) -> DeltaStreamHandle {
+        let (tx, rx) = channel();
+        self.spawn(move || {
+            let mut results = Vec::with_capacity(deltas.len());
+            for delta in &deltas {
+                let r = view.apply_delta(delta);
+                let failed = r.is_err();
+                results.push(r);
+                if failed {
+                    break;
+                }
+            }
+            let _ = tx.send((view, results));
+        });
+        DeltaStreamHandle { rx }
+    }
+}
+
+/// An in-flight delta stream submitted via [`SubmitDeltas`].
+pub struct DeltaStreamHandle {
+    rx: Receiver<(MaterializedView, Vec<Result<DeltaStats, JoinError>>)>,
+}
+
+impl DeltaStreamHandle {
+    /// Block until the stream drains (or stops on an error); returns the
+    /// maintained view and the per-batch outcomes in submission order
+    /// (shorter than the submitted list iff a batch failed).
+    pub fn wait(self) -> (MaterializedView, Vec<Result<DeltaStats, JoinError>>) {
+        self.rx.recv().expect("a delta stream job panicked")
+    }
+}
+
+/// Apply one delta batch to many views concurrently (scoped work-stealing
+/// workers, one task per view) — the delta analogue of
+/// `ExecuteBatch::execute_batch`, for fan-out workloads like "this update
+/// hits every tenant's view". Results come back in view order.
+pub fn apply_delta_batch(
+    views: &mut [MaterializedView],
+    delta: &DeltaBatch,
+    threads: usize,
+) -> Vec<Result<DeltaStats, JoinError>> {
+    // Each task needs exclusive access to exactly one view; per-slot
+    // mutexes give `run_scoped`'s shared closure that exclusivity (each
+    // lock is taken exactly once, so there is no contention to speak of).
+    let slots: Vec<Mutex<&mut MaterializedView>> = views.iter_mut().map(Mutex::new).collect();
+    run_scoped(slots.len(), threads, |i| {
+        slots[i].lock().unwrap().apply_delta(delta)
+    })
+}

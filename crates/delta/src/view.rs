@@ -1,0 +1,472 @@
+//! Materialized views and the delta-rule maintenance procedure.
+
+use crate::{DeltaBatch, DeltaStats};
+use fdjoin_core::{Algorithm, ExecOptions, JoinError, PreparedQuery};
+use fdjoin_storage::{Relation, Value};
+use std::sync::Arc;
+
+/// Maintenance policy for a [`MaterializedView`].
+#[derive(Clone, Debug)]
+pub struct DeltaOptions {
+    exec: ExecOptions,
+    max_delta_fraction: f64,
+}
+
+impl Default for DeltaOptions {
+    fn default() -> DeltaOptions {
+        DeltaOptions {
+            exec: ExecOptions::new(),
+            max_delta_fraction: 0.25,
+        }
+    }
+}
+
+impl DeltaOptions {
+    /// Defaults: `ExecOptions::new()` (auto algorithm selection) and a 25%
+    /// recompute threshold.
+    pub fn new() -> DeltaOptions {
+        DeltaOptions::default()
+    }
+
+    /// The execution options used for the initial materialization, every
+    /// delta join, and fallback recomputes.
+    pub fn exec(mut self, exec: ExecOptions) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Fall back to one full recompute when a batch names more than this
+    /// fraction of the query's size profile — the total tuples across the
+    /// query's atoms (default 0.25). A delta that
+    /// large drifts the size profile enough that re-running the join
+    /// beats revalidating the whole materialization tuple by tuple; the
+    /// per-profile plans it invalidates are local to the `PreparedQuery`
+    /// — the shared `PlanCache` shape entry survives either way.
+    pub fn max_delta_fraction(mut self, fraction: f64) -> Self {
+        self.max_delta_fraction = fraction;
+        self
+    }
+
+    /// The configured execution options.
+    pub fn exec_options(&self) -> &ExecOptions {
+        &self.exec
+    }
+
+    /// The configured recompute threshold.
+    pub fn recompute_threshold(&self) -> f64 {
+        self.max_delta_fraction
+    }
+}
+
+/// A materialized join result kept current under [`DeltaBatch`] updates.
+///
+/// The view owns its database (the current relation versions) and the
+/// materialized output of the prepared query over it. The invariant after
+/// every successful [`MaterializedView::apply_delta`] is exactly
+/// `output == execute(query, database)`; the differential test harness
+/// (`tests/differential.rs`) checks it against a fresh join for all six
+/// algorithms under random insert/delete sequences.
+///
+/// # Error contract
+///
+/// Validation errors (unknown relation, arity mismatch, foreign view)
+/// are detected up front: the view — database *and* output — is
+/// untouched and the batch was not absorbed; fix the batch and resubmit.
+/// Errors surfacing mid-maintenance (an algorithm failing on a delta or
+/// full profile) leave the database partially or fully updated with a
+/// stale output — the cumulative [`MaterializedView::stats`] still count
+/// whatever rows were applied; call [`MaterializedView::refresh`] to
+/// re-establish the invariant before reading the view again.
+pub struct MaterializedView {
+    prepared: Arc<PreparedQuery>,
+    opts: DeltaOptions,
+    db: fdjoin_storage::Database,
+    output: Relation,
+    algorithm_used: Algorithm,
+    stats: DeltaStats,
+}
+
+impl MaterializedView {
+    /// Execute the prepared query over `db` and keep the result
+    /// maintained. Equivalent to
+    /// [`ApplyDelta::materialize`](crate::ApplyDelta::materialize).
+    pub fn materialize(
+        prepared: Arc<PreparedQuery>,
+        db: fdjoin_storage::Database,
+        opts: DeltaOptions,
+    ) -> Result<MaterializedView, JoinError> {
+        let r = prepared.execute(&db, opts.exec_options())?;
+        Ok(MaterializedView {
+            prepared,
+            opts,
+            db,
+            output: r.output,
+            algorithm_used: r.algorithm_used,
+            stats: DeltaStats::default(),
+        })
+    }
+
+    /// The materialized query answer (all variables, ascending id order).
+    pub fn output(&self) -> &Relation {
+        &self.output
+    }
+
+    /// The current database (base relations with all applied deltas).
+    pub fn database(&self) -> &fdjoin_storage::Database {
+        &self.db
+    }
+
+    /// The prepared query this view maintains.
+    pub fn prepared(&self) -> &Arc<PreparedQuery> {
+        &self.prepared
+    }
+
+    /// The algorithm the most recent full execution resolved to (delta
+    /// joins may resolve differently per delta profile).
+    pub fn algorithm_used(&self) -> Algorithm {
+        self.algorithm_used
+    }
+
+    /// Cumulative maintenance counters since materialization.
+    pub fn stats(&self) -> DeltaStats {
+        self.stats
+    }
+
+    /// Absorb one batch of inserts/deletes, maintaining the output via
+    /// delta joins (or one full recompute past the
+    /// [`DeltaOptions::max_delta_fraction`] threshold). Returns this
+    /// batch's counters; cumulative ones accrue on
+    /// [`MaterializedView::stats`].
+    pub fn apply_delta(&mut self, delta: &DeltaBatch) -> Result<DeltaStats, JoinError> {
+        let mut bs = DeltaStats {
+            batches: 1,
+            ..DeltaStats::default()
+        };
+        self.validate(delta)?;
+        if delta.is_empty() {
+            self.stats.merge(&bs);
+            return Ok(bs);
+        }
+        // The threshold compares *effective* delta rows aimed at the
+        // query's atoms (distinct inserts of absent rows, distinct deletes
+        // of present rows not re-inserted in the same batch) against the
+        // query's size profile — the tuples the join actually reads.
+        // No-op and duplicate rows (e.g. an at-least-once client replaying
+        // an applied batch) and rows against auxiliary relations cost no
+        // join work and count toward neither side; deduping + membership
+        // costs |delta| log(|delta| + len), negligible next to the
+        // recompute it can avoid.
+        let mut atom_rows = 0usize;
+        for (name, d) in delta.relations() {
+            if self.prepared.query().atom_index(name).is_none() {
+                continue;
+            }
+            let rel = self.db.relation(name).expect("validated");
+            let ins = sorted_delta_rows(rel.vars(), &d.inserts);
+            let dels = sorted_delta_rows(rel.vars(), &d.deletes);
+            atom_rows += ins.rows().filter(|r| !rel.contains_row(r)).count();
+            atom_rows += dels
+                .rows()
+                .filter(|r| rel.contains_row(r) && !ins.contains_row(r))
+                .count();
+        }
+        let total: u64 = self.prepared.size_profile(&self.db)?.iter().sum();
+        let result = if (atom_rows as f64) > self.opts.max_delta_fraction * total as f64 {
+            self.apply_all(delta, &mut bs);
+            self.full_execute(&mut bs)
+        } else {
+            self.incremental(delta, &mut bs)
+        };
+        // Merge even on error: relations may already have absorbed rows,
+        // and the cumulative counters must reflect that (see the error
+        // contract above).
+        self.stats.merge(&bs);
+        result.map(|()| bs)
+    }
+
+    /// Re-execute the prepared query over the current database and replace
+    /// the materialization (counted as a full recompute).
+    pub fn refresh(&mut self) -> Result<DeltaStats, JoinError> {
+        let mut bs = DeltaStats {
+            batches: 1,
+            ..DeltaStats::default()
+        };
+        self.full_execute(&mut bs)?;
+        self.stats.merge(&bs);
+        Ok(bs)
+    }
+
+    /// Every named relation must exist and every row must match its arity.
+    fn validate(&self, delta: &DeltaBatch) -> Result<(), JoinError> {
+        for (name, d) in delta.relations() {
+            let arity = self.db.relation(name)?.arity();
+            for row in d.inserts.iter().chain(&d.deletes) {
+                if row.len() != arity {
+                    return Err(JoinError::InvalidOptions(format!(
+                        "delta row {row:?} has arity {}, relation {name:?} has arity {arity}",
+                        row.len()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply the whole batch to the stored relations (fallback path).
+    fn apply_all(&mut self, delta: &DeltaBatch, bs: &mut DeltaStats) {
+        for (name, d) in delta.relations() {
+            let rel = self.db.relation_mut(name).expect("validated above");
+            let applied = rel.apply_delta(
+                d.inserts.iter().map(Vec::as_slice),
+                d.deletes.iter().map(Vec::as_slice),
+            );
+            bs.inserts_applied += applied.added as u64;
+            bs.deletes_applied += applied.removed as u64;
+        }
+    }
+
+    /// One full execution over the current database, replacing the
+    /// materialized output.
+    fn full_execute(&mut self, bs: &mut DeltaStats) -> Result<(), JoinError> {
+        let before = self.prepared.prep_stats();
+        let r = self.prepared.execute(&self.db, self.opts.exec_options())?;
+        let solves = self.prepared.prep_stats().since(&before).solves();
+        bs.full_recomputes += 1;
+        bs.join_work += r.stats.work();
+        bs.planning_solves += solves;
+        if solves == 0 {
+            bs.plans_reused += 1;
+        }
+        let (added, removed) = diff_counts(&self.output, &r.output);
+        bs.tuples_added += added;
+        bs.tuples_removed += removed;
+        self.output = r.output;
+        self.algorithm_used = r.algorithm_used;
+        Ok(())
+    }
+
+    /// The incremental path: deletions in place, one delta join per
+    /// updated query relation, then revalidate + union.
+    fn incremental(&mut self, delta: &DeltaBatch, bs: &mut DeltaStats) -> Result<(), JoinError> {
+        // Phase 1: deletions, all relations. Only deletions landing on the
+        // query's own atoms can invalidate materialized tuples; deletions
+        // on other relations need no revalidation pass.
+        let mut atom_deletes = 0u64;
+        for (name, d) in delta.relations() {
+            if d.deletes.is_empty() {
+                continue;
+            }
+            // Batch-atomic semantics, matching `Relation::apply_delta`: a
+            // row both deleted and re-inserted stays present throughout,
+            // so its deletion is skipped here — the counters agree with
+            // the fallback path and no spurious revalidation is paid.
+            let vars = self.db.relation(name).expect("validated").vars().to_vec();
+            let ins = sorted_delta_rows(&vars, &d.inserts);
+            let effective: Vec<&[Value]> = d
+                .deletes
+                .iter()
+                .filter(|r| !ins.contains_row(r))
+                .map(Vec::as_slice)
+                .collect();
+            if effective.is_empty() {
+                continue;
+            }
+            let rel = self.db.relation_mut(name).expect("validated");
+            let none: [&[Value]; 0] = [];
+            let applied = rel.apply_delta(none, effective);
+            bs.deletes_applied += applied.removed as u64;
+            if self.prepared.query().atom_index(name).is_some() {
+                atom_deletes += applied.removed as u64;
+            }
+        }
+
+        // Phase 2: insert passes, in name order. `refused` flips when a
+        // pinned algorithm declines a delta profile (e.g. no good chain at
+        // those sizes); the remaining inserts are then applied directly
+        // and one full recompute restores the invariant.
+        let mut additions: Vec<Relation> = Vec::new();
+        let mut refused = false;
+        for (name, d) in delta.relations() {
+            if d.inserts.is_empty() {
+                continue;
+            }
+            let current = self.db.relation(name).expect("validated");
+            let mut fresh = Relation::new(current.vars().to_vec());
+            for row in &d.inserts {
+                if !current.contains_row(row) {
+                    fresh.push_row(row);
+                }
+            }
+            fresh.sort_dedup();
+            bs.inserts_applied += fresh.len() as u64;
+            if fresh.is_empty() {
+                continue;
+            }
+            let is_query_atom = self.prepared.query().atom_index(name).is_some();
+            if is_query_atom && !refused {
+                // Substitute Δ⁺ for the relation, join, swap back merged.
+                let saved = self.db.replace(name, fresh.clone()).expect("validated");
+                let before = self.prepared.prep_stats();
+                let run = self.prepared.execute(&self.db, self.opts.exec_options());
+                let solves = self.prepared.prep_stats().since(&before).solves();
+                let mut merged = saved;
+                let none: [&[Value]; 0] = [];
+                merged.apply_delta(fresh.rows(), none);
+                self.db.replace(name, merged);
+                match run {
+                    Ok(r) => {
+                        bs.delta_joins += 1;
+                        bs.join_work += r.stats.work();
+                        bs.planning_solves += solves;
+                        if solves == 0 {
+                            bs.plans_reused += 1;
+                        }
+                        additions.push(r.output);
+                    }
+                    Err(
+                        JoinError::NoGoodChain | JoinError::NoGoodProof | JoinError::NoCsmSequence,
+                    ) => refused = true,
+                    Err(e) => return Err(e),
+                }
+            } else {
+                let rel = self.db.relation_mut(name).expect("validated");
+                let none: [&[Value]; 0] = [];
+                rel.apply_delta(fresh.rows(), none);
+            }
+        }
+        if refused {
+            return self.full_execute(bs);
+        }
+
+        // Phase 3: survivors + additions. A tuple survives iff every
+        // atom's projection is still stored — per-tuple membership is a
+        // complete check because the output covers all variables and the
+        // FD/UDF constraints it satisfied are data-independent.
+        let nv = self.prepared.query().n_vars();
+        let old_len = self.output.len() as u64;
+        let mut next = Relation::new((0..nv as u32).collect());
+        let mut survivors = 0u64;
+        if atom_deletes == 0 {
+            survivors = old_len;
+            std::mem::swap(&mut next, &mut self.output);
+        } else {
+            let rels: Vec<&Relation> = self
+                .prepared
+                .query()
+                .atoms()
+                .iter()
+                .map(|a| self.db.relation(&a.name).expect("validated"))
+                .collect();
+            let mut key: Vec<Value> = Vec::new();
+            for row in self.output.rows() {
+                bs.revalidated += 1;
+                let keep = rels.iter().all(|rel| {
+                    key.clear();
+                    key.extend(rel.vars().iter().map(|&v| row[v as usize]));
+                    bs.join_work += 1;
+                    rel.contains_row(&key)
+                });
+                if keep {
+                    next.push_row(row);
+                    survivors += 1;
+                }
+            }
+        }
+        bs.tuples_removed += old_len - survivors;
+        for add in &additions {
+            for row in add.rows() {
+                next.push_row(row);
+            }
+        }
+        next.sort_dedup();
+        bs.tuples_added += next.len() as u64 - survivors;
+        self.output = next;
+        Ok(())
+    }
+}
+
+/// The delta rows as a sorted + deduplicated relation over `vars`, for
+/// logarithmic membership tests against row lists.
+fn sorted_delta_rows(vars: &[u32], rows: &[Vec<Value>]) -> Relation {
+    let mut rel = Relation::new(vars.to_vec());
+    for row in rows {
+        rel.push_row(row);
+    }
+    rel.sort_dedup();
+    rel
+}
+
+/// Rows in `new` not in `old` and rows in `old` not in `new` (both sorted
+/// and deduplicated, same schema) — one merge walk.
+fn diff_counts(old: &Relation, new: &Relation) -> (u64, u64) {
+    let (n, m) = (old.len(), new.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let (mut added, mut removed) = (0u64, 0u64);
+    while i < n || j < m {
+        let ord = if i == n {
+            std::cmp::Ordering::Greater
+        } else if j == m {
+            std::cmp::Ordering::Less
+        } else {
+            old.row(i).cmp(new.row(j))
+        };
+        match ord {
+            std::cmp::Ordering::Less => {
+                removed += 1;
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                added += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    (added, removed)
+}
+
+/// The [`PreparedQuery`] extension trait: incremental maintenance as a
+/// method of the prepared query itself, mirroring how
+/// `fdjoin_exec::ExecuteBatch` adds batch execution.
+pub trait ApplyDelta {
+    /// Materialize the query over `db` into a maintainable view.
+    fn materialize(
+        self: &Arc<Self>,
+        db: fdjoin_storage::Database,
+        opts: DeltaOptions,
+    ) -> Result<MaterializedView, JoinError>;
+
+    /// Absorb one delta batch into a view previously materialized from
+    /// *this* prepared query.
+    fn apply_delta(
+        &self,
+        view: &mut MaterializedView,
+        delta: &DeltaBatch,
+    ) -> Result<DeltaStats, JoinError>;
+}
+
+impl ApplyDelta for PreparedQuery {
+    fn materialize(
+        self: &Arc<Self>,
+        db: fdjoin_storage::Database,
+        opts: DeltaOptions,
+    ) -> Result<MaterializedView, JoinError> {
+        MaterializedView::materialize(self.clone(), db, opts)
+    }
+
+    fn apply_delta(
+        &self,
+        view: &mut MaterializedView,
+        delta: &DeltaBatch,
+    ) -> Result<DeltaStats, JoinError> {
+        if !std::ptr::eq(Arc::as_ptr(&view.prepared), self) {
+            return Err(JoinError::InvalidOptions(
+                "view was materialized from a different PreparedQuery".to_string(),
+            ));
+        }
+        view.apply_delta(delta)
+    }
+}

@@ -151,6 +151,17 @@ impl Executor {
         self.pool.threads()
     }
 
+    /// Run one arbitrary job on the pool. This is the raw admission
+    /// primitive behind higher-level workloads (e.g. `fdjoin_delta`
+    /// streams a view's update batches through one spawned job so batches
+    /// stay ordered per view while distinct views absorb updates
+    /// concurrently). Jobs report back through their own channels; a
+    /// panicking job is contained by the pool and surfaces as that
+    /// channel going dead.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        self.pool.spawn(Box::new(job));
+    }
+
     /// Fan `prepared` across `dbs` on the pool; returns immediately with a
     /// handle. The `Arc`s are cloned into the jobs, so the caller may drop
     /// its references while the batch runs.

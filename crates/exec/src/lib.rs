@@ -24,6 +24,12 @@
 //!    [`JoinResult`](fdjoin_core::JoinResult)s plus aggregate
 //!    [`BatchStats`] (throughput, totals).
 //!
+//! The raw admission primitives — [`Executor::spawn`] (persistent pool)
+//! and [`run_scoped`] (scoped workers over borrowed data) — are public so
+//! other serving drivers can schedule non-batch workloads on the same
+//! machinery; `fdjoin_delta` uses them to stream incremental update
+//! batches into materialized views.
+//!
 //! Prepare once, execute everywhere:
 //!
 //! ```
@@ -54,6 +60,7 @@ mod batch;
 mod pool;
 
 pub use batch::{BatchHandle, BatchResult, BatchStats, ExecuteBatch, Executor};
+pub use pool::run_scoped;
 // The cache types live in `fdjoin_core` (they are wired into
 // `Engine::prepare` and relabel crate-private plan structures); this crate
 // is their serving-layer home.

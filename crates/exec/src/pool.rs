@@ -133,7 +133,13 @@ fn find_job(inner: &PoolInner, me: usize) -> Option<Job> {
 /// work-stealing, on scoped threads (no `'static` bound). `run(i)` is
 /// executed exactly once for every `i in 0..count`; results come back in
 /// index order.
-pub(crate) fn run_scoped<T, F>(count: usize, threads: usize, run: F) -> Vec<T>
+///
+/// This is the scoped fan-out primitive behind
+/// [`ExecuteBatch`](crate::ExecuteBatch); it is public so other serving
+/// drivers (e.g. `fdjoin_delta`'s multi-view delta application) can reuse
+/// it for borrowed workloads that a persistent pool's `'static` jobs
+/// cannot express.
+pub fn run_scoped<T, F>(count: usize, threads: usize, run: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,

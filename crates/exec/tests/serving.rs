@@ -176,6 +176,70 @@ fn distinct_shapes_get_distinct_entries() {
     assert_eq!(cache.stats().shape_hits, 0);
 }
 
+/// Churn regression: a capacity-1 cache hammered by alternating
+/// non-isomorphic queries must keep the PR 2 accounting reconciled —
+/// every prepare is exactly one shape hit or miss, every shape miss
+/// surfaces as a shared-plan miss (and exactly one local solve) on the
+/// query's `PrepStats`, and every inserted shape is either still resident
+/// or counted evicted. This pins the identities whichever way the two
+/// fingerprints land in the 16 shards (same shard ⇒ eviction storm,
+/// different shards ⇒ steady hits).
+#[test]
+fn capacity_one_churn_reconciles_with_prep_stats() {
+    let cache = Arc::new(PlanCache::with_capacity(1)); // 1 shape per shard
+    let engine = Engine::with_plan_cache(cache.clone());
+    let (qa, dba) = fig1();
+    let qb = examples::triangle();
+    let mut dbb = Database::new();
+    dbb.insert("R", Relation::from_rows(vec![0, 1], [[1, 2]]));
+    dbb.insert("S", Relation::from_rows(vec![1, 2], [[2, 3]]));
+    dbb.insert("T", Relation::from_rows(vec![2, 0], [[3, 1]]));
+
+    let rounds = 8u64;
+    let (mut hits, mut misses, mut solves) = (0u64, 0u64, 0u64);
+    for round in 0..rounds {
+        let (q, db) = if round % 2 == 0 {
+            (&qa, &dba)
+        } else {
+            (&qb, &dbb)
+        };
+        // Fresh prepare every round: all reuse must come from the shared
+        // cache, so its eviction decisions are what PrepStats reflects.
+        let p = engine.prepare(q);
+        p.execute(db, &opts(Algorithm::Chain)).unwrap();
+        let s = p.prep_stats();
+        assert_eq!(s.fingerprints, 1, "round {round}: one fingerprint");
+        assert_eq!(
+            s.shared_hits + s.shared_misses,
+            1,
+            "round {round}: the chain plan makes exactly one shared lookup"
+        );
+        assert_eq!(
+            s.chain_searches, s.shared_misses,
+            "round {round}: a shared miss is solved locally, a hit is not"
+        );
+        hits += s.shared_hits;
+        misses += s.shared_misses;
+        solves += s.solves();
+    }
+
+    let cs = cache.stats();
+    // Prepare traffic: one shape lookup per round.
+    assert_eq!(cs.prepares(), rounds);
+    // A shape hit means the entry (with its published chain plan for this
+    // fixed profile) was resident ⇒ shared hit; a shape miss means a fresh
+    // entry ⇒ shared miss. The two ledgers must agree exactly.
+    assert_eq!(cs.shape_hits, hits, "{cs:?}");
+    assert_eq!(cs.shape_misses, misses, "{cs:?}");
+    // Solves happen exactly on shared misses.
+    assert_eq!(solves, misses);
+    // Every inserted shape is accounted for: still resident or evicted.
+    assert_eq!(cs.shapes as u64 + cs.evictions, cs.shape_misses, "{cs:?}");
+    // Both shapes were prepared, so at least the first two rounds missed.
+    assert!(cs.shape_misses >= 2);
+    assert!(cs.shapes <= 2);
+}
+
 /// Capacity bounds hold and evictions are counted.
 #[test]
 fn eviction_respects_capacity() {

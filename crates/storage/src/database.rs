@@ -41,6 +41,24 @@ impl Database {
         self.relations.insert(name.into(), rel);
     }
 
+    /// Replace a relation instance, returning the previous one (if any).
+    /// The incoming relation is sorted; the displaced one is handed back
+    /// untouched — incremental layers swap a relation out, run against the
+    /// substitute, and swap the original back without cloning either.
+    pub fn replace(&mut self, name: impl Into<String>, mut rel: Relation) -> Option<Relation> {
+        rel.sort_dedup();
+        self.relations.insert(name.into(), rel)
+    }
+
+    /// Mutable access to a relation, e.g. for [`Relation::apply_delta`].
+    /// Callers that append raw rows must re-sort before the relation is
+    /// queried again ([`Relation::apply_delta`] keeps it sorted itself).
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation, MissingRelation> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| MissingRelation(name.to_string()))
+    }
+
     /// Get a relation by name.
     pub fn get(&self, name: &str) -> Option<&Relation> {
         self.relations.get(name)

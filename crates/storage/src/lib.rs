@@ -4,7 +4,9 @@
 //!
 //! - [`Relation`]: sorted row-major relations whose column order doubles as
 //!   a trie index (prefix ranges via binary search), with projection,
-//!   semijoin, degree counting, and partitioning primitives;
+//!   semijoin, degree counting, and partitioning primitives — versioned,
+//!   with in-place sorted-merge tuple deltas ([`Relation::apply_delta`])
+//!   for incremental maintenance;
 //! - [`HashIndex`]: secondary indexes for non-prefix lookups;
 //! - [`UdfRegistry`]: user-defined functions backing unguarded FDs
 //!   (Sec. 1.1 of the paper);
@@ -19,7 +21,7 @@ mod relation;
 mod udf;
 
 pub use database::{Database, MissingRelation};
-pub use relation::{HashIndex, Relation};
+pub use relation::{DeltaApplied, HashIndex, Relation};
 pub use udf::{UdfFn, UdfRegistry};
 
 /// The value type stored in relations.

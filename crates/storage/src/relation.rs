@@ -11,11 +11,46 @@ use std::ops::Range;
 /// order doubles as the index order: after [`Relation::sort_dedup`], prefix
 /// lookups by binary search give exactly the trie navigation that
 /// LeapFrog-TrieJoin-style algorithms need, without pointer chasing.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Relations are *versioned*: [`Relation::version`] increments on every
+/// content mutation ([`Relation::push_row`], [`Relation::apply_delta`]), so
+/// incremental-maintenance layers can detect drift without diffing rows.
+/// The version is bookkeeping, not content — equality compares rows only.
+#[derive(Clone, Debug)]
 pub struct Relation {
     vars: Vec<u32>,
     data: Vec<Value>,
     sorted: bool,
+    version: u64,
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Relation) -> bool {
+        // Structural equality minus the version counter: schema, raw row
+        // storage, and sortedness — exactly the old derived semantics, so
+        // two sorted+deduplicated relations compare by row set no matter
+        // how many deltas produced them, while an unsorted relation still
+        // differs from its sorted twin (as it always has).
+        self.vars == other.vars && self.data == other.data && self.sorted == other.sorted
+    }
+}
+
+impl Eq for Relation {}
+
+/// What [`Relation::apply_delta`] actually changed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaApplied {
+    /// Rows inserted that were not already present (post-deletion).
+    pub added: usize,
+    /// Rows removed that were present and not re-inserted.
+    pub removed: usize,
+}
+
+impl DeltaApplied {
+    /// Total rows whose presence changed.
+    pub fn changed(&self) -> usize {
+        self.added + self.removed
+    }
 }
 
 impl Relation {
@@ -34,6 +69,7 @@ impl Relation {
             vars,
             data: Vec::new(),
             sorted: true,
+            version: 0,
         }
     }
 
@@ -90,6 +126,116 @@ impl Relation {
             self.data.extend_from_slice(row);
         }
         self.sorted = false;
+        self.version += 1;
+    }
+
+    /// Content version: bumped on every mutation that can change the row
+    /// set ([`Relation::push_row`], [`Relation::apply_delta`]). Freshly
+    /// constructed relations start at the version their construction
+    /// implies (one bump per pushed row).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Apply a tuple delta in place: remove `deletes`, then add `inserts`
+    /// (a row both deleted and inserted in the same delta is present
+    /// afterwards). Rows must be in this relation's column order.
+    ///
+    /// The relation is left sorted + deduplicated, the merge is linear in
+    /// `len + |delta| log |delta|`, and the returned [`DeltaApplied`]
+    /// counts only *actual* changes — deleting an absent row or inserting
+    /// a present one is a no-op. The version is bumped iff something
+    /// changed.
+    pub fn apply_delta<I, D>(&mut self, inserts: I, deletes: D) -> DeltaApplied
+    where
+        I: IntoIterator,
+        I::Item: AsRef<[Value]>,
+        D: IntoIterator,
+        D::Item: AsRef<[Value]>,
+    {
+        self.sort_dedup();
+        let a = self.arity();
+        if a == 0 {
+            // Nullary: {()} or {} — deletes clear, inserts (re)fill.
+            let had = !self.is_empty();
+            let del = deletes.into_iter().next().is_some();
+            let ins = inserts.into_iter().next().is_some();
+            let present = (had && !del) || ins;
+            let applied = DeltaApplied {
+                added: (!had && present) as usize,
+                removed: (had && !present) as usize,
+            };
+            if applied.changed() > 0 {
+                self.data.clear();
+                if present {
+                    self.data.push(1);
+                }
+                self.version += 1;
+            }
+            return applied;
+        }
+        let mut del = Relation::new(self.vars.clone());
+        for r in deletes {
+            del.push_row(r.as_ref());
+        }
+        del.sort_dedup();
+        let mut ins = Relation::new(self.vars.clone());
+        for r in inserts {
+            ins.push_row(r.as_ref());
+        }
+        ins.sort_dedup();
+        if del.is_empty() && ins.is_empty() {
+            return DeltaApplied::default();
+        }
+
+        // Merge the two sorted row sequences; deletes filter the existing
+        // side only (an inserted row survives its own deletion). The
+        // delete cursor `k` advances monotonically alongside the existing
+        // rows, keeping the whole merge genuinely linear.
+        let mut applied = DeltaApplied::default();
+        let mut data = Vec::with_capacity(self.data.len() + ins.data.len());
+        let (n, m) = (self.len(), ins.len());
+        let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+        while i < n || j < m {
+            let ord = if i == n {
+                Ordering::Greater
+            } else if j == m {
+                Ordering::Less
+            } else {
+                self.row(i).cmp(ins.row(j))
+            };
+            match ord {
+                Ordering::Less => {
+                    let row = self.row(i);
+                    while k < del.len() && del.row(k) < row {
+                        k += 1;
+                    }
+                    if k < del.len() && del.row(k) == row {
+                        applied.removed += 1;
+                    } else {
+                        data.extend_from_slice(row);
+                    }
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    data.extend_from_slice(ins.row(j));
+                    applied.added += 1;
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    // Already present (and, if also deleted, re-inserted).
+                    data.extend_from_slice(self.row(i));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        self.data = data;
+        self.sorted = true;
+        if applied.changed() > 0 {
+            self.version += 1;
+        }
+        applied
     }
 
     /// Row accessor.
@@ -496,5 +642,96 @@ mod tests {
     #[should_panic(expected = "duplicate variable")]
     fn duplicate_schema_vars_panic() {
         Relation::new(vec![1, 1]);
+    }
+
+    #[test]
+    fn apply_delta_merges_sorted() {
+        let mut r = rel3(); // {(1,10),(1,11),(2,10),(3,30)}
+        let v0 = r.version();
+        let applied = r.apply_delta(
+            [[0u64, 5], [1, 10], [9, 9]], // (1,10) already present
+            [[1u64, 11], [7, 7]],         // (7,7) absent
+        );
+        assert_eq!(
+            applied,
+            DeltaApplied {
+                added: 2,
+                removed: 1
+            }
+        );
+        assert_eq!(applied.changed(), 3);
+        assert!(r.is_sorted());
+        assert_eq!(r.len(), 5);
+        for row in [[0u64, 5], [1, 10], [2, 10], [3, 30], [9, 9]] {
+            assert!(r.contains_row(&row), "{row:?} must be present");
+        }
+        assert!(!r.contains_row(&[1, 11]));
+        assert!(r.version() > v0);
+    }
+
+    #[test]
+    fn apply_delta_insert_wins_over_delete() {
+        let mut r = rel3();
+        // Deleting and re-inserting the same row leaves it present and
+        // counts as no change; a brand-new row that is also deleted stays.
+        let applied = r.apply_delta([[1u64, 10], [5, 50]], [[1u64, 10], [5, 50]]);
+        assert_eq!(
+            applied,
+            DeltaApplied {
+                added: 1,
+                removed: 0
+            }
+        );
+        assert!(r.contains_row(&[1, 10]));
+        assert!(r.contains_row(&[5, 50]));
+    }
+
+    #[test]
+    fn apply_delta_noop_keeps_version() {
+        let mut r = rel3();
+        r.sort_dedup();
+        let v0 = r.version();
+        let none: [&[Value]; 0] = [];
+        assert_eq!(r.apply_delta(none, none), DeltaApplied::default());
+        let applied = r.apply_delta([[1u64, 10]], [[9u64, 9]]); // both no-ops
+        assert_eq!(applied, DeltaApplied::default());
+        assert_eq!(r.version(), v0, "no content change, no version bump");
+    }
+
+    #[test]
+    fn apply_delta_nullary() {
+        let mut unit = Relation::nullary_unit();
+        let none: [&[Value]; 0] = [];
+        let row: [&[Value]; 1] = [&[]];
+        assert_eq!(
+            unit.apply_delta(none, row),
+            DeltaApplied {
+                added: 0,
+                removed: 1
+            }
+        );
+        assert!(unit.is_empty());
+        assert_eq!(
+            unit.apply_delta(row, none),
+            DeltaApplied {
+                added: 1,
+                removed: 0
+            }
+        );
+        assert_eq!(unit.len(), 1);
+        // Delete + insert in one delta: the insert wins.
+        assert_eq!(unit.apply_delta(row, row), DeltaApplied::default());
+        assert_eq!(unit.len(), 1);
+    }
+
+    #[test]
+    fn version_is_not_content() {
+        let mut a = rel3();
+        let b = rel3();
+        let none: [&[Value]; 0] = [];
+        a.apply_delta([[9u64, 9]], none);
+        a.apply_delta(none, [[9u64, 9]]);
+        assert_ne!(a.version(), b.version());
+        assert_eq!(a, b, "equality ignores the version counter");
     }
 }

@@ -64,6 +64,41 @@
 //! ([`core::PlanCache`] via [`core::Engine::with_plan_cache`]); see
 //! `examples/serving.rs`.
 //!
+//! ## Incremental maintenance
+//!
+//! When relations change by small deltas, [`delta`] maintains a
+//! materialized answer instead of re-executing: [`delta::DeltaBatch`]
+//! carries per-relation inserts/deletes, [`delta::ApplyDelta`] puts
+//! `materialize`/`apply_delta` on a prepared query, and
+//! [`delta::DeltaStats`] makes the saved work observable — see
+//! `examples/incremental.rs` and `tests/differential.rs`.
+//!
+//! ```
+//! use fdjoin::core::Engine;
+//! use fdjoin::delta::{ApplyDelta, DeltaBatch, DeltaOptions};
+//! use fdjoin::storage::{Database, Relation};
+//! use std::sync::Arc;
+//!
+//! let q = fdjoin::query::examples::triangle();
+//! let mut db = Database::new();
+//! let edges: Vec<[u64; 2]> = (0..20).map(|k| [k, k + 1]).collect();
+//! db.insert("R", Relation::from_rows(vec![0, 1], edges.clone()));
+//! db.insert("S", Relation::from_rows(vec![1, 2], edges.clone()));
+//! db.insert("T", Relation::from_rows(vec![2, 0], edges));
+//!
+//! let prepared = Arc::new(Engine::new().prepare(&q));
+//! let mut view = prepared.materialize(db, DeltaOptions::new()).unwrap();
+//!
+//! // One inserted edge closes the triangle 1-2-3: a delta join against
+//! // the current S and T, not a recompute of the whole join.
+//! let stats = view
+//!     .apply_delta(&DeltaBatch::new().insert("T", [3, 1]))
+//!     .unwrap();
+//! assert!(view.output().contains_row(&[1, 2, 3]));
+//! assert_eq!(stats.full_recomputes, 0);
+//! assert_eq!(stats.delta_joins, 1);
+//! ```
+//!
 //! ## Crate map
 //!
 //! | Module | Contents |
@@ -77,11 +112,13 @@
 //! | [`core`] | the `Engine` + Chain Algorithm, SMA, CSMA, and baselines |
 //! | [`core::engine`] | `Engine`, `PreparedQuery`, `Algorithm`, `ExecOptions`, `JoinResult`, `JoinError` |
 //! | [`exec`] | serving layer: batch/concurrent drivers, shared plan cache |
+//! | [`delta`] | incremental maintenance: delta batches, materialized views, delta stats |
 //! | [`instances`] | worst-case and random instance generators |
 
 pub use fdjoin_bigint as bigint;
 pub use fdjoin_bounds as bounds;
 pub use fdjoin_core as core;
+pub use fdjoin_delta as delta;
 pub use fdjoin_exec as exec;
 pub use fdjoin_instances as instances;
 pub use fdjoin_lattice as lattice;

@@ -170,6 +170,130 @@ fn auto_decision_records_reason_and_bounds() {
     assert!(d9.llp_log_bound.is_some());
 }
 
+/// Coverage: every `AutoReason` variant fires at least once, and the
+/// bounds the planner records are exactly the ones the `bounds` crate
+/// computes from the same lattice presentation and log sizes — the
+/// decision record is auditable, not just a label.
+#[test]
+fn auto_decision_covers_every_rule_with_bounds_crate_values() {
+    use fdjoin::bounds::chain::best_chain_bound;
+    use fdjoin::bounds::llp::solve_llp;
+    use fdjoin::core::atom_log_sizes;
+    use std::collections::BTreeSet;
+
+    let engine = Engine::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+
+    // The four bound-driven rules, each on the query/database that the
+    // paper associates with it.
+    let mut rng = StdRng::seed_from_u64(11);
+    let db4 = fdjoin::instances::random_instance(&examples::fig4_query(), &mut rng, 10, 85);
+    let mut rng = StdRng::seed_from_u64(11);
+    let db9 = fdjoin::instances::random_instance(&examples::fig9_query(), &mut rng, 8, 85);
+    let cases: [(Query, fdjoin::storage::Database, AutoReason, Algorithm); 4] = [
+        (
+            examples::triangle(),
+            triangle_db(),
+            AutoReason::DistributiveTightChain,
+            Algorithm::Chain,
+        ),
+        (
+            examples::fig1_udf(),
+            fig1_db(),
+            AutoReason::ChainMatchesLlpOptimum,
+            Algorithm::Chain,
+        ),
+        (
+            examples::fig4_query(),
+            db4,
+            AutoReason::GoodSmProof,
+            Algorithm::Sma,
+        ),
+        (
+            examples::fig9_query(),
+            db9,
+            AutoReason::CsmaFallback,
+            Algorithm::Csma,
+        ),
+    ];
+    for (q, db, reason, algorithm) in cases {
+        let r = engine.execute(&q, &db, &ExecOptions::new()).unwrap();
+        let d = r.auto.expect("Auto records a decision");
+        assert_eq!(d.reason, reason, "on {}", q.display_body());
+        assert_eq!(d.algorithm, algorithm, "on {}", q.display_body());
+        assert_eq!(d.algorithm, r.algorithm_used);
+        seen.insert(d.reason.to_string());
+
+        // Recompute the compared bounds directly from the bounds crate.
+        let pres = q.lattice_presentation();
+        let logs = atom_log_sizes(&q, &db).unwrap();
+        let expect_chain =
+            best_chain_bound(&pres.lattice, &pres.inputs, &logs).map(|cb| cb.log_bound);
+        let expect_llp = solve_llp(&pres.lattice, &pres.inputs, &logs).value;
+        if let Some(recorded) = &d.chain_log_bound {
+            assert_eq!(
+                Some(recorded),
+                expect_chain.as_ref(),
+                "{}: recorded chain bound must be the bounds crate's",
+                q.display_body()
+            );
+        } else {
+            assert!(
+                expect_chain.is_none(),
+                "{}: chain bound omitted only when no good chain exists",
+                q.display_body()
+            );
+        }
+        if let Some(recorded) = &d.llp_log_bound {
+            assert_eq!(
+                recorded,
+                &expect_llp,
+                "{}: recorded LLP optimum must be the bounds crate's",
+                q.display_body()
+            );
+        } else {
+            // Only the distributive shortcut skips the LLP solve.
+            assert_eq!(d.reason, AutoReason::DistributiveTightChain);
+        }
+    }
+
+    // The two option-pinned rules.
+    let q = examples::triangle();
+    let db = triangle_db();
+    let with_bound = ExecOptions::new().degree_bound(UserDegreeBound {
+        atom: 0,
+        on: vec![0],
+        max_degree: 2,
+    });
+    let d = engine.execute(&q, &db, &with_bound).unwrap().auto.unwrap();
+    assert_eq!(d.reason, AutoReason::DegreeBoundsPinCsma);
+    assert_eq!((&d.chain_log_bound, &d.llp_log_bound), (&None, &None));
+    seen.insert(d.reason.to_string());
+
+    let pres = q.lattice_presentation();
+    let chain = fdjoin::bounds::chain::cor59_chain(&pres.lattice, &pres.inputs);
+    let d = engine
+        .execute(&q, &db, &ExecOptions::new().chain(chain))
+        .unwrap()
+        .auto
+        .unwrap();
+    assert_eq!(d.reason, AutoReason::ChainOverridePinsChain);
+    seen.insert(d.reason.to_string());
+
+    let all: BTreeSet<String> = [
+        AutoReason::DegreeBoundsPinCsma,
+        AutoReason::ChainOverridePinsChain,
+        AutoReason::DistributiveTightChain,
+        AutoReason::ChainMatchesLlpOptimum,
+        AutoReason::GoodSmProof,
+        AutoReason::CsmaFallback,
+    ]
+    .iter()
+    .map(|r| r.to_string())
+    .collect();
+    assert_eq!(seen, all, "every AutoReason variant exercised");
+}
+
 #[test]
 fn auto_decision_reports_pinning_options() {
     let q = examples::triangle();
