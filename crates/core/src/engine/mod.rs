@@ -126,6 +126,7 @@ pub struct ExecOptions {
     var_order: Option<Vec<u32>>,
     atom_order: Option<Vec<usize>>,
     chain: Option<Chain>,
+    no_cost_tiebreak: bool,
 }
 
 impl ExecOptions {
@@ -138,6 +139,38 @@ impl ExecOptions {
     pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
         self.algorithm = algorithm;
         self
+    }
+
+    /// Enable/disable data-dependent cost-model decisions (enabled by
+    /// default): [`Algorithm::Auto`]'s tie-break here, and per-delta plan
+    /// specialization in `fdjoin_delta` views driven by these options.
+    /// With it disabled, plan selection is a function of the size profile
+    /// alone — useful when reproducing the paper's selection rules
+    /// exactly, or when serving must be deterministic across same-profile
+    /// databases.
+    pub fn cost_tiebreak(mut self, on: bool) -> Self {
+        self.no_cost_tiebreak = !on;
+        self
+    }
+
+    /// Whether data-dependent cost-model decisions are enabled
+    /// ([`ExecOptions::cost_tiebreak`]).
+    pub fn cost_tiebreak_enabled(&self) -> bool {
+        !self.no_cost_tiebreak
+    }
+
+    /// Whether this is a plain [`Algorithm::Auto`] request with no
+    /// algorithm-pinning or plan-shaping constraints (degree bounds pin
+    /// CSMA, a chain override pins the chain algorithm, and explicit
+    /// variable/atom orders shape whatever runs). Only then may another
+    /// layer — e.g. `fdjoin_delta`'s per-delta specialization — substitute
+    /// a cost-model-chosen algorithm without overriding the caller.
+    pub fn is_plain_auto(&self) -> bool {
+        self.algorithm == Algorithm::Auto
+            && self.degree_bounds.is_empty()
+            && self.chain.is_none()
+            && self.var_order.is_none()
+            && self.atom_order.is_none()
     }
 
     /// Add one extra degree bound (CSMA only).
@@ -256,6 +289,14 @@ pub enum AutoReason {
     /// The best chain bound equals the LLP optimum for these sizes — tight
     /// by Theorem 5.14's condition.
     ChainMatchesLlpOptimum,
+    /// The chain bound is not provably tight, but the *measured* degree
+    /// statistics say it does not matter: even the skew-pessimistic branch
+    /// estimate ([`AutoDecision::estimate_log_max`]) fits within the LLP
+    /// optimum, so on this database the chain algorithm cannot exceed the
+    /// budget the heavier proof machinery would guarantee. A data-dependent
+    /// tie-break — two databases with the same size profile can decide
+    /// differently (see `fdjoin_core::cost`).
+    EstimatedTightChain,
     /// A good SM-proof sequence exists for the LLP dual (Def. 5.26).
     GoodSmProof,
     /// No tight chain and no good proof sequence: CSMA, the always-
@@ -270,6 +311,9 @@ impl fmt::Display for AutoReason {
             AutoReason::ChainOverridePinsChain => "chain override pins the chain algorithm",
             AutoReason::DistributiveTightChain => "distributive lattice: chain bound is tight",
             AutoReason::ChainMatchesLlpOptimum => "chain bound matches the LLP optimum",
+            AutoReason::EstimatedTightChain => {
+                "measured degrees keep the chain within the LLP optimum"
+            }
             AutoReason::GoodSmProof => "good SM-proof sequence exists",
             AutoReason::CsmaFallback => "no tight chain or good proof: CSMA fallback",
         };
@@ -278,7 +322,9 @@ impl fmt::Display for AutoReason {
 }
 
 /// The structured record of an [`Algorithm::Auto`] decision: what was
-/// chosen, why, and the bounds that were compared to decide.
+/// chosen, why, the worst-case bounds that were compared to decide — and,
+/// when the data-dependent tie-break was consulted, the measured branch
+/// estimates it weighed against them (see `fdjoin_core::cost`).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AutoDecision {
     /// The selected algorithm.
@@ -290,6 +336,14 @@ pub struct AutoDecision {
     pub chain_log_bound: Option<Rational>,
     /// `log₂` of the LLP (GLVV) optimum, when it was solved en route.
     pub llp_log_bound: Option<Rational>,
+    /// `log₂` of the measured average-degree branch estimate
+    /// ([`crate::cost::JoinEstimate::log_avg`]), when the tie-break
+    /// consulted the statistics (rules past the provably-tight ones).
+    pub estimate_log_avg: Option<Rational>,
+    /// `log₂` of the skew-pessimistic (max-degree) branch estimate —
+    /// equal to [`AutoDecision::estimate_log_avg`] on uniform data, larger
+    /// under skew.
+    pub estimate_log_max: Option<Rational>,
 }
 
 /// The unified result of any engine execution.
@@ -464,6 +518,18 @@ impl PreparedQuery {
         self.counters.snapshot()
     }
 
+    /// The data-dependent branch estimate of this query over `db`, from the
+    /// measured per-relation degree statistics
+    /// ([`fdjoin_storage::RelationStats`]) — the quantity
+    /// [`Algorithm::Auto`]'s tie-break weighs against the worst-case
+    /// bounds, exposed for serving-layer observability and admission
+    /// decisions. Unlike the plans, estimates depend on the data (not just
+    /// the size profile) and are recomputed per call; they cost one pass
+    /// over the query's variables, not over the data.
+    pub fn estimate(&self, db: &Database) -> Result<crate::cost::JoinEstimate, JoinError> {
+        Ok(crate::cost::estimate_join(&self.query, db)?)
+    }
+
     /// The raw size profile of this query's atoms in `db` — the key under
     /// which chain/LLP/SMA plans are cached. Two databases with the same
     /// profile execute from the same cached plans; a profile drift (e.g.
@@ -492,7 +558,7 @@ impl PreparedQuery {
 
         let (algorithm, auto) = match opts.algorithm {
             Algorithm::Auto => {
-                let decision = self.choose(&raw_lens, opts);
+                let decision = self.choose(db, &raw_lens, opts);
                 (decision.algorithm, Some(decision))
             }
             explicit => (explicit, None),
@@ -591,7 +657,7 @@ impl PreparedQuery {
         }
     }
 
-    /// Bound-driven automatic algorithm selection:
+    /// Bound- and data-driven automatic algorithm selection:
     ///
     /// 0. options that only one algorithm honors (degree bounds ⇒ CSMA,
     ///    a chain override ⇒ chain) pin the choice — silently dropping a
@@ -600,18 +666,24 @@ impl PreparedQuery {
     ///    Cor. 5.15);
     /// 2. good chain matching the LLP optimum for these sizes ⇒ **chain**
     ///    (tight by Theorem 5.14's condition);
-    /// 3. good SM-proof sequence ⇒ **SMA**;
-    /// 4. otherwise ⇒ **CSMA** (always applicable).
+    /// 3. good chain whose *measured* skew-pessimistic branch estimate
+    ///    fits within the LLP optimum ⇒ **chain** — the data-dependent
+    ///    tie-break (see `fdjoin_core::cost`; disable with
+    ///    [`ExecOptions::cost_tiebreak`]);
+    /// 4. good SM-proof sequence ⇒ **SMA**;
+    /// 5. otherwise ⇒ **CSMA** (always applicable).
     ///
-    /// The fired rule and the compared bounds are recorded in the returned
-    /// [`AutoDecision`].
-    fn choose(&self, raw_lens: &[u64], opts: &ExecOptions) -> AutoDecision {
+    /// The fired rule, the compared worst-case bounds, and (from rule 3 on)
+    /// the measured estimates are recorded in the returned [`AutoDecision`].
+    fn choose(&self, db: &Database, raw_lens: &[u64], opts: &ExecOptions) -> AutoDecision {
         if !opts.degree_bounds.is_empty() {
             return AutoDecision {
                 algorithm: Algorithm::Csma,
                 reason: AutoReason::DegreeBoundsPinCsma,
                 chain_log_bound: None,
                 llp_log_bound: None,
+                estimate_log_avg: None,
+                estimate_log_max: None,
             };
         }
         if opts.chain.is_some() {
@@ -620,6 +692,8 @@ impl PreparedQuery {
                 reason: AutoReason::ChainOverridePinsChain,
                 chain_log_bound: None,
                 llp_log_bound: None,
+                estimate_log_avg: None,
+                estimate_log_max: None,
             };
         }
         let chain = self.chain_plan(raw_lens);
@@ -630,6 +704,8 @@ impl PreparedQuery {
                 reason: AutoReason::DistributiveTightChain,
                 chain_log_bound,
                 llp_log_bound: None,
+                estimate_log_avg: None,
+                estimate_log_max: None,
             };
         }
         let mut llp_log_bound = None;
@@ -641,9 +717,34 @@ impl PreparedQuery {
                     reason: AutoReason::ChainMatchesLlpOptimum,
                     chain_log_bound,
                     llp_log_bound: Some(llp_value),
+                    estimate_log_avg: None,
+                    estimate_log_max: None,
                 };
             }
             llp_log_bound = Some(llp_value);
+        }
+        // From here on the worst-case analysis alone cannot settle the
+        // choice; consult the measured degree statistics (unless disabled).
+        // The estimate depends on the *data*, not just the size profile, so
+        // it is computed per call, never cached with the plans.
+        let estimate = if opts.no_cost_tiebreak {
+            None
+        } else {
+            crate::cost::estimate_join(&self.query, db).ok()
+        };
+        let estimate_log_avg = estimate.as_ref().map(|e| e.log_avg.clone());
+        let estimate_log_max = estimate.as_ref().map(|e| e.log_max.clone());
+        if let (Some(est), Some(llp)) = (&estimate, &llp_log_bound) {
+            if chain.is_some() && est.log_max <= *llp {
+                return AutoDecision {
+                    algorithm: Algorithm::Chain,
+                    reason: AutoReason::EstimatedTightChain,
+                    chain_log_bound,
+                    llp_log_bound,
+                    estimate_log_avg,
+                    estimate_log_max,
+                };
+            }
         }
         // The SMA planning attempt embeds an LLP solve, so from here on the
         // optimum is known (as a cache hit) even when the chain analysis
@@ -656,6 +757,8 @@ impl PreparedQuery {
                 reason: AutoReason::GoodSmProof,
                 chain_log_bound,
                 llp_log_bound,
+                estimate_log_avg,
+                estimate_log_max,
             };
         }
         AutoDecision {
@@ -663,6 +766,8 @@ impl PreparedQuery {
             reason: AutoReason::CsmaFallback,
             chain_log_bound,
             llp_log_bound,
+            estimate_log_avg,
+            estimate_log_max,
         }
     }
 

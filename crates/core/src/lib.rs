@@ -29,9 +29,17 @@
 //! and report deterministic work counters ([`Stats`]) so experiments can
 //! verify asymptotic *shapes* without wall-clock noise. Results come back
 //! as one [`JoinResult`]; failures as one [`JoinError`].
+//!
+//! Beyond the worst-case bounds, the [`cost`] module prices plans from
+//! *measured* data: per-relation degree/skew statistics
+//! ([`fdjoin_storage::RelationStats`]) become estimated branch counts that
+//! [`Algorithm::Auto`] uses as data-dependent tie-breaks (recorded on
+//! [`AutoDecision`]) and that `fdjoin_delta` uses to pick
+//! delta-specialized plans.
 
 mod binary_join;
 mod chain_algo;
+pub mod cost;
 mod csma;
 pub mod engine;
 mod expand;

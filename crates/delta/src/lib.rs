@@ -57,6 +57,22 @@
 //! view falls back to one full recompute instead — still from the same
 //! prepared query, with zero re-preparation.
 //!
+//! # Delta-specialized plans
+//!
+//! A 1-tuple delta rarely wants the view's full plan: a chain climb or an
+//! SMA/CSMA partitioning pass inspects the base relations wholesale, while
+//! the delta's few tuples could seed a tiny left-deep join. Each insert
+//! pass therefore consults the data-dependent cost model
+//! (`fdjoin_core::cost::delta_plan`, priced from the measured
+//! [`RelationStats`](fdjoin_storage::RelationStats)): when the Δ-first
+//! branch estimate beats a scan of the base relations, the pass runs a
+//! Δ-first binary plan instead — visible in
+//! [`DeltaStats::specialized_deltas`] and
+//! [`MaterializedView::delta_algorithms`]. Only plain-`Auto` views
+//! specialize ([`DeltaOptions::specialize_deltas`]); explicitly pinned
+//! algorithms are always honored, and answers never depend on the choice
+//! (the differential harness runs with specialization enabled).
+//!
 //! Deltas must preserve the query's FDs (as all storage mutations must);
 //! deleting rows always does, and inserts from the same data-generating
 //! process as the base instance do.

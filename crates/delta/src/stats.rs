@@ -19,6 +19,11 @@ pub struct DeltaStats {
     /// Per-relation delta joins executed (one per updated query relation
     /// with genuinely new rows, on the incremental path).
     pub delta_joins: u64,
+    /// Delta joins that ran a cost-model-specialized plan (a Δ-first
+    /// binary plan chosen by `fdjoin_core::cost::delta_plan`) instead of
+    /// replaying the view's own algorithm. Only plain-Auto views
+    /// specialize; pinned algorithms are always honored.
+    pub specialized_deltas: u64,
     /// Materialized output tuples re-validated against the new relation
     /// versions (only batches with deletions pay this).
     pub revalidated: u64,
@@ -39,8 +44,10 @@ pub struct DeltaStats {
     /// attribution is approximate).
     pub planning_solves: u64,
     /// Executions (delta joins or recomputes) that ran entirely from
-    /// cached plans — zero new solves. Same attribution caveat as
-    /// [`DeltaStats::planning_solves`].
+    /// cached plans — zero new solves. Cost-model-specialized delta joins
+    /// ([`DeltaStats::specialized_deltas`]) are excluded: a Δ-first
+    /// binary join needs no plans, so it neither solves nor reuses. Same
+    /// attribution caveat as [`DeltaStats::planning_solves`].
     pub plans_reused: u64,
     /// Batches that fell back to a full recompute (delta over the
     /// [`DeltaOptions::max_delta_fraction`](crate::DeltaOptions) threshold,
@@ -60,6 +67,7 @@ impl DeltaStats {
         self.inserts_applied += other.inserts_applied;
         self.deletes_applied += other.deletes_applied;
         self.delta_joins += other.delta_joins;
+        self.specialized_deltas += other.specialized_deltas;
         self.revalidated += other.revalidated;
         self.tuples_added += other.tuples_added;
         self.tuples_removed += other.tuples_removed;
@@ -81,6 +89,7 @@ mod tests {
             inserts_applied: 2,
             deletes_applied: 3,
             delta_joins: 4,
+            specialized_deltas: 12,
             revalidated: 5,
             tuples_added: 6,
             tuples_removed: 7,
@@ -93,6 +102,7 @@ mod tests {
         acc.merge(&one);
         assert_eq!(acc.batches, 2);
         assert_eq!(acc.full_recomputes, 22);
+        assert_eq!(acc.specialized_deltas, 24);
         assert_eq!(acc.tuples_touched(), 2 * (5 + 6 + 7));
     }
 }

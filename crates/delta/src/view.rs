@@ -10,6 +10,7 @@ use std::sync::Arc;
 pub struct DeltaOptions {
     exec: ExecOptions,
     max_delta_fraction: f64,
+    specialize_deltas: bool,
 }
 
 impl Default for DeltaOptions {
@@ -17,13 +18,14 @@ impl Default for DeltaOptions {
         DeltaOptions {
             exec: ExecOptions::new(),
             max_delta_fraction: 0.25,
+            specialize_deltas: true,
         }
     }
 }
 
 impl DeltaOptions {
-    /// Defaults: `ExecOptions::new()` (auto algorithm selection) and a 25%
-    /// recompute threshold.
+    /// Defaults: `ExecOptions::new()` (auto algorithm selection), a 25%
+    /// recompute threshold, and cost-model delta specialization on.
     pub fn new() -> DeltaOptions {
         DeltaOptions::default()
     }
@@ -32,6 +34,22 @@ impl DeltaOptions {
     /// delta join, and fallback recomputes.
     pub fn exec(mut self, exec: ExecOptions) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// Enable/disable per-delta plan specialization (default: enabled).
+    ///
+    /// When enabled — and the view's execution options are plain
+    /// [`Algorithm::Auto`] with no pinning constraints — each delta join
+    /// asks the cost model (`fdjoin_core::cost::delta_plan`) whether a
+    /// Δ-first binary plan is cheaper than the view's full plan at the
+    /// delta profile, and runs it if so: a 1-tuple delta then pays for its
+    /// few matches instead of a full chain/SMA/CSMA pass over the base
+    /// relations. Views pinned to an explicit algorithm never specialize,
+    /// and `ExecOptions::cost_tiebreak(false)` — the "decisions must be a
+    /// function of the size profile" switch — disables specialization too.
+    pub fn specialize_deltas(mut self, on: bool) -> Self {
+        self.specialize_deltas = on;
         self
     }
 
@@ -55,6 +73,11 @@ impl DeltaOptions {
     /// The configured recompute threshold.
     pub fn recompute_threshold(&self) -> f64 {
         self.max_delta_fraction
+    }
+
+    /// Whether per-delta plan specialization is enabled.
+    pub fn specializes_deltas(&self) -> bool {
+        self.specialize_deltas
     }
 }
 
@@ -84,6 +107,9 @@ pub struct MaterializedView {
     output: Relation,
     algorithm_used: Algorithm,
     stats: DeltaStats,
+    /// Algorithms run by the most recent batch's delta joins, in pass
+    /// order — observable per-delta plan choices.
+    delta_algorithms: Vec<Algorithm>,
 }
 
 impl MaterializedView {
@@ -103,6 +129,7 @@ impl MaterializedView {
             output: r.output,
             algorithm_used: r.algorithm_used,
             stats: DeltaStats::default(),
+            delta_algorithms: Vec::new(),
         })
     }
 
@@ -127,6 +154,14 @@ impl MaterializedView {
         self.algorithm_used
     }
 
+    /// The algorithms the most recent batch's delta joins actually ran, in
+    /// pass (relation-name) order — the observable record of per-delta
+    /// plan choices ([`DeltaOptions::specialize_deltas`]). Empty when the
+    /// last batch took the fallback path or ran no delta joins.
+    pub fn delta_algorithms(&self) -> &[Algorithm] {
+        &self.delta_algorithms
+    }
+
     /// Cumulative maintenance counters since materialization.
     pub fn stats(&self) -> DeltaStats {
         self.stats
@@ -143,6 +178,7 @@ impl MaterializedView {
             ..DeltaStats::default()
         };
         self.validate(delta)?;
+        self.delta_algorithms.clear();
         if delta.is_empty() {
             self.stats.merge(&bs);
             return Ok(bs);
@@ -302,12 +338,38 @@ impl MaterializedView {
             if fresh.is_empty() {
                 continue;
             }
-            let is_query_atom = self.prepared.query().atom_index(name).is_some();
-            if is_query_atom && !refused {
+            let atom_index = self.prepared.query().atom_index(name);
+            if let (Some(ai), false) = (atom_index, refused) {
                 // Substitute Δ⁺ for the relation, join, swap back merged.
                 let saved = self.db.replace(name, fresh.clone()).expect("validated");
+                // Ask the cost model whether this delta profile wants a
+                // Δ-first specialized plan instead of the view's own
+                // algorithm — only for plain-Auto views (an explicitly
+                // pinned algorithm or a pinning option is always honored)
+                // that have not opted out of data-dependent decisions via
+                // `ExecOptions::cost_tiebreak(false)`.
+                let exec = self.opts.exec_options();
+                let specialized = if self.opts.specialize_deltas
+                    && exec.is_plain_auto()
+                    && exec.cost_tiebreak_enabled()
+                {
+                    fdjoin_core::cost::delta_plan(self.prepared.query(), &self.db, ai)
+                        .ok()
+                        .flatten()
+                } else {
+                    None
+                };
+                let exec_opts = match &specialized {
+                    Some(plan) => self
+                        .opts
+                        .exec_options()
+                        .clone()
+                        .algorithm(plan.algorithm)
+                        .atom_order(plan.atom_order.clone()),
+                    None => self.opts.exec_options().clone(),
+                };
                 let before = self.prepared.prep_stats();
-                let run = self.prepared.execute(&self.db, self.opts.exec_options());
+                let run = self.prepared.execute(&self.db, &exec_opts);
                 let solves = self.prepared.prep_stats().since(&before).solves();
                 let mut merged = saved;
                 let none: [&[Value]; 0] = [];
@@ -316,9 +378,16 @@ impl MaterializedView {
                 match run {
                     Ok(r) => {
                         bs.delta_joins += 1;
+                        if specialized.is_some() {
+                            bs.specialized_deltas += 1;
+                        }
+                        self.delta_algorithms.push(r.algorithm_used);
                         bs.join_work += r.stats.work();
                         bs.planning_solves += solves;
-                        if solves == 0 {
+                        // A specialized Δ-first binary join needs no plans
+                        // at all, so it neither solves nor *reuses* — only
+                        // unspecialized runs evidence plan-cache reuse.
+                        if solves == 0 && specialized.is_none() {
                             bs.plans_reused += 1;
                         }
                         additions.push(r.output);

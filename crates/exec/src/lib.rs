@@ -30,6 +30,16 @@
 //! machinery; `fdjoin_delta` uses them to stream incremental update
 //! batches into materialized views.
 //!
+//! Serving results are *auditable*: every per-database
+//! [`JoinResult`](fdjoin_core::JoinResult) in a [`BatchResult`] carries
+//! the planner's [`AutoDecision`](fdjoin_core::AutoDecision) — the
+//! worst-case bounds it compared plus, when the data-dependent tie-break
+//! was consulted, the measured branch estimates (two databases with the
+//! same size profile can correctly resolve to different algorithms). A
+//! serving layer can also read
+//! [`PreparedQuery::estimate`](fdjoin_core::PreparedQuery::estimate)
+//! directly, e.g. for admission control, without executing anything.
+//!
 //! Prepare once, execute everywhere:
 //!
 //! ```

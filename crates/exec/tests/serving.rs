@@ -426,3 +426,65 @@ fn cold_cache_racing_executions_agree() {
         assert_eq!(s.chain_searches, 1, "no double-compute under contention");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Data-dependent planning surfaces through serving results.
+// ---------------------------------------------------------------------------
+
+/// One prepared query served over two databases with the *same size
+/// profile* but different skew: the batch results carry per-database
+/// `AutoDecision`s whose measured estimates differ — and may even resolve
+/// to different algorithms — while the plan cache sees one shape and one
+/// profile throughout.
+#[test]
+fn batch_results_surface_data_dependent_decisions() {
+    let q = examples::fig4_query();
+    let mut rng = StdRng::seed_from_u64(1);
+    let pool = fdjoin_instances::random_instance(&q, &mut rng, 4000, 100);
+    let k = 64usize;
+    let subset = |spread: bool| {
+        let mut db = pool.clone();
+        for a in q.atoms() {
+            let rel = pool.relation(&a.name).unwrap();
+            let n = rel.len();
+            let rows: Vec<usize> = if spread {
+                (0..k).map(|i| i * n / k).collect()
+            } else {
+                (0..k).collect()
+            };
+            db.insert(a.name.clone(), rel.select_rows(rows));
+        }
+        db
+    };
+    let dbs = vec![subset(true), subset(false)];
+
+    let cache = Arc::new(PlanCache::new());
+    let prepared = Engine::with_plan_cache(cache).prepare(&q);
+    let batch = prepared.execute_batch(&dbs, &ExecOptions::new());
+    assert_eq!(batch.stats.succeeded, 2);
+
+    let decisions: Vec<_> = batch
+        .results
+        .iter()
+        .map(|r| r.as_ref().unwrap().auto.clone().unwrap())
+        .collect();
+    // Same worst-case bounds (same size profile), different measured
+    // estimates — the data-dependent record flows through serving results.
+    assert_eq!(decisions[0].llp_log_bound, decisions[1].llp_log_bound);
+    assert_eq!(decisions[0].chain_log_bound, decisions[1].chain_log_bound);
+    assert!(decisions.iter().all(|d| d.estimate_log_max.is_some()));
+    assert_ne!(
+        decisions[0].estimate_log_max, decisions[1].estimate_log_max,
+        "same profile, different data ⇒ different recorded estimates"
+    );
+    assert_ne!(
+        decisions[0].algorithm, decisions[1].algorithm,
+        "the skewed database resolves to a different algorithm"
+    );
+
+    // The serving layer can also read the estimate directly, e.g. for
+    // admission decisions, without executing.
+    let e0 = prepared.estimate(&dbs[0]).unwrap();
+    let e1 = prepared.estimate(&dbs[1]).unwrap();
+    assert!(e1.skew_gap() > e0.skew_gap());
+}

@@ -260,7 +260,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Element count for [`vec`]: exact or ranged.
+    /// Element count for [`vec()`]: exact or ranged.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,
@@ -291,7 +291,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

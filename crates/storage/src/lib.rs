@@ -7,6 +7,10 @@
 //!   semijoin, degree counting, and partitioning primitives — versioned,
 //!   with in-place sorted-merge tuple deltas ([`Relation::apply_delta`])
 //!   for incremental maintenance;
+//! - [`RelationStats`]: exact per-prefix degree/branch/skew statistics
+//!   ([`Relation::stats`]), accumulated inside the sort and delta-merge
+//!   passes themselves, feeding the data-dependent cost model in
+//!   `fdjoin_core::cost`;
 //! - [`HashIndex`]: secondary indexes for non-prefix lookups;
 //! - [`UdfRegistry`]: user-defined functions backing unguarded FDs
 //!   (Sec. 1.1 of the paper);
@@ -18,10 +22,12 @@
 
 mod database;
 mod relation;
+mod stats;
 mod udf;
 
 pub use database::{Database, MissingRelation};
 pub use relation::{DeltaApplied, HashIndex, Relation};
+pub use stats::RelationStats;
 pub use udf::{UdfFn, UdfRegistry};
 
 /// The value type stored in relations.

@@ -1,5 +1,6 @@
 //! Row-major relations with sort-order (trie-equivalent) prefix indexes.
 
+use crate::stats::{RelationStats, StatsAcc};
 use crate::Value;
 use fdjoin_lattice::VarSet;
 use std::cmp::Ordering;
@@ -16,12 +17,19 @@ use std::ops::Range;
 /// content mutation ([`Relation::push_row`], [`Relation::apply_delta`]), so
 /// incremental-maintenance layers can detect drift without diffing rows.
 /// The version is bookkeeping, not content — equality compares rows only.
+///
+/// Sorted relations also carry exact per-prefix degree/skew statistics
+/// ([`Relation::stats`]), accumulated inside the same passes that sort and
+/// merge the data; the cost model in `fdjoin_core::cost` plans from them.
 #[derive(Clone, Debug)]
 pub struct Relation {
     vars: Vec<u32>,
     data: Vec<Value>,
     sorted: bool,
     version: u64,
+    /// Invariant: `Some` iff `sorted` (statistics describe the stored rows
+    /// exactly; any unsorted mutation clears them).
+    stats: Option<RelationStats>,
 }
 
 impl PartialEq for Relation {
@@ -65,11 +73,13 @@ impl Relation {
             );
             seen = seen.insert(v);
         }
+        let arity = vars.len();
         Relation {
             vars,
             data: Vec::new(),
             sorted: true,
             version: 0,
+            stats: Some(StatsAcc::new(arity).finish()),
         }
     }
 
@@ -126,7 +136,18 @@ impl Relation {
             self.data.extend_from_slice(row);
         }
         self.sorted = false;
+        self.stats = None;
         self.version += 1;
+    }
+
+    /// Exact degree/skew statistics of this relation, per prefix length of
+    /// the column (sort) order. `Some` exactly when the relation is sorted
+    /// ([`Relation::is_sorted`]); [`Relation::sort_dedup`] and
+    /// [`Relation::apply_delta`] keep them current as part of their own
+    /// passes over the data.
+    pub fn stats(&self) -> Option<&RelationStats> {
+        debug_assert_eq!(self.sorted, self.stats.is_some());
+        self.stats.as_ref()
     }
 
     /// Content version: bumped on every mutation that can change the row
@@ -170,6 +191,11 @@ impl Relation {
                 if present {
                     self.data.push(1);
                 }
+                let mut acc = StatsAcc::new(0);
+                if present {
+                    acc.push(&[]);
+                }
+                self.stats = Some(acc.finish());
                 self.version += 1;
             }
             return applied;
@@ -191,8 +217,11 @@ impl Relation {
         // Merge the two sorted row sequences; deletes filter the existing
         // side only (an inserted row survives its own deletion). The
         // delete cursor `k` advances monotonically alongside the existing
-        // rows, keeping the whole merge genuinely linear.
+        // rows, keeping the whole merge genuinely linear. Surviving rows
+        // stream through the statistics accumulator as they are emitted, so
+        // the post-delta [`Relation::stats`] are exact at no extra pass.
         let mut applied = DeltaApplied::default();
+        let mut acc = StatsAcc::new(a);
         let mut data = Vec::with_capacity(self.data.len() + ins.data.len());
         let (n, m) = (self.len(), ins.len());
         let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
@@ -213,17 +242,20 @@ impl Relation {
                     if k < del.len() && del.row(k) == row {
                         applied.removed += 1;
                     } else {
+                        acc.push(row);
                         data.extend_from_slice(row);
                     }
                     i += 1;
                 }
                 Ordering::Greater => {
+                    acc.push(ins.row(j));
                     data.extend_from_slice(ins.row(j));
                     applied.added += 1;
                     j += 1;
                 }
                 Ordering::Equal => {
                     // Already present (and, if also deleted, re-inserted).
+                    acc.push(self.row(i));
                     data.extend_from_slice(self.row(i));
                     i += 1;
                     j += 1;
@@ -232,6 +264,7 @@ impl Relation {
         }
         self.data = data;
         self.sorted = true;
+        self.stats = Some(acc.finish());
         if applied.changed() > 0 {
             self.version += 1;
         }
@@ -274,9 +307,19 @@ impl Relation {
                 self.data.push(1);
             }
             self.sorted = true;
+            let mut acc = StatsAcc::new(0);
+            if nonempty {
+                acc.push(&[]);
+            }
+            self.stats = Some(acc.finish());
             return;
         }
         if self.sorted {
+            // Defensive: re-establish the stats invariant if it was ever
+            // broken (no known path does this).
+            if self.stats.is_none() {
+                self.stats = Some(RelationStats::of(self));
+            }
             return;
         }
         let n = self.len();
@@ -286,17 +329,20 @@ impl Relation {
             data[i as usize * a..(i as usize + 1) * a]
                 .cmp(&data[j as usize * a..(j as usize + 1) * a])
         });
+        let mut acc = StatsAcc::new(a);
         let mut new_data = Vec::with_capacity(self.data.len());
         let mut last: Option<&[Value]> = None;
         for &i in &order {
             let row = &self.data[i as usize * a..(i as usize + 1) * a];
             if last != Some(row) {
+                acc.push(row);
                 new_data.extend_from_slice(row);
             }
             last = Some(row);
         }
         self.data = new_data;
         self.sorted = true;
+        self.stats = Some(acc.finish());
     }
 
     /// Whether the relation is known sorted + deduplicated.
@@ -462,7 +508,7 @@ impl Relation {
     pub fn nullary_unit() -> Relation {
         let mut r = Relation::new(Vec::new());
         r.push_row(&[]);
-        r.sorted = true;
+        r.sort_dedup();
         r
     }
 }

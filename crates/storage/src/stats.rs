@@ -1,0 +1,332 @@
+//! Per-relation degree/skew statistics, maintained alongside the data.
+//!
+//! The source paper's central lever over cardinality-only (AGM/GLVV) bounds
+//! is *degree* information: how many tuples share a prefix, how many
+//! distinct extensions a prefix has. [`RelationStats`] measures exactly
+//! those quantities on the stored data, per prefix length of the relation's
+//! sort order (the trie depths the execution engines actually navigate):
+//!
+//! - `distinct_prefixes(len)` — distinct length-`len` prefixes (trie nodes
+//!   at depth `len`);
+//! - `max_degree(len)` / `avg_degree(len)` — rows per distinct prefix, the
+//!   measured analogue of a declared degree bound;
+//! - `max_branch(from)` / `avg_branch(from)` — distinct `(from+1)`-prefixes
+//!   per `from`-prefix, i.e. the trie fan-out at depth `from`: the branch
+//!   counts a join's variable-binding loop will actually see;
+//! - `skew(len)` — `max_degree / avg_degree`, 1.0 for perfectly uniform
+//!   data; the indicator `fdjoin_core::cost` uses for data-dependent
+//!   planning tie-breaks.
+//!
+//! Statistics are *exact*, not sampled, and are kept current by the storage
+//! layer itself: [`Relation::sort_dedup`](crate::Relation::sort_dedup)
+//! accumulates them while deduplicating, and
+//! [`Relation::apply_delta`](crate::Relation::apply_delta) re-accumulates
+//! them inside the same linear merge walk that applies the delta — no extra
+//! pass over the data, and no drift between deltas and statistics (the
+//! differential property tests in `tests/proptest_stats.rs` assert
+//! exactness under random insert/delete sequences).
+
+use crate::Value;
+
+/// Exact degree/skew statistics of one sorted, deduplicated relation.
+///
+/// All quantities are per *prefix length* in the relation's column (sort)
+/// order — the orders the engines bind variables in. Lengths are `1..=arity`
+/// for degree/distinct queries and `0..arity` for branch queries (branching
+/// *from* a depth).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RelationStats {
+    cardinality: u64,
+    /// `distinct[k]` = number of distinct `(k+1)`-prefixes.
+    distinct: Vec<u64>,
+    /// `max_degree[k]` = max rows sharing one `(k+1)`-prefix.
+    max_degree: Vec<u64>,
+    /// `max_branch[k]` = max distinct `(k+1)`-prefixes within one
+    /// `k`-prefix group (`k = 0` means the whole relation).
+    max_branch: Vec<u64>,
+}
+
+impl RelationStats {
+    /// Compute from scratch over a sorted + deduplicated relation. This is
+    /// the reference implementation the incremental maintenance in
+    /// [`Relation::apply_delta`](crate::Relation::apply_delta) is tested
+    /// against; normal callers read
+    /// [`Relation::stats`](crate::Relation::stats) instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the relation is not sorted ([`Relation::is_sorted`]).
+    ///
+    /// [`Relation::is_sorted`]: crate::Relation::is_sorted
+    pub fn of(rel: &crate::Relation) -> RelationStats {
+        assert!(
+            rel.is_sorted(),
+            "RelationStats::of requires a sorted relation"
+        );
+        let mut acc = StatsAcc::new(rel.arity());
+        for row in rel.rows() {
+            acc.push(row);
+        }
+        acc.finish()
+    }
+
+    /// Number of rows.
+    pub fn cardinality(&self) -> u64 {
+        self.cardinality
+    }
+
+    /// Arity of the relation these statistics describe.
+    pub fn arity(&self) -> usize {
+        self.distinct.len()
+    }
+
+    /// Number of distinct prefixes of length `len` (`0 ≤ len ≤ arity`).
+    /// `len == 0` is the root: 1 for a non-empty relation, else 0.
+    pub fn distinct_prefixes(&self, len: usize) -> u64 {
+        if len == 0 {
+            return (self.cardinality > 0) as u64;
+        }
+        self.distinct[len - 1]
+    }
+
+    /// Maximum number of rows sharing one prefix of length `len`
+    /// (`0 ≤ len ≤ arity`; `len == 0` is the whole relation).
+    pub fn max_degree(&self, len: usize) -> u64 {
+        if len == 0 {
+            return self.cardinality;
+        }
+        self.max_degree[len - 1]
+    }
+
+    /// Mean number of rows per distinct prefix of length `len`
+    /// (`cardinality / distinct`); 0.0 for an empty relation.
+    pub fn avg_degree(&self, len: usize) -> f64 {
+        let d = self.distinct_prefixes(len);
+        if d == 0 {
+            0.0
+        } else {
+            self.cardinality as f64 / d as f64
+        }
+    }
+
+    /// Maximum trie fan-out from depth `from` to depth `from + 1`
+    /// (`0 ≤ from < arity`): the largest number of distinct
+    /// `(from+1)`-prefixes below one `from`-prefix.
+    pub fn max_branch(&self, from: usize) -> u64 {
+        self.max_branch[from]
+    }
+
+    /// Mean trie fan-out from depth `from`
+    /// (`distinct(from+1) / distinct(from)`); 0.0 for an empty relation.
+    pub fn avg_branch(&self, from: usize) -> f64 {
+        let d = self.distinct_prefixes(from);
+        if d == 0 {
+            0.0
+        } else {
+            self.distinct_prefixes(from + 1) as f64 / d as f64
+        }
+    }
+
+    /// Skew of the degree distribution at prefix length `len`:
+    /// `max_degree / avg_degree`. 1.0 means perfectly uniform (every prefix
+    /// has the same number of rows); large values mean a few heavy prefixes
+    /// dominate. Returns 1.0 for empty relations and `len == 0`.
+    pub fn skew(&self, len: usize) -> f64 {
+        let avg = self.avg_degree(len);
+        if avg == 0.0 {
+            1.0
+        } else {
+            self.max_degree(len) as f64 / avg
+        }
+    }
+
+    /// The worst skew over all proper prefix lengths (`1..arity`); 1.0 for
+    /// relations of arity ≤ 1 or empty relations.
+    pub fn max_skew(&self) -> f64 {
+        (1..self.arity())
+            .map(|len| self.skew(len))
+            .fold(1.0, f64::max)
+    }
+}
+
+/// Streaming accumulator: feed rows in strictly increasing order (sorted,
+/// deduplicated) and `finish`. Used by `Relation::sort_dedup`'s dedup loop
+/// and fused into `Relation::apply_delta`'s merge walk, so statistics ride
+/// the passes the storage layer already makes.
+#[derive(Debug)]
+pub(crate) struct StatsAcc {
+    arity: usize,
+    n: u64,
+    last: Vec<Value>,
+    /// Rows in the currently open `(k+1)`-prefix group.
+    run: Vec<u64>,
+    /// Distinct `(k+1)`-prefixes in the currently open `k`-prefix group.
+    kids: Vec<u64>,
+    distinct: Vec<u64>,
+    max_degree: Vec<u64>,
+    max_branch: Vec<u64>,
+}
+
+impl StatsAcc {
+    pub(crate) fn new(arity: usize) -> StatsAcc {
+        StatsAcc {
+            arity,
+            n: 0,
+            last: Vec::with_capacity(arity),
+            run: vec![0; arity],
+            kids: vec![0; arity],
+            distinct: vec![0; arity],
+            max_degree: vec![0; arity],
+            max_branch: vec![0; arity],
+        }
+    }
+
+    pub(crate) fn push(&mut self, row: &[Value]) {
+        debug_assert_eq!(row.len(), self.arity);
+        let a = self.arity;
+        if self.n == 0 {
+            self.last.clear();
+            self.last.extend_from_slice(row);
+            for k in 0..a {
+                self.run[k] = 1;
+                self.kids[k] = 1;
+                self.distinct[k] = 1;
+            }
+            self.n = 1;
+            return;
+        }
+        // First column where this row departs from the previous one; rows
+        // arrive strictly increasing, so for arity > 0 some column differs.
+        let d = self
+            .last
+            .iter()
+            .zip(row)
+            .position(|(a, b)| a != b)
+            .unwrap_or(a);
+        debug_assert!(a == 0 || d < a, "rows must be strictly increasing");
+        for k in 0..a {
+            // The (k+1)-prefix changed iff the first difference is inside it.
+            if d < k + 1 {
+                self.distinct[k] += 1;
+                self.max_degree[k] = self.max_degree[k].max(self.run[k]);
+                self.run[k] = 1;
+            } else {
+                self.run[k] += 1;
+            }
+            if d < k + 1 {
+                if d < k {
+                    // The enclosing k-prefix group also closed.
+                    self.max_branch[k] = self.max_branch[k].max(self.kids[k]);
+                    self.kids[k] = 1;
+                } else {
+                    self.kids[k] += 1;
+                }
+            }
+        }
+        self.last.clear();
+        self.last.extend_from_slice(row);
+        self.n += 1;
+    }
+
+    pub(crate) fn finish(mut self) -> RelationStats {
+        if self.n > 0 {
+            for k in 0..self.arity {
+                self.max_degree[k] = self.max_degree[k].max(self.run[k]);
+                self.max_branch[k] = self.max_branch[k].max(self.kids[k]);
+            }
+        }
+        RelationStats {
+            cardinality: self.n,
+            distinct: self.distinct,
+            max_degree: self.max_degree,
+            max_branch: self.max_branch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Relation;
+
+    fn rel() -> Relation {
+        let mut r = Relation::from_rows(
+            vec![0, 1, 2],
+            [
+                [1, 10, 100],
+                [1, 10, 101],
+                [1, 11, 100],
+                [2, 10, 100],
+                [2, 10, 100], // dup
+                [3, 30, 300],
+            ],
+        );
+        r.sort_dedup();
+        r
+    }
+
+    #[test]
+    fn scratch_matches_relation_counters() {
+        let r = rel();
+        let s = RelationStats::of(&r);
+        assert_eq!(s.cardinality(), 5);
+        for len in 0..=3 {
+            assert_eq!(s.distinct_prefixes(len), r.distinct_prefixes(len) as u64);
+            assert_eq!(s.max_degree(len), r.max_degree(len) as u64);
+        }
+    }
+
+    #[test]
+    fn branch_counts() {
+        let r = rel();
+        let s = RelationStats::of(&r);
+        // Depth 0 → 1: values {1, 2, 3}.
+        assert_eq!(s.max_branch(0), 3);
+        // Depth 1 → 2: x=1 has {10, 11}.
+        assert_eq!(s.max_branch(1), 2);
+        // Depth 2 → 3: (1,10) has {100, 101}.
+        assert_eq!(s.max_branch(2), 2);
+        assert!((s.avg_branch(0) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_of_uniform_is_one() {
+        let mut r = Relation::from_rows(vec![0, 1], [[1, 1], [1, 2], [2, 1], [2, 2]]);
+        r.sort_dedup();
+        let s = r.stats().unwrap();
+        assert_eq!(s.skew(1), 1.0);
+        assert_eq!(s.max_skew(), 1.0);
+    }
+
+    #[test]
+    fn skew_detects_heavy_hitters() {
+        // x=1 has 9 rows, x=2..=4 have 1 each: max 9, avg 3 → skew 3.
+        let rows: Vec<[u64; 2]> = (0..9)
+            .map(|i| [1, i])
+            .chain([[2, 0], [3, 0], [4, 0]])
+            .collect();
+        let mut r = Relation::from_rows(vec![0, 1], rows);
+        r.sort_dedup();
+        let s = r.stats().unwrap();
+        assert_eq!(s.max_degree(1), 9);
+        assert!((s.skew(1) - 3.0).abs() < 1e-9);
+        assert!((s.max_skew() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_nullary() {
+        let mut empty = Relation::new(vec![0, 1]);
+        empty.sort_dedup();
+        let s = empty.stats().unwrap();
+        assert_eq!(s.cardinality(), 0);
+        assert_eq!(s.distinct_prefixes(0), 0);
+        assert_eq!(s.max_degree(2), 0);
+        assert_eq!(s.skew(1), 1.0);
+
+        let unit = Relation::nullary_unit();
+        let s = unit.stats().unwrap();
+        assert_eq!(s.cardinality(), 1);
+        assert_eq!(s.arity(), 0);
+        assert_eq!(s.max_skew(), 1.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Differential testing of the statistics layer: the `RelationStats`
+//! maintained incrementally through `apply_delta`'s merge walk must stay
+//! *exactly* equal to a from-scratch recomputation — and to brute-force
+//! counts over the rows — under arbitrary random insert/delete sequences.
+
+use fdjoin_storage::{Relation, RelationStats, Value};
+use proptest::prelude::*;
+
+fn rows_strategy(arity: usize, max: usize) -> impl Strategy<Value = Vec<Vec<Value>>> {
+    proptest::collection::vec(proptest::collection::vec(0u64..5, arity), 0..max)
+}
+
+/// Brute-force statistics straight off the `Relation` group primitives.
+fn brute_check(rel: &Relation, stats: &RelationStats) {
+    let a = rel.arity();
+    assert_eq!(stats.cardinality(), rel.len() as u64);
+    assert_eq!(stats.arity(), a);
+    for len in 0..=a {
+        assert_eq!(
+            stats.distinct_prefixes(len),
+            if len == 0 {
+                (!rel.is_empty()) as u64
+            } else {
+                rel.distinct_prefixes(len) as u64
+            },
+            "distinct prefixes of length {len}"
+        );
+        assert_eq!(
+            stats.max_degree(len),
+            rel.max_degree(len) as u64,
+            "max degree at prefix length {len}"
+        );
+    }
+    for from in 0..a {
+        // Brute-force fan-out: within each `from`-prefix group, count the
+        // distinct `(from+1)`-prefixes.
+        let expect = rel
+            .group_ranges(from)
+            .into_iter()
+            .map(|g| {
+                let mut kids = 0u64;
+                let mut last: Option<&[Value]> = None;
+                for i in g {
+                    let child = &rel.row(i)[..from + 1];
+                    if last != Some(child) {
+                        kids += 1;
+                    }
+                    last = Some(child);
+                }
+                kids
+            })
+            .max()
+            .unwrap_or(0);
+        assert_eq!(
+            stats.max_branch(from),
+            expect,
+            "max branch from depth {from}"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn stats_stay_exact_under_delta_sequences(
+        initial in rows_strategy(3, 40),
+        deltas in proptest::collection::vec(
+            (rows_strategy(3, 8), rows_strategy(3, 8)),
+            1..8,
+        ),
+    ) {
+        let mut rel = Relation::from_rows(vec![0, 1, 2], initial);
+        rel.sort_dedup();
+        for (inserts, deletes) in deltas {
+            rel.apply_delta(inserts, deletes);
+            let maintained = rel.stats().expect("sorted after apply_delta").clone();
+            // Differential 1: from-scratch accumulation over the same rows.
+            prop_assert_eq!(&maintained, &RelationStats::of(&rel));
+            // Differential 2: a rebuilt relation (fresh sort path).
+            let rebuilt = {
+                let mut r = Relation::new(vec![0, 1, 2]);
+                for row in rel.rows() {
+                    r.push_row(row);
+                }
+                r.sort_dedup();
+                r
+            };
+            prop_assert_eq!(&maintained, rebuilt.stats().unwrap());
+            // Differential 3: brute-force counts off the group primitives.
+            brute_check(&rel, &maintained);
+        }
+    }
+
+    #[test]
+    fn sort_path_and_delta_path_agree(rows in rows_strategy(2, 30)) {
+        // Loading rows via push_row + sort_dedup and via apply_delta
+        // inserts must produce identical statistics.
+        let mut sorted = Relation::from_rows(vec![0, 1], rows.clone());
+        sorted.sort_dedup();
+        let mut delta = Relation::new(vec![0, 1]);
+        let none: [&[Value]; 0] = [];
+        delta.apply_delta(rows, none);
+        prop_assert_eq!(sorted.stats().unwrap(), delta.stats().unwrap());
+        prop_assert_eq!(&sorted, &delta);
+    }
+
+    #[test]
+    fn skew_bounds_hold(rows in rows_strategy(2, 30)) {
+        let mut rel = Relation::from_rows(vec![0, 1], rows);
+        rel.sort_dedup();
+        let s = rel.stats().unwrap();
+        // Skew is ≥ 1 by definition (max ≥ avg) and max_degree ≤ n.
+        prop_assert!(s.max_skew() >= 1.0 - 1e-9);
+        for len in 1..=2usize {
+            prop_assert!(s.max_degree(len) <= s.cardinality());
+            prop_assert!(s.skew(len) >= 1.0 - 1e-9);
+        }
+    }
+}

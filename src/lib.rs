@@ -6,6 +6,13 @@
 //! governed by the **GLVV entropy bound** rather than the FD-oblivious AGM
 //! bound.
 //!
+//! For the system-level view — the crate map, the data flow from lattice
+//! presentations through bounds, plans, the cross-query `PlanCache`, the
+//! serving layer, and incremental deltas, and where the data-dependent
+//! cost model sits in the planning pipeline — see
+//! [`ARCHITECTURE.md`](https://github.com/fdjoin/fdjoin/blob/main/ARCHITECTURE.md)
+//! at the repository root.
+//!
 //! ## Quick start
 //!
 //! The front door is [`core::Engine`]: one entry point over all six join
@@ -57,6 +64,14 @@
 //! Explicit algorithms, degree bounds, variable/atom orders, and chain
 //! overrides all go through [`core::ExecOptions`]; every run returns the
 //! same [`core::JoinResult`] and fails with the same [`core::JoinError`].
+//!
+//! Auto-selection is not only bound-driven but *data*-driven: storage
+//! maintains exact per-prefix degree/skew statistics
+//! ([`storage::RelationStats`]) and [`core::cost`] turns them into branch
+//! estimates that break ties the worst-case bounds cannot — two databases
+//! with identical size profiles can (correctly) run different algorithms,
+//! with the decision recorded in [`core::AutoDecision`]. See
+//! `examples/cost_model.rs` and `tests/cost_model.rs`.
 //!
 //! For serving workloads, [`exec`] adds batched/concurrent execution
 //! ([`exec::ExecuteBatch`], [`exec::Executor`]) and a cross-query plan
@@ -111,6 +126,7 @@
 //! | [`bounds`] | AGM / GLVV / chain / SM / CLLP bounds and proof objects |
 //! | [`core`] | the `Engine` + Chain Algorithm, SMA, CSMA, and baselines |
 //! | [`core::engine`] | `Engine`, `PreparedQuery`, `Algorithm`, `ExecOptions`, `JoinResult`, `JoinError` |
+//! | [`core::cost`] | data-dependent branch estimates from measured degree/skew statistics |
 //! | [`exec`] | serving layer: batch/concurrent drivers, shared plan cache |
 //! | [`delta`] | incremental maintenance: delta batches, materialized views, delta stats |
 //! | [`instances`] | worst-case and random instance generators |

@@ -98,12 +98,15 @@ fn auto_picks_chain_on_fd_examples() {
 #[test]
 fn auto_falls_back_to_sma_then_csma() {
     // Fig 4: chain bound 3/2·n strictly above the LLP 4/3·n, but a good
-    // SM-proof exists ⇒ SMA.
+    // SM-proof exists ⇒ SMA. The data-dependent tie-break is disabled so
+    // the selection is a pure function of the worst-case bounds (with it
+    // on, a low-skew instance may legitimately run the chain instead —
+    // see tests/cost_model.rs).
     let q4 = examples::fig4_query();
     let mut rng = StdRng::seed_from_u64(11);
     let db4 = fdjoin::instances::random_instance(&q4, &mut rng, 10, 85);
     let r4 = Engine::new()
-        .execute(&q4, &db4, &ExecOptions::new())
+        .execute(&q4, &db4, &ExecOptions::new().cost_tiebreak(false))
         .unwrap();
     assert_eq!(r4.algorithm_used, Algorithm::Sma);
     assert!(r4.sm_proof().is_some());
@@ -114,7 +117,7 @@ fn auto_falls_back_to_sma_then_csma() {
     let mut rng = StdRng::seed_from_u64(11);
     let db9 = fdjoin::instances::random_instance(&q9, &mut rng, 8, 85);
     let r9 = Engine::new()
-        .execute(&q9, &db9, &ExecOptions::new())
+        .execute(&q9, &db9, &ExecOptions::new().cost_tiebreak(false))
         .unwrap();
     assert_eq!(r9.algorithm_used, Algorithm::Csma);
     assert!(r9.csm_sequence().is_some());
@@ -147,14 +150,24 @@ fn auto_decision_records_reason_and_bounds() {
     assert_eq!(d1.reason, AutoReason::ChainMatchesLlpOptimum);
     assert_eq!(d1.chain_log_bound, d1.llp_log_bound.clone());
 
-    // Fig 4: chain bound strictly above the LLP optimum, good proof ⇒ SMA.
+    // Fig 4: chain bound strictly above the LLP optimum, good proof ⇒ SMA
+    // (tie-break disabled: the decision documents the worst-case rules;
+    // with it enabled, the measured estimates join the record — see
+    // tests/cost_model.rs).
     let q4 = examples::fig4_query();
     let mut rng = StdRng::seed_from_u64(11);
     let db4 = fdjoin::instances::random_instance(&q4, &mut rng, 10, 85);
-    let r4 = engine.execute(&q4, &db4, &ExecOptions::new()).unwrap();
+    let r4 = engine
+        .execute(&q4, &db4, &ExecOptions::new().cost_tiebreak(false))
+        .unwrap();
     let d4 = r4.auto.unwrap();
     assert_eq!(d4.algorithm, Algorithm::Sma);
     assert_eq!(d4.reason, AutoReason::GoodSmProof);
+    assert_eq!(
+        (&d4.estimate_log_avg, &d4.estimate_log_max),
+        (&None, &None),
+        "tie-break disabled: no estimates were consulted or recorded"
+    );
     let (cb, llp) = (d4.chain_log_bound.unwrap(), d4.llp_log_bound.unwrap());
     assert!(cb > llp, "SMA chosen because the chain bound is not tight");
     assert_eq!(Some(llp), r4.predicted_log_bound);
@@ -163,7 +176,9 @@ fn auto_decision_records_reason_and_bounds() {
     let q9 = examples::fig9_query();
     let mut rng = StdRng::seed_from_u64(11);
     let db9 = fdjoin::instances::random_instance(&q9, &mut rng, 8, 85);
-    let r9 = engine.execute(&q9, &db9, &ExecOptions::new()).unwrap();
+    let r9 = engine
+        .execute(&q9, &db9, &ExecOptions::new().cost_tiebreak(false))
+        .unwrap();
     let d9 = r9.auto.unwrap();
     assert_eq!(d9.algorithm, Algorithm::Csma);
     assert_eq!(d9.reason, AutoReason::CsmaFallback);
@@ -190,34 +205,56 @@ fn auto_decision_covers_every_rule_with_bounds_crate_values() {
     let db4 = fdjoin::instances::random_instance(&examples::fig4_query(), &mut rng, 10, 85);
     let mut rng = StdRng::seed_from_u64(11);
     let db9 = fdjoin::instances::random_instance(&examples::fig9_query(), &mut rng, 8, 85);
-    let cases: [(Query, fdjoin::storage::Database, AutoReason, Algorithm); 4] = [
+    // The worst-case rules run with the data-dependent tie-break disabled
+    // (their outcome must be a function of the bounds alone); the
+    // EstimatedTightChain case re-runs Fig. 4 with it enabled — the same
+    // database that SMA serves under worst-case rules is low-skew enough
+    // that the measured estimate licenses the chain algorithm.
+    let cases: [(
+        Query,
+        fdjoin::storage::Database,
+        ExecOptions,
+        AutoReason,
+        Algorithm,
+    ); 5] = [
         (
             examples::triangle(),
             triangle_db(),
+            ExecOptions::new().cost_tiebreak(false),
             AutoReason::DistributiveTightChain,
             Algorithm::Chain,
         ),
         (
             examples::fig1_udf(),
             fig1_db(),
+            ExecOptions::new().cost_tiebreak(false),
             AutoReason::ChainMatchesLlpOptimum,
             Algorithm::Chain,
         ),
         (
             examples::fig4_query(),
-            db4,
+            db4.clone(),
+            ExecOptions::new().cost_tiebreak(false),
             AutoReason::GoodSmProof,
             Algorithm::Sma,
         ),
         (
+            examples::fig4_query(),
+            db4,
+            ExecOptions::new(),
+            AutoReason::EstimatedTightChain,
+            Algorithm::Chain,
+        ),
+        (
             examples::fig9_query(),
             db9,
+            ExecOptions::new().cost_tiebreak(false),
             AutoReason::CsmaFallback,
             Algorithm::Csma,
         ),
     ];
-    for (q, db, reason, algorithm) in cases {
-        let r = engine.execute(&q, &db, &ExecOptions::new()).unwrap();
+    for (q, db, opts, reason, algorithm) in cases {
+        let r = engine.execute(&q, &db, &opts).unwrap();
         let d = r.auto.expect("Auto records a decision");
         assert_eq!(d.reason, reason, "on {}", q.display_body());
         assert_eq!(d.algorithm, algorithm, "on {}", q.display_body());
@@ -255,6 +292,14 @@ fn auto_decision_covers_every_rule_with_bounds_crate_values() {
             // Only the distributive shortcut skips the LLP solve.
             assert_eq!(d.reason, AutoReason::DistributiveTightChain);
         }
+        if d.reason == AutoReason::EstimatedTightChain {
+            // The tie-break fired: both measured estimates are on record,
+            // and the pessimistic one sits within the LLP optimum — the
+            // very condition that licensed the chain.
+            let est_max = d.estimate_log_max.as_ref().expect("estimate recorded");
+            assert!(d.estimate_log_avg.is_some());
+            assert!(est_max <= d.llp_log_bound.as_ref().unwrap());
+        }
     }
 
     // The two option-pinned rules.
@@ -285,6 +330,7 @@ fn auto_decision_covers_every_rule_with_bounds_crate_values() {
         AutoReason::ChainOverridePinsChain,
         AutoReason::DistributiveTightChain,
         AutoReason::ChainMatchesLlpOptimum,
+        AutoReason::EstimatedTightChain,
         AutoReason::GoodSmProof,
         AutoReason::CsmaFallback,
     ]
