@@ -1,0 +1,148 @@
+//! Probe-throughput ablation: the shared access-path layer (cached
+//! `TrieIndex` + zero-allocation `Probe`) against the seed-era pattern
+//! (per-solve `Relation::project` copies + from-scratch `prefix_range`
+//! binary searches keyed by freshly allocated `Vec<Value>`s).
+//!
+//! Two levels:
+//!
+//! - `storage/*` — the primitive itself: answer a fixed workload of prefix
+//!   lookups against one relation, (a) re-projecting per batch and
+//!   allocating every key the way the algorithms used to, vs. (b) probing
+//!   a pre-built trie index with values taken straight from the workload
+//!   buffer, vs. (c) leapfrog-seeking a sorted workload.
+//! - `engine/*` — the end-to-end effect: executing a prepared query
+//!   repeatedly with the index cache warm, vs. paying the seed-style
+//!   from-scratch access-path cost on every execution (fresh
+//!   `PreparedQuery`, plans pre-warmed separately so the delta is access
+//!   paths, not planning).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdjoin_core::{Algorithm, Engine, ExecOptions};
+use fdjoin_instances::bounded_degree_triangle;
+use fdjoin_query::examples;
+use fdjoin_storage::{Relation, TrieIndex, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn workload(n: usize, keys: usize) -> (Relation, Vec<[Value; 2]>) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut rel = Relation::from_rows(
+        vec![0, 1, 2],
+        (0..n).map(|_| {
+            [
+                rng.gen_range(0..n as u64 / 8),
+                rng.gen_range(0..64u64),
+                rng.gen_range(0..n as u64),
+            ]
+        }),
+    );
+    rel.sort_dedup();
+    let keys: Vec<[Value; 2]> = (0..keys)
+        .map(|_| [rng.gen_range(0..n as u64 / 8), rng.gen_range(0..64u64)])
+        .collect();
+    (rel, keys)
+}
+
+fn bench_storage_probes(c: &mut Criterion) {
+    let n = 1 << 14;
+    let (rel, keys) = workload(n, 4096);
+    let order = [1u32, 0];
+
+    let mut g = c.benchmark_group("probe_ablation");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    // (a) Seed-style: project per batch, allocate a key per probe, binary
+    // search the whole projection from scratch.
+    g.bench_with_input(
+        BenchmarkId::new("storage/seed_projection", n),
+        &rel,
+        |b, rel| {
+            b.iter(|| {
+                let proj = rel.project(&order);
+                let mut hits = 0usize;
+                for k in &keys {
+                    let key: Vec<Value> = vec![k[1], k[0]]; // order [1,0]
+                    hits += proj.prefix_range(&key).len();
+                }
+                hits
+            })
+        },
+    );
+
+    // (b) Access-path style: the trie is built once (cache hit in steady
+    // state); probes descend with zero allocation.
+    let ix = TrieIndex::build(&rel, &order);
+    g.bench_with_input(
+        BenchmarkId::new("storage/indexed_probe", n),
+        &ix,
+        |b, ix| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for k in &keys {
+                    let mut p = ix.probe();
+                    if p.descend(k[1]) && p.descend(k[0]) {
+                        hits += p.len();
+                    }
+                }
+                hits
+            })
+        },
+    );
+
+    // (c) Leapfrog over a sorted workload: forward-only galloping seeks.
+    let mut sorted_keys = keys.clone();
+    sorted_keys.sort_unstable_by_key(|k| k[1]);
+    g.bench_with_input(
+        BenchmarkId::new("storage/indexed_seek_sorted", n),
+        &ix,
+        |b, ix| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                let mut p = ix.probe();
+                for k in &sorted_keys {
+                    if p.seek(k[1]) == Some(k[1]) {
+                        let mut child = p.enter();
+                        if child.descend(k[0]) {
+                            hits += child.len();
+                        }
+                    }
+                }
+                hits
+            })
+        },
+    );
+    g.finish();
+}
+
+fn bench_engine_reuse(c: &mut Criterion) {
+    let q = examples::triangle();
+    let n = 512u64;
+    let db = bounded_degree_triangle(n, 16);
+    let opts = ExecOptions::new().algorithm(Algorithm::GenericJoin);
+
+    let mut g = c.benchmark_group("probe_ablation");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    // Warm prepared query: every execution after the first reuses the atom
+    // tries (index_builds = 0 in steady state).
+    let warm = Engine::new().prepare(&q);
+    warm.execute(&db, &opts).unwrap();
+    g.bench_with_input(BenchmarkId::new("engine/warm_indexes", n), &db, |b, db| {
+        b.iter(|| warm.execute(db, &opts).unwrap().output.len())
+    });
+
+    // Seed-style: a fresh PreparedQuery per execution rebuilds every
+    // access path from scratch (plan search is cheap for the triangle, so
+    // the delta is dominated by projection/index work).
+    g.bench_with_input(BenchmarkId::new("engine/cold_indexes", n), &db, |b, db| {
+        b.iter(|| {
+            let p = Engine::new().prepare(&q);
+            p.execute(db, &opts).unwrap().output.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_storage_probes, bench_engine_reuse);
+criterion_main!(benches);

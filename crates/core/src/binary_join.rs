@@ -1,22 +1,25 @@
-//! Traditional left-deep binary hash-join plans — the "query plan" baseline
+//! Traditional left-deep binary join plans — the "query plan" baseline
 //! whose intermediate results blow up to `Ω(N²)` on the paper's motivating
-//! instances (Sec. 1.1).
+//! instances (Sec. 1.1). Build sides are cached trie indexes (shared
+//! columns first) from the access-path layer, probed with zero per-tuple
+//! key allocation.
 
-use crate::{Expander, Stats};
+use crate::{AccessPaths, Expander, Stats};
 use fdjoin_lattice::VarSet;
 use fdjoin_query::Query;
-use fdjoin_storage::{Database, HashIndex, MissingRelation, Relation, Value};
+use fdjoin_storage::{Database, MissingRelation, Relation, Value};
 
-/// Evaluate `q` with pairwise hash joins in the given atom order (default:
+/// Evaluate `q` with pairwise joins in the given atom order (default:
 /// body order), then expansion + FD verification. Output columns are all
 /// query variables in ascending id.
 pub(crate) fn execute(
     q: &Query,
     db: &Database,
     atom_order: Option<&[usize]>,
+    paths: &AccessPaths<'_>,
 ) -> Result<(Relation, Stats), MissingRelation> {
     let mut stats = Stats::default();
-    let ex = Expander::new(q, db)?;
+    let ex = Expander::new(q, db, paths, &mut stats)?;
     let default_order: Vec<usize> = (0..q.atoms().len()).collect();
     let order: &[usize] = atom_order.unwrap_or(&default_order);
 
@@ -24,7 +27,9 @@ pub(crate) fn execute(
     let mut acc = match order.first() {
         Some(&first) => {
             let atom = &q.atoms()[first];
-            db.relation(&atom.name)?.project(&atom.vars)
+            paths
+                .base(&atom.name, db.relation(&atom.name)?, &atom.vars, &mut stats)
+                .to_relation()
         }
         None => Relation::nullary_unit(),
     };
@@ -43,24 +48,26 @@ pub(crate) fn execute(
             .copied()
             .filter(|&v| acc.col_of(v).is_none())
             .collect();
-        let index = HashIndex::build(rel, &shared);
+        // Build side: the atom's relation indexed shared-columns-first,
+        // served from (and cached in) the access-path layer.
+        let build_order: Vec<u32> = shared.iter().chain(&fresh).copied().collect();
+        let index = paths.base(&atom.name, rel, &build_order, &mut stats);
         let mut out_vars: Vec<u32> = acc.vars().to_vec();
         out_vars.extend(&fresh);
         let mut next = Relation::new(out_vars);
         let acc_shared_cols: Vec<usize> = shared.iter().map(|&v| acc.col_of(v).unwrap()).collect();
-        let rel_fresh_cols: Vec<usize> = fresh.iter().map(|&v| rel.col_of(v).unwrap()).collect();
-        let mut key = vec![0 as Value; shared.len()];
         let mut buf: Vec<Value> = Vec::new();
         for row in acc.rows() {
-            for (slot, &c) in key.iter_mut().zip(&acc_shared_cols) {
-                *slot = row[c];
-            }
             stats.probes += 1;
-            for &ri in index.get(&key) {
-                let rrow = rel.row(ri as usize);
+            let mut probe = index.probe();
+            if !acc_shared_cols.iter().all(|&c| probe.descend(row[c])) {
+                continue;
+            }
+            for ri in probe.range() {
+                let ext = index.row(ri);
                 buf.clear();
                 buf.extend_from_slice(row);
-                buf.extend(rel_fresh_cols.iter().map(|&c| rrow[c]));
+                buf.extend_from_slice(&ext[shared.len()..]);
                 next.push_row(&buf);
                 stats.intermediate_tuples += 1;
             }

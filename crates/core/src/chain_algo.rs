@@ -11,12 +11,13 @@
 //! Planning (chain search) lives in the [`crate::engine`]; this module is
 //! the execution kernel, entered with a pre-computed [`ChainBound`].
 
-use crate::{Expander, Stats};
+use crate::{AccessPaths, Expander, Stats};
 use fdjoin_bigint::Rational;
 use fdjoin_bounds::chain::ChainBound;
 use fdjoin_lattice::VarSet;
 use fdjoin_query::{LatticePresentation, Query};
-use fdjoin_storage::{Database, MissingRelation, Relation, Value};
+use fdjoin_storage::{Database, MissingRelation, Relation, TrieIndex, Value};
+use std::sync::Arc;
 
 /// `log₂ |R_j|` (dyadic upper approximation) for each atom.
 pub fn atom_log_sizes(q: &Query, db: &Database) -> Result<Vec<Rational>, MissingRelation> {
@@ -39,12 +40,13 @@ pub(crate) fn execute(
     pres: &LatticePresentation,
     bound: &ChainBound,
     use_argmin: bool,
+    paths: &AccessPaths<'_>,
 ) -> Result<(Relation, Stats), MissingRelation> {
     let lat = &pres.lattice;
     let chain = &bound.chain;
     let k = chain.steps();
     let mut stats = Stats::default();
-    let ex = Expander::new(q, db)?;
+    let ex = Expander::new(q, db, paths, &mut stats)?;
 
     // Level at which each variable enters the chain.
     let level_sets: Vec<VarSet> = chain
@@ -69,10 +71,12 @@ pub(crate) fn execute(
         expanded.push(ex.expand_relation(db.relation(&a.name)?, &mut stats));
     }
 
-    // Pre-materialize Π_{R_j ∧ C_i}(R_j⁺) for every covering (i, j), indexed
-    // in chain-level column order so Q_{i-1}'s shared part is a prefix.
-    // proj[i][j] = Some((projection, prefix_len onto R_j ∧ C_{i-1})).
-    let mut proj: Vec<Vec<Option<(Relation, usize)>>> = vec![vec![]; k + 1];
+    // Acquire the trie index of Π_{R_j ∧ C_i}(R_j⁺) for every covering
+    // (i, j) from the access-path cache, in chain-level column order so
+    // Q_{i-1}'s shared part is a prefix.
+    // proj[i][j] = Some((index, prefix_len onto R_j ∧ C_{i-1})).
+    type Proj = Option<(Arc<TrieIndex>, usize)>;
+    let mut proj: Vec<Vec<Proj>> = vec![vec![]; k + 1];
     for (i, slot) in proj.iter_mut().enumerate().skip(1) {
         *slot = (0..q.atoms().len())
             .map(|j| {
@@ -84,7 +88,11 @@ pub(crate) fn execute(
                 }
                 let vars = col_order(lat.set_of(mij).unwrap());
                 let prefix_len = lat.set_of(mij_prev).unwrap().len() as usize;
-                Some((expanded[j].project(&vars), prefix_len))
+                let name = &q.atoms()[j].name;
+                Some((
+                    paths.expanded(j, name, &expanded[j], &vars, &mut stats),
+                    prefix_len,
+                ))
             })
             .collect();
     }
@@ -117,18 +125,19 @@ pub(crate) fn execute(
             })
             .collect();
 
-        let mut key: Vec<Value> = Vec::new();
         let mut buf = vec![0 as Value; out_vars.len()];
         for t in q_prev.rows() {
             // j* = argmin_j |t ⋈ Π_{R_j ∧ C_i}(R_j)| — per-tuple choice
             // (or, for the A1 ablation, just the first covering atom).
+            // Each lookup descends the projection trie through the shared
+            // prefix values straight out of `t` (no key vector).
             let mut best: Option<(usize, std::ops::Range<usize>)> = None;
             for (ci, &j) in covering.iter().enumerate() {
                 let (p, _) = proj[i][j].as_ref().unwrap();
-                key.clear();
-                key.extend(prev_positions[ci].iter().map(|&c| t[c]));
                 stats.probes += 1;
-                let range = p.prefix_range(&key);
+                let mut probe = p.probe();
+                let hit = prev_positions[ci].iter().all(|&c| probe.descend(t[c]));
+                let range = if hit { probe.range() } else { 0..0 };
                 if best.as_ref().is_none_or(|(_, r)| range.len() < r.len()) {
                     best = Some((ci, range));
                 }
@@ -173,16 +182,16 @@ pub(crate) fn execute(
                     continue;
                 }
                 // Verify against every other covering relation: the
-                // projection onto R_j ∧ C_i must be present.
+                // projection onto R_j ∧ C_i must contain the candidate
+                // (one trie membership descent per relation).
                 for &j in &covering {
                     if j == j_star {
                         continue;
                     }
                     let (p, _) = proj[i][j].as_ref().unwrap();
-                    key.clear();
-                    key.extend(p.vars().iter().map(|&v| vals[v as usize]));
                     stats.probes += 1;
-                    if p.prefix_range(&key).is_empty() {
+                    let mut probe = p.probe();
+                    if !p.vars().iter().all(|&v| probe.descend(vals[v as usize])) {
                         continue 'ext;
                     }
                 }
@@ -197,9 +206,10 @@ pub(crate) fn execute(
         q_prev = q_i;
     }
 
-    // Final answer: reorder columns to ascending variable id.
+    // Final answer: reorder columns to ascending variable id (a one-shot
+    // trie build over the last Q_i, not a cached access path).
     let all: Vec<u32> = (0..nv as u32).collect();
-    let output = q_prev.project(&all);
+    let output = TrieIndex::build(&q_prev, &all).to_relation();
     stats.output_tuples += output.len() as u64;
     Ok((output, stats))
 }

@@ -18,14 +18,15 @@
 //! CLLP budget governs its *running time*).
 
 use crate::engine::{JoinError, UserDegreeBound};
-use crate::{Expander, Stats};
+use crate::{AccessPaths, Expander, Stats};
 use fdjoin_bigint::Rational;
 use fdjoin_bounds::cllp::{solve_cllp, DegreePair};
 use fdjoin_bounds::csm::{csm_sequence, CsmRule, CsmSequence};
 use fdjoin_lattice::{ElemId, VarSet};
 use fdjoin_query::{LatticePresentation, Query};
-use fdjoin_storage::{Database, MissingRelation, Relation, Value};
+use fdjoin_storage::{Database, MissingRelation, Relation, TrieIndex, Value};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// How to rebuild one degree pair's guard relation from the expanded
 /// inputs: the source atom and an optional column re-ordering (conditioning
@@ -111,6 +112,7 @@ pub(crate) fn plan(
 /// Execute a pre-computed [`CsmaPlan`]. `expanded[j]` must be atom `j`'s
 /// expanded relation (the sizes the plan was built for); `stats` carries the
 /// expansion counters already accumulated while producing them.
+#[allow(clippy::too_many_arguments)] // mirror of the engine's Csma arm
 pub(crate) fn execute(
     q: &Query,
     db: &Database,
@@ -119,16 +121,22 @@ pub(crate) fn execute(
     expanded: &[Relation],
     ex: &Expander<'_>,
     mut stats: Stats,
+    paths: &AccessPaths<'_>,
 ) -> Result<(Relation, Stats), MissingRelation> {
     let lat = &pres.lattice;
 
-    // Materialize guard relations from their specs.
-    let guard_rels: Vec<Relation> = csma
+    // Guard tries from their specs, served by the access-path cache
+    // (conditioning attributes first — the orders the probes below need).
+    let guard_rels: Vec<Arc<TrieIndex>> = csma
         .guards
         .iter()
-        .map(|g| match &g.order {
-            None => expanded[g.atom].clone(),
-            Some(order) => expanded[g.atom].project(order),
+        .map(|g| {
+            let name = &q.atoms()[g.atom].name;
+            let order: Vec<u32> = match &g.order {
+                None => expanded[g.atom].vars().to_vec(),
+                Some(order) => order.clone(),
+            };
+            paths.expanded(g.atom, name, &expanded[g.atom], &order, &mut stats)
         })
         .collect();
 
@@ -148,9 +156,9 @@ pub(crate) fn execute(
             }
         }
     }
-    let mut guard_map: HashMap<(ElemId, ElemId), Relation> = HashMap::new();
+    let mut guard_map: HashMap<(ElemId, ElemId), Arc<TrieIndex>> = HashMap::new();
     for (p, g) in csma.pairs.iter().zip(&guard_rels) {
-        guard_map.insert((p.lo, p.hi), g.clone());
+        guard_map.insert((p.lo, p.hi), Arc::clone(g));
     }
 
     let nv = q.n_vars();
@@ -175,12 +183,18 @@ pub(crate) fn execute(
     out.sort_dedup();
     let mut reduced = Relation::new(all);
     let full = VarSet::full(nv as u32);
+    let inputs: Vec<&Relation> = q
+        .atoms()
+        .iter()
+        .map(|a| db.relation(&a.name))
+        .collect::<Result<_, _>>()?;
     'rows: for row in out.rows() {
-        for atom in q.atoms() {
-            let rel = db.relation(&atom.name)?;
-            let key: Vec<Value> = rel.vars().iter().map(|&v| row[v as usize]).collect();
+        for rel in &inputs {
+            // Membership by descending the input's own trie shape — no
+            // per-row key vector.
             stats.probes += 1;
-            if !rel.contains_row(&key) {
+            let mut probe = rel.probe();
+            if rel.is_empty() || !rel.vars().iter().all(|&v| probe.descend(row[v as usize])) {
                 continue 'rows;
             }
         }
@@ -206,17 +220,17 @@ fn exec(
     ctx: &Ctx<'_>,
     rules: &[CsmRule],
     mut tables: HashMap<ElemId, Relation>,
-    mut guard_map: HashMap<(ElemId, ElemId), Relation>,
+    mut guard_map: HashMap<(ElemId, ElemId), Arc<TrieIndex>>,
     out: &mut Relation,
     stats: &mut Stats,
 ) {
     let lat = ctx.lat;
     let Some((rule, rest)) = rules.split_first() else {
-        // Emit T(1̂).
+        // Emit T(1̂), realigned to ascending variable order via a one-shot
+        // trie build over the branch's final table.
         if let Some(t) = tables.get(&lat.top()) {
             let all: Vec<u32> = (0..ctx.nv as u32).collect();
-            let aligned = t.project(&all);
-            for row in aligned.rows() {
+            for row in TrieIndex::build(t, &all).rows() {
                 out.push_row(row);
                 stats.intermediate_tuples += 1;
             }
@@ -232,10 +246,10 @@ fn exec(
             let x_vars: Vec<u32> = lat.set_of(x).unwrap().iter().collect();
             let mut order = x_vars.clone();
             order.extend(t.vars().iter().copied().filter(|v| !x_vars.contains(v)));
-            let sorted = t.project(&order);
+            let sorted = Arc::new(TrieIndex::build(&t, &order));
             if sorted.is_empty() {
                 // Single empty branch.
-                tables.insert(y, sorted.clone());
+                tables.insert(y, sorted.to_relation());
                 tables.insert(x, Relation::new(x_vars));
                 guard_map.insert((x, y), sorted);
                 exec(ctx, rest, tables, guard_map, out, stats);
@@ -251,52 +265,59 @@ fn exec(
             let mut keys: Vec<u32> = buckets.keys().copied().collect();
             keys.sort_unstable();
             for b in keys {
-                let mut bucket = Relation::new(sorted.vars().to_vec());
-                for g in &buckets[&b] {
-                    for r in g.clone() {
-                        bucket.push_row(sorted.row(r));
-                    }
-                }
-                bucket.sort_dedup();
+                // The bucket's groups are ascending disjoint trie ranges,
+                // so both the bucket and its guard trie materialize
+                // without re-sorting.
+                let bucket = sorted.relation_of_ranges(buckets[&b].iter().cloned());
                 stats.branches += 1;
                 let mut tables2 = tables.clone();
                 let mut guards2 = guard_map.clone();
-                tables2.insert(x, bucket.project(&x_vars));
-                guards2.insert((x, y), bucket.clone());
+                tables2.insert(x, TrieIndex::build(&bucket, &x_vars).to_relation());
+                guards2.insert((x, y), Arc::new(TrieIndex::build(&bucket, bucket.vars())));
                 tables2.insert(y, bucket);
                 exec(ctx, rest, tables2, guards2, out, stats);
             }
         }
         CsmRule::Cc { pair } => {
             let p = &ctx.pairs[pair];
-            let guard = guard_map
-                .get(&(p.lo, p.hi))
-                .cloned()
-                .unwrap_or_else(|| Relation::new(lat.set_of(p.hi).unwrap().iter().collect()));
-            let result = conditional_join(ctx, &tables, p.lo, &guard, p.hi, stats);
+            let guard = guard_map.get(&(p.lo, p.hi)).cloned().unwrap_or_else(|| {
+                let vars: Vec<u32> = lat.set_of(p.hi).unwrap().iter().collect();
+                Arc::new(TrieIndex::build(&Relation::new(vars.clone()), &vars))
+            });
+            let lo_len = lat.set_of(p.lo).unwrap().len() as usize;
+            // Guards are stored with their conditioning attributes (Λlo)
+            // first, so the pair's prefix is already the probe prefix.
+            let result = join_into(ctx, &tables, p.lo, &guard, lo_len, p.hi, stats);
             tables.insert(p.hi, result);
             exec(ctx, rest, tables, guard_map, out, stats);
         }
         CsmRule::Sm { a, b } => {
             let m = lat.meet(a, b);
-            let guard = if m == lat.bottom() {
-                tables
+            let m_vars: Vec<u32> = lat.set_of(m).unwrap().iter().collect();
+            let from_tables = || {
+                let t = tables
                     .get(&b)
                     .cloned()
-                    .unwrap_or_else(|| Relation::new(lat.set_of(b).unwrap().iter().collect()))
-            } else {
-                guard_map.get(&(m, b)).cloned().unwrap_or_else(|| {
-                    tables
-                        .get(&b)
-                        .cloned()
-                        .unwrap_or_else(|| Relation::new(lat.set_of(b).unwrap().iter().collect()))
-                })
+                    .unwrap_or_else(|| Relation::new(lat.set_of(b).unwrap().iter().collect()));
+                let mut order = m_vars.clone();
+                order.extend(t.vars().iter().copied().filter(|v| !m_vars.contains(v)));
+                Arc::new(TrieIndex::build(&t, &order))
             };
-            // Guard must be ordered with Λm first.
-            let m_vars: Vec<u32> = lat.set_of(m).unwrap().iter().collect();
-            let mut order = m_vars.clone();
-            order.extend(guard.vars().iter().copied().filter(|v| !m_vars.contains(v)));
-            let guard = guard.project(&order);
+            let guard = if m == lat.bottom() {
+                from_tables()
+            } else {
+                match guard_map.get(&(m, b)) {
+                    // Guard tries are stored conditioning-first, so a hit
+                    // already has Λm as its prefix.
+                    Some(g) if g.vars().starts_with(&m_vars) => Arc::clone(g),
+                    Some(g) => {
+                        let mut order = m_vars.clone();
+                        order.extend(g.vars().iter().copied().filter(|v| !m_vars.contains(v)));
+                        Arc::new(TrieIndex::build(&g.to_relation(), &order))
+                    }
+                    None => from_tables(),
+                }
+            };
             let join = lat.join(a, b);
             let result = join_into(ctx, &tables, a, &guard, m_vars.len(), join, stats);
             tables.insert(join, result);
@@ -305,28 +326,14 @@ fn exec(
     }
 }
 
-/// CC-join: `T(lo) ⋈ guard` (guard ordered with `Λlo` first) producing
-/// `T(hi)`.
-fn conditional_join(
-    ctx: &Ctx<'_>,
-    tables: &HashMap<ElemId, Relation>,
-    lo: ElemId,
-    guard: &Relation,
-    hi: ElemId,
-    stats: &mut Stats,
-) -> Relation {
-    let lo_len = ctx.lat.set_of(lo).unwrap().len() as usize;
-    // Guard is stored with Λlo as its first columns.
-    join_into(ctx, tables, lo, guard, lo_len, hi, stats)
-}
-
 /// Join `T(a)` with `guard` on the guard's first `prefix_len` columns,
-/// expanding each result to `Λ(target)` and verifying FDs.
+/// expanding each result to `Λ(target)` and verifying FDs. Probes descend
+/// the guard trie one `T(a)` column value at a time — no key vector.
 fn join_into(
     ctx: &Ctx<'_>,
     tables: &HashMap<ElemId, Relation>,
     a: ElemId,
-    guard: &Relation,
+    guard: &TrieIndex,
     prefix_len: usize,
     target: ElemId,
     stats: &mut Stats,
@@ -344,15 +351,15 @@ fn join_into(
         .iter()
         .map(|&v| ta.col_of(v).expect("meet variables present in T(A)"))
         .collect();
-    let mut key: Vec<Value> = Vec::new();
     let mut vals = vec![0 as Value; ctx.nv];
     let mut buf = vec![0 as Value; out_vars.len()];
     for row in ta.rows() {
-        key.clear();
-        key.extend(ta_key_cols.iter().map(|&c| row[c]));
         stats.probes += 1;
-        let range = guard.prefix_range(&key);
-        'ext: for r in range {
+        let mut probe = guard.probe();
+        if !ta_key_cols.iter().all(|&c| probe.descend(row[c])) {
+            continue;
+        }
+        'ext: for r in probe.range() {
             let ext = guard.row(r);
             for (&v, &x) in ta.vars().iter().zip(row) {
                 vals[v as usize] = x;

@@ -51,9 +51,11 @@ use fdjoin_bounds::csm::CsmSequence;
 use fdjoin_bounds::llp::{solve_llp, LlpSolution};
 use fdjoin_bounds::smproof::SmProof;
 use fdjoin_query::{LatticePresentation, Query};
-use fdjoin_storage::{Database, MissingRelation, Relation};
+use fdjoin_storage::{Database, IndexSet, MissingRelation, Relation};
 use std::fmt;
 use std::sync::Arc;
+
+use crate::AccessPaths;
 
 use crate::Stats;
 
@@ -410,15 +412,32 @@ type CsmaKey = (Vec<u64>, Vec<(usize, Vec<u32>, u64)>);
 /// An engine is cheap to create and clone. By default it is stateless;
 /// [`Engine::with_plan_cache`] attaches a shared cross-query [`PlanCache`]
 /// so that serving traffic for many isomorphic queries amortizes planning.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Engine {
     shared: Option<Arc<PlanCache>>,
+    /// The engine-wide access-path cache: every `PreparedQuery` this
+    /// engine prepares shares it, so two queries probing the same
+    /// relation version reuse each other's base trie indexes (sound
+    /// because `Relation::version` is a globally unique content snapshot;
+    /// query-dependent derived indexes are disambiguated by a per-query
+    /// token in their signatures).
+    indexes: Arc<IndexSet>,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::new()
+    }
 }
 
 impl Engine {
-    /// Create an engine with no cross-query cache.
+    /// Create an engine with no cross-query plan cache (a fresh engine
+    /// still carries its own shared access-path cache).
     pub fn new() -> Engine {
-        Engine::default()
+        Engine {
+            shared: None,
+            indexes: Arc::new(IndexSet::new()),
+        }
     }
 
     /// Create an engine whose prepared queries publish to — and rehydrate
@@ -427,12 +446,18 @@ impl Engine {
     pub fn with_plan_cache(cache: Arc<PlanCache>) -> Engine {
         Engine {
             shared: Some(cache),
+            indexes: Arc::new(IndexSet::new()),
         }
     }
 
     /// The attached cross-query plan cache, if any.
     pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
         self.shared.as_ref()
+    }
+
+    /// The engine-wide access-path cache (shared by every prepared query).
+    pub fn index_set(&self) -> &Arc<IndexSet> {
+        &self.indexes
     }
 
     /// Compute the data-independent preprocessing for `q` — the lattice
@@ -454,6 +479,9 @@ impl Engine {
             counters,
             local: LocalPlans::default(),
             shared,
+            indexes: Arc::clone(&self.indexes),
+            baseline: self.indexes.stats(),
+            token: crate::access::next_token(),
         }
     }
 
@@ -491,8 +519,11 @@ impl Engine {
 /// let after_first = prepared.prep_stats();
 /// let second = prepared.execute(&db, &ExecOptions::new()).unwrap();
 /// assert_eq!(first.output, second.output);
-/// // The second run reused every cached plan:
-/// assert_eq!(prepared.prep_stats(), after_first);
+/// // The second run reused every cached plan and every cached trie index:
+/// let window = prepared.prep_stats().since(&after_first);
+/// assert_eq!(window.solves(), 0);
+/// assert_eq!(window.index_builds, 0);
+/// assert!(window.index_hits > 0);
 /// ```
 pub struct PreparedQuery {
     query: Query,
@@ -500,6 +531,17 @@ pub struct PreparedQuery {
     counters: PrepCounters,
     local: LocalPlans,
     shared: Option<SharedHandle>,
+    /// The engine-wide access-path cache: trie indexes per `(relation
+    /// version, column order)`, shared by every execution (and batch
+    /// worker, and delta join) of every query the engine prepared.
+    indexes: Arc<IndexSet>,
+    /// Cache counters at prepare time, so this query's `PrepStats` report
+    /// only its own window of the shared cache's activity.
+    baseline: fdjoin_storage::IndexSetStats,
+    /// Unique expansion token folded into derived-index signatures, so
+    /// query-dependent expansions never alias across queries sharing the
+    /// engine-wide cache.
+    token: u64,
 }
 
 impl PreparedQuery {
@@ -513,9 +555,29 @@ impl PreparedQuery {
         &self.pres
     }
 
-    /// Counters of preparation work performed so far.
+    /// Counters of preparation work performed so far, including the
+    /// access-path layer's index build/hit/eviction counts since this
+    /// query was prepared. The index cache is engine-wide: the window
+    /// starts at prepare time so sibling queries' *earlier* traffic is
+    /// excluded, but traffic they generate concurrently afterwards still
+    /// counts (the counters are cache-wide, and shared builds genuinely
+    /// are this query's hits).
     pub fn prep_stats(&self) -> PrepStats {
-        self.counters.snapshot()
+        let mut s = self.counters.snapshot();
+        let ix = self.indexes.stats().since(&self.baseline);
+        s.index_builds = ix.builds;
+        s.index_hits = ix.hits;
+        s.index_evictions = ix.evictions;
+        s
+    }
+
+    /// The access-path cache backing this query's executions: trie indexes
+    /// keyed by `(relation name, content version, column order)`, shared
+    /// engine-wide across queries, repeated executions, `execute_batch`
+    /// workers, and delta joins. Exposed for observability (entry count,
+    /// memory, [`fdjoin_storage::IndexSetStats`]).
+    pub fn index_set(&self) -> &Arc<IndexSet> {
+        &self.indexes
     }
 
     /// The data-dependent branch estimate of this query over `db`, from the
@@ -555,6 +617,11 @@ impl PreparedQuery {
             raw_lens.push(db.relation(&a.name)?.len() as u64);
         }
         self.validate(opts)?;
+        // Bind this (query, database) pair to the shared access-path
+        // cache: every probe below goes through trie indexes keyed by
+        // relation content versions, so repeated executions (and batch
+        // workers, and delta joins) rebuild nothing that hasn't changed.
+        let paths = AccessPaths::with_token(&self.indexes, q, db, self.token)?;
 
         let (algorithm, auto) = match opts.algorithm {
             Algorithm::Auto => {
@@ -574,7 +641,8 @@ impl PreparedQuery {
                         .ok_or(JoinError::NoGoodChain)?,
                     None => self.chain_plan(&raw_lens).ok_or(JoinError::NoGoodChain)?,
                 };
-                let (output, stats) = chain_algo::execute(q, db, &self.pres, &bound, use_argmin)?;
+                let (output, stats) =
+                    chain_algo::execute(q, db, &self.pres, &bound, use_argmin, &paths)?;
                 Ok(JoinResult {
                     output,
                     stats,
@@ -586,7 +654,7 @@ impl PreparedQuery {
             }
             Algorithm::Sma => {
                 let plan = self.sma_plan(&raw_lens)?;
-                let (output, stats) = sma::execute(q, db, &self.pres, &plan)?;
+                let (output, stats) = sma::execute(q, db, &self.pres, &plan, &paths)?;
                 Ok(JoinResult {
                     output,
                     stats,
@@ -598,7 +666,7 @@ impl PreparedQuery {
             }
             Algorithm::Csma => {
                 let mut stats = Stats::default();
-                let ex = crate::Expander::new(q, db)?;
+                let ex = crate::Expander::new(q, db, &paths, &mut stats)?;
                 let mut expanded: Vec<Relation> = Vec::with_capacity(q.atoms().len());
                 for a in q.atoms() {
                     expanded.push(ex.expand_relation(db.relation(&a.name)?, &mut stats));
@@ -606,7 +674,7 @@ impl PreparedQuery {
                 let expanded_lens: Vec<u64> = expanded.iter().map(|r| r.len() as u64).collect();
                 let plan = self.csma_plan(&expanded_lens, &opts.degree_bounds)?;
                 let (output, stats) =
-                    csma::execute(q, db, &self.pres, &plan, &expanded, &ex, stats)?;
+                    csma::execute(q, db, &self.pres, &plan, &expanded, &ex, stats, &paths)?;
                 Ok(JoinResult {
                     output,
                     stats,
@@ -621,7 +689,7 @@ impl PreparedQuery {
                     bind_fds: opts.bind_fds,
                     var_order: opts.var_order.clone(),
                 };
-                let (output, stats) = crate::generic_join::execute(q, db, &cfg)?;
+                let (output, stats) = crate::generic_join::execute(q, db, &cfg, &paths)?;
                 Ok(JoinResult {
                     output,
                     stats,
@@ -633,7 +701,7 @@ impl PreparedQuery {
             }
             Algorithm::BinaryJoin => {
                 let (output, stats) =
-                    crate::binary_join::execute(q, db, opts.atom_order.as_deref())?;
+                    crate::binary_join::execute(q, db, opts.atom_order.as_deref(), &paths)?;
                 Ok(JoinResult {
                     output,
                     stats,
@@ -644,7 +712,7 @@ impl PreparedQuery {
                 })
             }
             Algorithm::Naive => {
-                let (output, stats) = naive::execute(q, db)?;
+                let (output, stats) = naive::execute(q, db, &paths)?;
                 Ok(JoinResult {
                     output,
                     stats,

@@ -37,6 +37,14 @@ pub struct PrepStats {
     /// Shared-cache lookups that missed (the plan was then solved locally
     /// and published for future isomorphic queries).
     pub shared_misses: u64,
+    /// Trie indexes built by this query's access-path layer
+    /// (`fdjoin_storage::IndexSet`) — a warmed query stops growing this.
+    pub index_builds: u64,
+    /// Access-path lookups served from an already-built trie index.
+    pub index_hits: u64,
+    /// Stale trie indexes evicted after a relation's content version moved
+    /// on (e.g. an applied delta).
+    pub index_evictions: u64,
 }
 
 impl PrepStats {
@@ -69,6 +77,9 @@ impl PrepStats {
             cllp_solves: self.cllp_solves.saturating_sub(earlier.cllp_solves),
             shared_hits: self.shared_hits.saturating_sub(earlier.shared_hits),
             shared_misses: self.shared_misses.saturating_sub(earlier.shared_misses),
+            index_builds: self.index_builds.saturating_sub(earlier.index_builds),
+            index_hits: self.index_hits.saturating_sub(earlier.index_hits),
+            index_evictions: self.index_evictions.saturating_sub(earlier.index_evictions),
         }
     }
 }
@@ -103,6 +114,11 @@ impl PrepCounters {
             cllp_solves: ld(&self.cllp_solves),
             shared_hits: ld(&self.shared_hits),
             shared_misses: ld(&self.shared_misses),
+            // Access-path counters live in the `IndexSet`, not here;
+            // `PreparedQuery::prep_stats` fills them from its cache.
+            index_builds: 0,
+            index_hits: 0,
+            index_evictions: 0,
         }
     }
 }

@@ -2,29 +2,42 @@
 //!
 //! Given a relation over attributes `X`, expansion fills in the attributes
 //! of the closure `X⁺` by repeatedly applying FDs `U → v`: a guarded FD
-//! looks the value up in (a projection of) its guard relation; an unguarded
-//! FD calls its UDF. Tuples whose guarded lookups find no match are dangling
+//! looks the value up in a trie index of its guard relation (order
+//! `U`-then-`v`, served by the shared access-path cache); an unguarded FD
+//! calls its UDF. Tuples whose guarded lookups find no match are dangling
 //! and dropped; tuples whose computed value contradicts an already-bound
 //! attribute are inconsistent and dropped.
+//!
+//! The hot loops here ([`Expander::step`], [`Expander::verify_fds`]) are
+//! allocation-free: guard lookups descend the trie one bound value at a
+//! time straight out of the tuple buffer (no key vector), and UDF argument
+//! lists live in a stack buffer.
 
-use crate::Stats;
+use crate::{AccessPaths, Stats};
 use fdjoin_lattice::VarSet;
 use fdjoin_query::Query;
-use fdjoin_storage::{Database, MissingRelation, Relation, Value};
+use fdjoin_storage::{Database, MissingRelation, Relation, TrieIndex, Value};
+use std::sync::Arc;
 
 /// Precomputed expansion machinery for a query + database.
 pub struct Expander<'a> {
     query: &'a Query,
     db: &'a Database,
-    /// For each guarded FD: `(lhs, one rhs var, projection of the guard onto
-    /// lhs ∪ {var} in lhs-then-var column order)`.
-    guards: Vec<(VarSet, u32, Relation)>,
+    /// For each guarded FD: `(lhs, one rhs var, trie index of the guard on
+    /// lhs-then-var column order)`.
+    guards: Vec<(VarSet, u32, Arc<TrieIndex>)>,
 }
 
 impl<'a> Expander<'a> {
-    /// Build the expander, materializing guard projections. Fails if a
-    /// guard atom's relation is absent from the database.
-    pub fn new(query: &'a Query, db: &'a Database) -> Result<Expander<'a>, MissingRelation> {
+    /// Build the expander, acquiring guard indexes from the access-path
+    /// cache (each is built at most once per guard-relation version).
+    /// Fails if a guard atom's relation is absent from the database.
+    pub fn new(
+        query: &'a Query,
+        db: &'a Database,
+        paths: &AccessPaths<'_>,
+        stats: &mut Stats,
+    ) -> Result<Expander<'a>, MissingRelation> {
         let mut guards = Vec::new();
         for fd in query.fds.fds() {
             if let Some(j) = query.guard_of(fd) {
@@ -33,7 +46,7 @@ impl<'a> Expander<'a> {
                 for v in fd.rhs.minus(fd.lhs).iter() {
                     let mut cols: Vec<u32> = fd.lhs.iter().collect();
                     cols.push(v);
-                    guards.push((fd.lhs, v, rel.project(&cols)));
+                    guards.push((fd.lhs, v, paths.base(&atom.name, rel, &cols, stats)));
                 }
             }
         }
@@ -51,7 +64,7 @@ impl<'a> Expander<'a> {
         stats: &mut Stats,
     ) -> Result<bool, ()> {
         // Guarded FDs first (cheap index lookups).
-        for (lhs, v, proj) in &self.guards {
+        for (lhs, v, ix) in &self.guards {
             if !lhs.is_subset(*bound) {
                 continue;
             }
@@ -59,14 +72,14 @@ impl<'a> Expander<'a> {
             if already && !target.contains(*v) {
                 continue;
             }
-            // Look up the unique extension.
-            let key: Vec<Value> = lhs.iter().map(|u| vals[u as usize]).collect();
+            // Look up the unique extension: descend the guard trie through
+            // the bound lhs values (no key materialization).
             stats.probes += 1;
-            let range = proj.prefix_range(&key);
-            if range.is_empty() {
+            let mut probe = ix.probe();
+            if !lhs.iter().all(|u| probe.descend(vals[u as usize])) || probe.is_empty() {
                 return Err(()); // dangling
             }
-            let found = proj.row(range.start)[key.len()];
+            let found = ix.row(probe.range().start)[probe.depth()];
             if already {
                 if vals[*v as usize] != found {
                     return Err(()); // violates the FD
@@ -88,9 +101,8 @@ impl<'a> Expander<'a> {
                     continue;
                 }
                 if let Some((args, f)) = self.db.udfs.find_applicable(*bound, v) {
-                    let argv: Vec<Value> = args.iter().map(|u| vals[u as usize]).collect();
                     stats.expansions += 1;
-                    vals[v as usize] = f(&argv);
+                    vals[v as usize] = call_udf(f, args, vals);
                     *bound = bound.insert(v);
                     return Ok(true);
                 }
@@ -128,12 +140,14 @@ impl<'a> Expander<'a> {
     /// must match; UDFs must reproduce the bound value). Used as the final
     /// soundness filter.
     pub fn verify_fds(&self, bound: VarSet, vals: &[Value], stats: &mut Stats) -> bool {
-        for (lhs, v, proj) in &self.guards {
+        for (lhs, v, ix) in &self.guards {
             if lhs.is_subset(bound) && bound.contains(*v) {
-                let key: Vec<Value> = lhs.iter().map(|u| vals[u as usize]).collect();
                 stats.probes += 1;
-                let range = proj.prefix_range(&key);
-                if range.is_empty() || proj.row(range.start)[key.len()] != vals[*v as usize] {
+                let mut probe = ix.probe();
+                if !lhs.iter().all(|u| probe.descend(vals[u as usize]))
+                    || probe.is_empty()
+                    || ix.row(probe.range().start)[probe.depth()] != vals[*v as usize]
+                {
                     return false;
                 }
             }
@@ -147,9 +161,8 @@ impl<'a> Expander<'a> {
                     continue;
                 }
                 if let Some((args, f)) = self.db.udfs.find_applicable(fd.lhs, v) {
-                    let argv: Vec<Value> = args.iter().map(|u| vals[u as usize]).collect();
                     stats.expansions += 1;
-                    if f(&argv) != vals[v as usize] {
+                    if call_udf(f, args, vals) != vals[v as usize] {
                         return false;
                     }
                 }
@@ -188,11 +201,25 @@ impl<'a> Expander<'a> {
     }
 }
 
+/// Apply a UDF to arguments gathered from `vals` into a stack buffer —
+/// variable ids are bounded by `VarSet`'s 64-bit width, so no heap
+/// allocation is ever needed per application.
+#[inline]
+fn call_udf(f: &fdjoin_storage::UdfFn, args: VarSet, vals: &[Value]) -> Value {
+    let mut argbuf = [0 as Value; 64];
+    let mut n = 0usize;
+    for u in args.iter() {
+        argbuf[n] = vals[u as usize];
+        n += 1;
+    }
+    f(&argbuf[..n])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use fdjoin_query::Query;
-    use fdjoin_storage::Database;
+    use fdjoin_storage::{Database, IndexSet};
 
     /// R(x,y), S(y,z), T(z,u) with xz→u (UDF), yu→x (UDF).
     fn fig1_db() -> (Query, Database) {
@@ -208,11 +235,22 @@ mod tests {
         (q, db)
     }
 
+    fn expander<'a>(
+        q: &'a Query,
+        db: &'a Database,
+        set: &IndexSet,
+        stats: &mut Stats,
+    ) -> Expander<'a> {
+        let paths = AccessPaths::new(set, q, db).unwrap();
+        Expander::new(q, db, &paths, stats).unwrap()
+    }
+
     #[test]
     fn expand_via_udf() {
         let (q, db) = fig1_db();
-        let ex = Expander::new(&q, &db).unwrap();
+        let set = IndexSet::new();
         let mut stats = Stats::default();
+        let ex = expander(&q, &db, &set, &mut stats);
         // Tuple over {x,z}: closure adds u (= x), then... {x,z,u}+ = xzu.
         let rel = Relation::from_rows(vec![0, 2], [[7, 5]]);
         let expanded = ex.expand_relation(&rel, &mut stats);
@@ -225,8 +263,9 @@ mod tests {
     #[test]
     fn expand_checks_consistency() {
         let (q, db) = fig1_db();
-        let ex = Expander::new(&q, &db).unwrap();
+        let set = IndexSet::new();
         let mut stats = Stats::default();
+        let ex = expander(&q, &db, &set, &mut stats);
         // Tuple over {x,y,z,u} where u ≠ f(x,z): verify_fds must reject.
         let bound = VarSet::from_vars([0, 1, 2, 3]);
         let good = [7, 2, 5, 7];
@@ -246,21 +285,29 @@ mod tests {
             "T",
             Relation::from_rows(vec![0, 1, 2], [[1, 10, 100], [2, 10, 200]]),
         );
-        let ex = Expander::new(&q, &db).unwrap();
+        let set = IndexSet::new();
         let mut stats = Stats::default();
+        let ex = expander(&q, &db, &set, &mut stats);
+        assert_eq!(stats.index_builds, 1, "one guard index built");
         let rel = Relation::from_rows(vec![0, 1], [[1, 10], [2, 10], [3, 10]]);
         let expanded = ex.expand_relation(&rel, &mut stats);
         // (3,10) is dangling — no z in T.
         assert_eq!(expanded.len(), 2);
         assert!(expanded.contains_row(&[1, 10, 100]));
         assert!(expanded.contains_row(&[2, 10, 200]));
+        // A second expander over the same database hits the cached index.
+        let mut stats2 = Stats::default();
+        let _ex2 = expander(&q, &db, &set, &mut stats2);
+        assert_eq!(stats2.index_builds, 0);
+        assert_eq!(stats2.index_hits, 1);
     }
 
     #[test]
     fn expansion_of_closed_set_is_identity_with_semijoin_semantics() {
         let (q, db) = fig1_db();
-        let ex = Expander::new(&q, &db).unwrap();
+        let set = IndexSet::new();
         let mut stats = Stats::default();
+        let ex = expander(&q, &db, &set, &mut stats);
         let rel = Relation::from_rows(vec![0, 1], [[1, 2], [9, 9]]);
         let expanded = ex.expand_relation(&rel, &mut stats);
         // {x,y} is closed: nothing added, nothing removed.

@@ -2,21 +2,27 @@
 //! baseline ([18, 19, 23] in the paper).
 //!
 //! Variables are bound one at a time in a fixed order; at each level the
-//! candidate values are the intersection of the matching prefix ranges of
-//! every relation containing the variable, iterating the smallest range and
-//! probing the others. Runs within the AGM bound of the FD-stripped query —
-//! and therefore `Ω(N²)` on the paper's Fig. 1 instance, which is the point
-//! of experiment E1.
+//! candidate values are the intersection of the matching ranges of every
+//! relation containing the variable. Each atom is a cached trie index
+//! (columns in the global binding order, served by the access-path layer),
+//! and the search maintains one [`Probe`] cursor per atom per depth: a
+//! parent's cursor *narrows* into its child's — intersection is leapfrog
+//! seeking inside the already-established range, never a from-scratch
+//! binary search over the whole relation, and no per-probe key is ever
+//! allocated. Runs within the AGM bound of the FD-stripped query — and
+//! therefore `Ω(N²)` on the paper's Fig. 1 instance, which is the point of
+//! experiment E1.
 //!
 //! The optional `bind_fds` flag implements the paper's footnote 1: LFTJ
 //! binds a variable by computing it the moment it is functionally determined
 //! by the bound prefix, instead of intersecting. This helps constant
 //! factors but provably not the worst-case exponent on the E1 instance.
 
-use crate::{Expander, Stats};
+use crate::{AccessPaths, Expander, Stats};
 use fdjoin_lattice::VarSet;
 use fdjoin_query::Query;
-use fdjoin_storage::{Database, MissingRelation, Relation, Value};
+use fdjoin_storage::{Database, MissingRelation, Probe, Relation, TrieIndex, Value};
+use std::sync::Arc;
 
 /// Per-run knobs, resolved by the engine from `ExecOptions`.
 #[derive(Clone, Debug, Default)]
@@ -27,11 +33,10 @@ pub(crate) struct GjConfig {
     pub var_order: Option<Vec<u32>>,
 }
 
-struct AtomState<'a> {
-    rel: Relation,
+struct AtomState {
+    idx: Arc<TrieIndex>,
     /// Variables of the atom in the global binding order.
     ordered_vars: Vec<u32>,
-    _marker: std::marker::PhantomData<&'a ()>,
 }
 
 /// Evaluate `q` on `db` with Generic-Join. Output columns are all query
@@ -40,9 +45,10 @@ pub(crate) fn execute(
     q: &Query,
     db: &Database,
     opts: &GjConfig,
+    paths: &AccessPaths<'_>,
 ) -> Result<(Relation, Stats), MissingRelation> {
     let mut stats = Stats::default();
-    let ex = Expander::new(q, db)?;
+    let ex = Expander::new(q, db, paths, &mut stats)?;
     let nv = q.n_vars();
     let order: Vec<u32> = opts
         .var_order
@@ -67,34 +73,53 @@ pub(crate) fn execute(
         r
     };
 
-    // Reorder every atom's columns by the global order so that bound
-    // variables always form a prefix.
+    // One cached trie index per atom, columns ordered by the global
+    // binding order so the bound variables always form a prefix.
     let mut atoms: Vec<AtomState> = Vec::with_capacity(q.atoms().len());
     for a in q.atoms() {
         let mut ordered: Vec<u32> = a.vars.clone();
         ordered.sort_by_key(|&v| rank[v as usize]);
         atoms.push(AtomState {
-            rel: db.relation(&a.name)?.project(&ordered),
+            idx: paths.base(&a.name, db.relation(&a.name)?, &ordered, &mut stats),
             ordered_vars: ordered,
-            _marker: std::marker::PhantomData,
         });
     }
+
+    // Atoms participating at each search depth.
+    let at_depth: Vec<Vec<usize>> = search_order
+        .iter()
+        .map(|&v| {
+            (0..atoms.len())
+                .filter(|&ai| atoms[ai].ordered_vars.contains(&v))
+                .collect()
+        })
+        .collect();
 
     let all: Vec<u32> = (0..nv as u32).collect();
     let target = VarSet::full(nv as u32);
     let mut out = Relation::new(all);
     let mut vals = vec![0 as Value; nv];
     let mut bound = VarSet::EMPTY;
-    search(
+    // Per-depth cursor snapshots: levels[d][ai] is atom ai's probe with
+    // its variables among search_order[..d] descended. Depth d+1 is always
+    // rewritten from depth d, so backtracking needs no undo.
+    let mut levels: Vec<Vec<Probe<'_>>> = (0..=search_order.len())
+        .map(|_| atoms.iter().map(|a| a.idx.probe()).collect())
+        .collect();
+    let ctx = SearchCtx {
         q,
-        &ex,
-        &atoms,
-        &search_order,
+        ex: &ex,
+        order: &search_order,
+        at_depth: &at_depth,
+        target,
+        opts,
+    };
+    search(
+        &ctx,
+        &mut levels,
         0,
         &mut bound,
         &mut vals,
-        target,
-        opts,
         &mut out,
         &mut stats,
     );
@@ -102,77 +127,80 @@ pub(crate) fn execute(
     Ok((out, stats))
 }
 
-#[allow(clippy::too_many_arguments)]
+struct SearchCtx<'c, 'a> {
+    q: &'c Query,
+    ex: &'c Expander<'c>,
+    order: &'c [u32],
+    at_depth: &'c [Vec<usize>],
+    target: VarSet,
+    opts: &'a GjConfig,
+}
+
+/// Copy depth `d`'s cursors into depth `d+1`, replacing the participating
+/// atoms' cursors with their narrowed children for `candidate`.
+fn fill_next_level(
+    levels: &mut [Vec<Probe<'_>>],
+    depth: usize,
+    participating: &[usize],
+    candidate: Value,
+    stats: &mut Stats,
+) -> bool {
+    let (cur, rest) = levels.split_at_mut(depth + 1);
+    let cur = &cur[depth];
+    let next = &mut rest[0];
+    next.copy_from_slice(cur);
+    for &ai in participating {
+        stats.probes += 1;
+        if !next[ai].descend(candidate) {
+            return false;
+        }
+    }
+    true
+}
+
 fn search(
-    q: &Query,
-    ex: &Expander<'_>,
-    atoms: &[AtomState<'_>],
-    order: &[u32],
+    ctx: &SearchCtx<'_, '_>,
+    levels: &mut Vec<Vec<Probe<'_>>>,
     depth: usize,
     bound: &mut VarSet,
     vals: &mut [Value],
-    target: VarSet,
-    opts: &GjConfig,
     out: &mut Relation,
     stats: &mut Stats,
 ) {
-    if depth == order.len() {
+    if depth == ctx.order.len() {
         // All atom variables bound; expand UDF-only variables and verify.
         let mut b = *bound;
         let mut v = vals.to_vec();
-        if ex.expand_tuple(&mut b, &mut v, target, stats) && ex.verify_fds(b, &v, stats) {
+        if ctx.ex.expand_tuple(&mut b, &mut v, ctx.target, stats) && ctx.ex.verify_fds(b, &v, stats)
+        {
             out.push_row(&v);
             stats.output_tuples += 1;
         }
         return;
     }
-    let var = order[depth];
-
-    // Relations containing `var`: compute each one's matching range given
-    // the bound prefix (their columns are ordered by the global order, so
-    // bound vars form a prefix).
-    let mut ranges: Vec<(usize, std::ops::Range<usize>, usize)> = Vec::new(); // (atom, range, col)
-    let mut key: Vec<Value> = Vec::new();
-    for (ai, a) in atoms.iter().enumerate() {
-        let Some(col) = a.ordered_vars.iter().position(|&v| v == var) else {
-            continue;
-        };
-        key.clear();
-        key.extend(a.ordered_vars[..col].iter().map(|&v| vals[v as usize]));
-        stats.probes += 1;
-        let range = a.rel.prefix_range(&key);
-        if range.is_empty() {
-            return;
-        }
-        ranges.push((ai, range, col));
-    }
-    debug_assert!(!ranges.is_empty(), "search variables occur in some atom");
+    let var = ctx.order[depth];
+    let participating = &ctx.at_depth[depth];
+    debug_assert!(
+        !participating.is_empty(),
+        "search variables occur in some atom"
+    );
 
     // Footnote-1 FD binding: if `var` is determined by the bound prefix,
-    // compute the single candidate.
-    if opts.bind_fds {
-        let closure = q.closure(*bound);
+    // compute the single candidate instead of intersecting.
+    if ctx.opts.bind_fds {
+        let closure = ctx.q.closure(*bound);
         if closure.contains(var) {
             let mut b = *bound;
             let mut v = vals.to_vec();
-            if ex.expand_tuple(&mut b, &mut v, bound.insert(var), stats) {
+            if ctx
+                .ex
+                .expand_tuple(&mut b, &mut v, bound.insert(var), stats)
+            {
                 let candidate = v[var as usize];
-                if check_candidate(atoms, &ranges, candidate, vals, stats) {
+                if fill_next_level(levels, depth, participating, candidate, stats) {
                     vals[var as usize] = candidate;
                     *bound = bound.insert(var);
-                    search(
-                        q,
-                        ex,
-                        atoms,
-                        order,
-                        depth + 1,
-                        bound,
-                        vals,
-                        target,
-                        opts,
-                        out,
-                        stats,
-                    );
+                    search(ctx, levels, depth + 1, bound, vals, out, stats);
                     *bound = bound.remove(var);
                 }
             }
@@ -180,66 +208,60 @@ fn search(
         }
     }
 
-    // Iterate the smallest range's distinct values; probe the others.
-    let (min_idx, _) = ranges
+    // Leapfrog intersection: iterate the smallest cursor's distinct values
+    // and seek the others forward inside their narrowed ranges.
+    let lead = *participating
         .iter()
-        .enumerate()
-        .min_by_key(|(_, (_, r, _))| r.end - r.start)
-        .map(|(i, _)| (i, ()))
+        .min_by_key(|&&ai| levels[depth][ai].len())
         .unwrap();
-    let (lead_atom, lead_range, lead_col) = ranges[min_idx].clone();
-    let lead = &atoms[lead_atom];
-    let mut i = lead_range.start;
-    while i < lead_range.end {
-        let candidate = lead.rel.row(i)[lead_col];
-        // Skip to the end of this candidate's group.
-        let mut j = i + 1;
-        while j < lead_range.end && lead.rel.row(j)[lead_col] == candidate {
-            j += 1;
+    while let Some(candidate) = levels[depth][lead].current() {
+        let mut ok = true;
+        // When a cursor overshoots past `candidate`, the overshot value is
+        // the next possible intersection member — the lead seeks straight
+        // to it instead of enumerating the gap value by value.
+        let mut overshoot: Option<Value> = None;
+        for &ai in participating {
+            if ai == lead {
+                continue;
+            }
+            stats.probes += 1;
+            // Forward-only seek: over the whole iteration each cursor
+            // sweeps its range at most once (galloping between stops).
+            match levels[depth][ai].seek(candidate) {
+                Some(w) if w == candidate => {}
+                other => {
+                    ok = false;
+                    overshoot = other;
+                    break;
+                }
+            }
         }
-        i = j;
-        if check_candidate(atoms, &ranges, candidate, vals, stats) {
-            vals[var as usize] = candidate;
-            *bound = bound.insert(var);
-            search(
-                q,
-                ex,
-                atoms,
-                order,
-                depth + 1,
-                bound,
-                vals,
-                target,
-                opts,
-                out,
-                stats,
-            );
-            *bound = bound.remove(var);
+        if ok {
+            // Narrow every participating cursor into the candidate's
+            // subtrie at depth+1 (the lead and seek positions are already
+            // at the candidate, so these descends are cheap).
+            let filled = fill_next_level(levels, depth, participating, candidate, stats);
+            debug_assert!(filled, "all cursors verified to contain candidate");
+            if filled {
+                vals[var as usize] = candidate;
+                *bound = bound.insert(var);
+                search(ctx, levels, depth + 1, bound, vals, out, stats);
+                *bound = bound.remove(var);
+            }
         }
-    }
-}
-
-/// Membership of `candidate` for the current variable in every
-/// participating atom's range.
-fn check_candidate(
-    atoms: &[AtomState<'_>],
-    ranges: &[(usize, std::ops::Range<usize>, usize)],
-    candidate: Value,
-    vals: &[Value],
-    stats: &mut Stats,
-) -> bool {
-    let mut key: Vec<Value> = Vec::new();
-    for (ai, _, col) in ranges {
-        let a = &atoms[*ai];
-        key.clear();
-        key.extend(a.ordered_vars[..*col].iter().map(|&v| vals[v as usize]));
-        key.push(candidate);
-        stats.probes += 1;
-        if a.rel.prefix_range(&key).is_empty() {
-            return false;
+        match (ok, overshoot) {
+            // Matched (or gap with no hint): step to the next distinct value.
+            (true, _) => {
+                levels[depth][lead].next_value();
+            }
+            // An atom ran out entirely: no further candidate can match.
+            (false, None) => break,
+            // Leapfrog: jump the lead forward to the overshot value.
+            (false, Some(w)) => {
+                levels[depth][lead].seek(w);
+            }
         }
     }
-    true
 }
 
 #[cfg(test)]
@@ -267,6 +289,7 @@ mod tests {
         let got = generic_join(&q, &db).unwrap();
         assert_eq!(got.output, expect);
         assert!(got.stats.probes > 0);
+        assert!(got.stats.index_builds > 0, "atom tries built");
     }
 
     #[test]
@@ -319,5 +342,23 @@ mod tests {
         db.insert("T", Relation::from_rows(vec![2, 0], [[3, 1]]));
         let out = generic_join(&q, &db).unwrap();
         assert!(out.output.is_empty());
+    }
+
+    #[test]
+    fn rerun_reuses_atom_tries() {
+        let q = fdjoin_query::examples::triangle();
+        let mut db = Database::new();
+        db.insert("R", Relation::from_rows(vec![0, 1], [[1, 2], [2, 3]]));
+        db.insert("S", Relation::from_rows(vec![1, 2], [[2, 3], [3, 1]]));
+        db.insert("T", Relation::from_rows(vec![2, 0], [[3, 1], [1, 2]]));
+        let prepared = Engine::new().prepare(&q);
+        let opts = ExecOptions::new().algorithm(Algorithm::GenericJoin);
+        let first = prepared.execute(&db, &opts).unwrap();
+        let second = prepared.execute(&db, &opts).unwrap();
+        assert!(first.stats.index_builds > 0);
+        assert_eq!(second.stats.index_builds, 0, "all tries cached");
+        assert_eq!(second.stats.index_hits, first.stats.index_gets());
+        assert_eq!(first.output, second.output);
+        assert_eq!(first.stats.deterministic(), second.stats.deterministic());
     }
 }

@@ -30,6 +30,13 @@
 //! verify asymptotic *shapes* without wall-clock noise. Results come back
 //! as one [`JoinResult`]; failures as one [`JoinError`].
 //!
+//! Every probe an algorithm issues goes through the shared access-path
+//! layer ([`AccessPaths`] over `fdjoin_storage::IndexSet`): trie indexes
+//! per `(relation, column order)`, built once per relation version and
+//! navigated by zero-allocation narrowing cursors
+//! (`fdjoin_storage::Probe`), with build/hit counters surfaced in
+//! [`Stats`] and [`PrepStats`].
+//!
 //! Beyond the worst-case bounds, the [`cost`] module prices plans from
 //! *measured* data: per-relation degree/skew statistics
 //! ([`fdjoin_storage::RelationStats`]) become estimated branch counts that
@@ -37,6 +44,7 @@
 //! [`AutoDecision`]) and that `fdjoin_delta` uses to pick
 //! delta-specialized plans.
 
+mod access;
 mod binary_join;
 mod chain_algo;
 pub mod cost;
@@ -48,6 +56,7 @@ mod naive;
 mod sma;
 mod stats;
 
+pub use access::AccessPaths;
 pub use chain_algo::atom_log_sizes;
 pub use engine::{
     binary_join, chain_join, chain_join_no_argmin, csma_join, generic_join, naive_join, sma_join,

@@ -3,16 +3,20 @@
 //! allocation-happy by design — it is the correctness oracle for the
 //! property tests, nothing more.
 
-use crate::{Expander, Stats};
+use crate::{AccessPaths, Expander, Stats};
 use fdjoin_lattice::VarSet;
 use fdjoin_query::Query;
 use fdjoin_storage::{Database, MissingRelation, Relation, Value};
 
 /// Evaluate `q` on `db` naively. Output columns are all query variables in
 /// ascending id order.
-pub(crate) fn execute(q: &Query, db: &Database) -> Result<(Relation, Stats), MissingRelation> {
+pub(crate) fn execute(
+    q: &Query,
+    db: &Database,
+    paths: &AccessPaths<'_>,
+) -> Result<(Relation, Stats), MissingRelation> {
     let mut stats = Stats::default();
-    let ex = Expander::new(q, db)?;
+    let ex = Expander::new(q, db, paths, &mut stats)?;
     let nv = q.n_vars();
 
     // Accumulate partial tuples as (bound set, values).

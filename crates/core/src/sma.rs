@@ -11,13 +11,13 @@
 //! `T(X ∧ Y)`. Lemma 5.24 keeps every temporary within `2^{h*(·)}`.
 
 use crate::engine::JoinError;
-use crate::{Expander, Stats};
+use crate::{AccessPaths, Expander, Stats};
 use fdjoin_bigint::Rational;
 use fdjoin_bounds::llp::LlpSolution;
 use fdjoin_bounds::smproof::{scale_weights, search_good_sm_proof, SmProof};
 use fdjoin_bounds::LatticeFn;
 use fdjoin_query::{LatticePresentation, Query};
-use fdjoin_storage::{Database, MissingRelation, Relation, Value};
+use fdjoin_storage::{Database, MissingRelation, Relation, TrieIndex, Value};
 
 /// The data-independent part of an SMA run: everything derived from the
 /// lattice presentation and the input *sizes* alone, reusable across
@@ -101,15 +101,20 @@ pub(crate) fn execute(
     db: &Database,
     pres: &LatticePresentation,
     sma: &SmaPlan,
+    paths: &AccessPaths<'_>,
 ) -> Result<(Relation, Stats), MissingRelation> {
     let lat = &pres.lattice;
     let mut stats = Stats::default();
-    let ex = Expander::new(q, db)?;
+    let ex = Expander::new(q, db, paths, &mut stats)?;
 
-    // Temporary-table pool: one entry per multiset copy.
+    // Temporary-table pool: one entry per multiset copy. Entries seeded
+    // from an atom remember it (`atom: Some(j)`), so their trie indexes
+    // come from the access-path cache; step temporaries (`atom: None`)
+    // build one-shot tries.
     struct Entry {
         elem: usize,
         rel: Relation,
+        atom: Option<usize>,
         consumed: bool,
     }
     let mut pool: Vec<Entry> = Vec::new();
@@ -119,10 +124,16 @@ pub(crate) fn execute(
             pool.push(Entry {
                 elem: pres.inputs[j],
                 rel: expanded.clone(),
+                atom: Some(j),
                 consumed: false,
             });
         }
     }
+    let atom_trie = |pool: &[Entry], i: usize, order: &[u32], stats: &mut Stats| match pool[i].atom
+    {
+        Some(j) => paths.expanded(j, &q.atoms()[j].name, &pool[i].rel, order, stats),
+        None => std::sync::Arc::new(TrieIndex::build(&pool[i].rel, order)),
+    };
 
     let h: &LatticeFn = &sma.h;
     let nv = q.n_vars();
@@ -145,7 +156,8 @@ pub(crate) fn execute(
         let z_vars: Vec<u32> = lat.set_of(z).unwrap().iter().collect();
         let join_set = lat.set_of(join).unwrap();
 
-        // Column order of T(Y): Z variables first.
+        // T(Y) as a trie with the Z variables first (cached when T(Y) is
+        // still an expanded input; one-shot for step temporaries).
         let ty = {
             let mut order = z_vars.clone();
             order.extend(
@@ -156,55 +168,62 @@ pub(crate) fn execute(
                     .copied()
                     .filter(|v| !z_vars.contains(v)),
             );
-            pool[yi].rel.project(&order)
+            atom_trie(&pool, yi, &order, &mut stats)
         };
         let theta = h.get(step.y) - h.get(z);
         let threshold = degree_threshold(&theta);
 
-        // Partition T(Y) prefixes into light and heavy.
-        let mut light = Relation::new(ty.vars().to_vec());
-        let mut heavy_keys = Relation::new(z_vars.clone());
+        // Partition T(Y) prefixes into light and heavy. The trie groups
+        // are ascending disjoint ranges, so both sides materialize without
+        // re-sorting.
+        let mut light_ranges: Vec<std::ops::Range<usize>> = Vec::new();
+        let mut heavy_rows: Vec<usize> = Vec::new();
         for g in ty.group_ranges(z_vars.len()) {
             stats.probes += 1;
             if (g.end - g.start) as u64 <= threshold {
-                for r in g {
-                    light.push_row(ty.row(r));
-                }
+                light_ranges.push(g);
             } else {
-                heavy_keys.push_row(&ty.row(g.start)[..z_vars.len()]);
+                heavy_rows.push(g.start);
             }
         }
-        light.sort_dedup();
-        heavy_keys.sort_dedup();
+        let light = ty.relation_of_ranges(light_ranges);
         stats.branches += 1;
 
-        // T(X ∧ Y) = Π_Z(T(X)) ∩ Π_Z(T(Y)) ∩ Heavy(Z).
-        let tx_proj_z = pool[xi].rel.project(&z_vars);
-        let mut t_meet = Relation::new(z_vars.clone());
-        for row in heavy_keys.rows() {
-            stats.probes += 1;
-            if tx_proj_z.contains_row(row) {
-                t_meet.push_row(row);
-                stats.intermediate_tuples += 1;
-            }
-        }
-        t_meet.sort_dedup();
+        // T(X ∧ Y) = Π_Z(T(X)) ∩ Π_Z(T(Y)) ∩ Heavy(Z): probe the heavy
+        // prefixes against T(X)'s Z-trie, no key materialization.
+        let tx_z = atom_trie(&pool, xi, &z_vars, &mut stats);
+        let t_meet = Relation::from_sorted_unique_rows(
+            z_vars.clone(),
+            heavy_rows.iter().filter_map(|&r| {
+                let prefix = &ty.row(r)[..z_vars.len()];
+                stats.probes += 1;
+                if tx_z.contains(prefix) {
+                    stats.intermediate_tuples += 1;
+                    Some(prefix)
+                } else {
+                    None
+                }
+            }),
+        );
 
-        // T(X ∨ Y) = (T(X) ⋈ (T(Y) ⋉ Lite))⁺.
+        // T(X ∨ Y) = (T(X) ⋈ (T(Y) ⋉ Lite))⁺. `light` is stored Z-first,
+        // so its own sorted data is the probe target — descend per Z value
+        // out of the T(X) row, no key buffer.
         let tx = pool[xi].rel.clone();
         let out_vars: Vec<u32> = join_set.iter().collect();
         let mut t_join = Relation::new(out_vars.clone());
         let mut buf = vec![0 as Value; out_vars.len()];
-        let mut key: Vec<Value> = Vec::new();
         let tx_z_cols: Vec<usize> = z_vars
             .iter()
             .map(|&v| tx.col_of(v).expect("Z ⊆ X"))
             .collect();
         for row in tx.rows() {
-            key.clear();
-            key.extend(tx_z_cols.iter().map(|&c| row[c]));
             stats.probes += 1;
-            let range = light.prefix_range(&key);
+            let mut probe = light.probe();
+            if !tx_z_cols.iter().all(|&c| probe.descend(row[c])) {
+                continue;
+            }
+            let range = probe.range();
             'ext: for r in range {
                 let ext = light.row(r);
                 for (&v, &x) in tx.vars().iter().zip(row) {
@@ -238,11 +257,13 @@ pub(crate) fn execute(
         pool.push(Entry {
             elem: z,
             rel: t_meet,
+            atom: None,
             consumed: false,
         });
         pool.push(Entry {
             elem: join,
             rel: t_join,
+            atom: None,
             consumed: false,
         });
     }
@@ -252,8 +273,7 @@ pub(crate) fn execute(
     let mut out = Relation::new(all.clone());
     for e in &pool {
         if e.elem == lat.top() {
-            let aligned = e.rel.project(&all);
-            for row in aligned.rows() {
+            for row in TrieIndex::build(&e.rel, &all).rows() {
                 out.push_row(row);
             }
         }
@@ -261,12 +281,18 @@ pub(crate) fn execute(
     out.sort_dedup();
     let mut reduced = Relation::new(all);
     let full = fdjoin_lattice::VarSet::full(nv as u32);
+    let inputs: Vec<&Relation> = q
+        .atoms()
+        .iter()
+        .map(|a| db.relation(&a.name))
+        .collect::<Result<_, _>>()?;
     'rows: for row in out.rows() {
-        for atom in q.atoms() {
-            let rel = db.relation(&atom.name)?;
-            let key: Vec<Value> = rel.vars().iter().map(|&v| row[v as usize]).collect();
+        for rel in &inputs {
+            // Membership by descending the input's own trie shape — no
+            // per-row key vector.
             stats.probes += 1;
-            if !rel.contains_row(&key) {
+            let mut probe = rel.probe();
+            if rel.is_empty() || !rel.vars().iter().all(|&v| probe.descend(row[v as usize])) {
                 continue 'rows;
             }
         }

@@ -18,12 +18,38 @@ pub struct Stats {
     pub expansions: u64,
     /// Execution branches spawned (CSMA buckets, SMA heavy/light splits).
     pub branches: u64,
+    /// Trie indexes built for this execution (access-path cache misses).
+    pub index_builds: u64,
+    /// Trie indexes served from the access-path cache
+    /// (`fdjoin_storage::IndexSet`) instead of being rebuilt.
+    pub index_hits: u64,
 }
 
 impl Stats {
     /// Total work measure used for exponent fitting: probes + tuples moved.
+    /// Deliberately excludes the index build/hit counters, whose split
+    /// depends on cache warmth, not on the query.
     pub fn work(&self) -> u64 {
         self.probes + self.intermediate_tuples + self.output_tuples + self.expansions
+    }
+
+    /// Total access-path index acquisitions. Unlike the build/hit split,
+    /// this sum is a pure function of (query, database, options) — the
+    /// right quantity to compare across reruns.
+    pub fn index_gets(&self) -> u64 {
+        self.index_builds + self.index_hits
+    }
+
+    /// This run's counters with the cache-warmth-dependent fields
+    /// ([`Stats::index_builds`] / [`Stats::index_hits`]) zeroed: the part
+    /// that is deterministic across re-executions of the same query on the
+    /// same data, whatever the index cache already held.
+    pub fn deterministic(&self) -> Stats {
+        Stats {
+            index_builds: 0,
+            index_hits: 0,
+            ..*self
+        }
     }
 
     /// Merge counters from a sub-computation.
@@ -33,6 +59,8 @@ impl Stats {
         self.output_tuples += other.output_tuples;
         self.expansions += other.expansions;
         self.branches += other.branches;
+        self.index_builds += other.index_builds;
+        self.index_hits += other.index_hits;
     }
 }
 
@@ -48,6 +76,8 @@ mod tests {
             output_tuples: 3,
             expansions: 4,
             branches: 5,
+            index_builds: 6,
+            index_hits: 7,
         };
         let b = Stats {
             probes: 10,
@@ -55,10 +85,15 @@ mod tests {
             output_tuples: 30,
             expansions: 40,
             branches: 50,
+            index_builds: 60,
+            index_hits: 70,
         };
         a.merge(&b);
         assert_eq!(a.probes, 11);
         assert_eq!(a.work(), 11 + 22 + 33 + 44);
         assert_eq!(a.branches, 55);
+        assert_eq!(a.index_gets(), 66 + 77);
+        assert_eq!(a.deterministic().index_gets(), 0);
+        assert_eq!(a.deterministic().work(), a.work());
     }
 }

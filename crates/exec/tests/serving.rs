@@ -293,7 +293,14 @@ fn assert_batch_matches_serial(
         let serial = prepared.execute(db, opts).unwrap();
         let b = batch[i].as_ref().unwrap();
         assert_eq!(b.output, serial.output, "db {i}: outputs must be identical");
-        assert_eq!(b.stats, serial.stats, "db {i}: work counters too");
+        // Work counters match modulo index-cache warmth (the serial pass
+        // built the tries the batch pass then hits).
+        assert_eq!(
+            b.stats.deterministic(),
+            serial.stats.deterministic(),
+            "db {i}: work counters too"
+        );
+        assert_eq!(b.stats.index_gets(), serial.stats.index_gets(), "db {i}");
         assert_eq!(b.algorithm_used, serial.algorithm_used);
     }
 }
@@ -386,11 +393,19 @@ fn concurrent_execution_stress() {
             for (i, r) in batch.results.iter().enumerate() {
                 let r = r.as_ref().unwrap();
                 assert_eq!(r.output, serial[i].output, "round {round}, db {i}");
-                assert_eq!(r.stats, serial[i].stats, "round {round}, db {i}");
+                assert_eq!(
+                    r.stats.deterministic(),
+                    serial[i].stats.deterministic(),
+                    "round {round}, db {i}"
+                );
+                assert_eq!(r.stats.index_gets(), serial[i].stats.index_gets());
             }
         }
-        // Concurrency re-used the warmed plans; no re-planning happened.
-        assert_eq!(prepared.prep_stats(), warmed, "{}", q.display_body());
+        // Concurrency re-used the warmed plans and warmed trie indexes;
+        // no re-planning and no index rebuild happened.
+        let window = prepared.prep_stats().since(&warmed);
+        assert_eq!(window.solves(), 0, "{}", q.display_body());
+        assert_eq!(window.index_builds, 0, "{}", q.display_body());
     }
 }
 
@@ -417,7 +432,8 @@ fn cold_cache_racing_executions_agree() {
                 s.spawn(move || {
                     let r = p.execute(db, o).unwrap();
                     assert_eq!(r.output, expect.output);
-                    assert_eq!(r.stats, expect.stats);
+                    assert_eq!(r.stats.deterministic(), expect.stats.deterministic());
+                    assert_eq!(r.stats.index_gets(), expect.stats.index_gets());
                 });
             }
         });

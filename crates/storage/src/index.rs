@@ -1,0 +1,921 @@
+//! The shared access-path layer: cached trie-shaped indexes and the
+//! zero-allocation probe cursor every join algorithm executes through.
+//!
+//! The paper's algorithms — chain, SMA, CSMA, Generic-Join — are all
+//! sequences of *ordered-prefix probes*: bind a prefix of some column
+//! order, look at the matching tuples, extend. Before this module existed,
+//! each `solve` re-materialized [`Relation::project`] copies per execution
+//! and answered every probe with a from-scratch binary search over the
+//! whole relation, keyed by a freshly allocated `Vec<Value>`. The
+//! worst-case-optimal-join literature (LeapFrog TrieJoin and friends) gets
+//! the same answers from *trie* access paths: one sorted index per
+//! `(relation, column order)`, navigated by a cursor that only ever
+//! narrows, so every search is bounded by the range the previous level
+//! established.
+//!
+//! Three types implement that here:
+//!
+//! - [`TrieIndex`] — the index for one `(relation, column order)`: the
+//!   deduplicated projection onto `order`, lexicographically sorted. It is
+//!   built once (by sorting a row-id permutation of the source, then
+//!   materializing the distinct projected rows) and reused for the life of
+//!   the relation *version*.
+//! - [`Probe`] — a cheap, `Copy`, zero-allocation cursor over a
+//!   [`TrieIndex`] (or a sorted [`Relation`] via [`Relation::probe`]):
+//!   [`Probe::descend`] narrows to the rows matching one more column
+//!   value, [`Probe::seek`] gallops forward *inside the already-narrowed
+//!   range* to the next value `≥ v` at the current level — the leapfrog
+//!   primitive — and [`Probe::enter`] steps into the current value's
+//!   subtrie. No per-probe key vector is ever assembled: callers descend
+//!   one bound value at a time straight out of their tuple buffers.
+//! - [`IndexSet`] — a concurrent (sharded `RwLock`) cache of
+//!   [`TrieIndex`]es keyed by [`IndexKey`]: relation name, content
+//!   [`Relation::version`], and column order. Because versions are
+//!   globally unique content snapshots (see [`Relation::version`]), a hit
+//!   is always sound — across repeated executions, batch drivers, worker
+//!   threads, and delta batches — and a version bump (e.g.
+//!   [`Relation::apply_delta`]) simply misses, rebuilding only the touched
+//!   relation's entries. Superseded versions stop being touched and age
+//!   out LRU-wise under per-slot and per-shard caps, so a long-lived
+//!   server neither accumulates dead versions nor thrashes when one query
+//!   serves several live databases. Build/hit counters
+//!   ([`IndexSet::stats`]) make reuse observable and testable.
+
+use crate::relation::Relation;
+use crate::Value;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A trie-shaped index: the distinct projection of a source relation onto
+/// one column order, lexicographically sorted so that every prefix of
+/// `order` corresponds to a contiguous row range (a trie node).
+///
+/// Navigation happens through [`TrieIndex::probe`]; bulk access through
+/// [`TrieIndex::row`] / [`TrieIndex::rows`]. The index owns its (projected,
+/// deduplicated) data, so it stays valid in a cache after the source
+/// relation moves or is replaced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrieIndex {
+    vars: Vec<u32>,
+    data: Vec<Value>,
+    rows: usize,
+}
+
+impl TrieIndex {
+    /// Build the index of `rel` for `order` (a duplicate-free subset of
+    /// `rel`'s variables, in any order). The build sorts a row-id
+    /// permutation of the source — rows themselves are moved only once,
+    /// into the deduplicated projection.
+    pub fn build(rel: &Relation, order: &[u32]) -> TrieIndex {
+        let arity = order.len();
+        if arity == 0 {
+            return TrieIndex {
+                vars: Vec::new(),
+                data: Vec::new(),
+                rows: usize::from(!rel.is_empty()),
+            };
+        }
+        let cols: Vec<usize> = order
+            .iter()
+            .map(|&v| rel.col_of(v).expect("index variable not in relation"))
+            .collect();
+        // Fast path: the relation is already stored in exactly this order.
+        if rel.is_sorted() && rel.vars() == order {
+            let mut data = Vec::with_capacity(rel.len() * arity);
+            for row in rel.rows() {
+                data.extend_from_slice(row);
+            }
+            let rows = rel.len();
+            return TrieIndex {
+                vars: order.to_vec(),
+                data,
+                rows,
+            };
+        }
+        let n = rel.len();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let key_cmp = |i: u32, j: u32| {
+            let (a, b) = (rel.row(i as usize), rel.row(j as usize));
+            for &c in &cols {
+                match a[c].cmp(&b[c]) {
+                    std::cmp::Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            std::cmp::Ordering::Equal
+        };
+        perm.sort_unstable_by(|&i, &j| key_cmp(i, j));
+        let mut data: Vec<Value> = Vec::with_capacity(n * arity);
+        let mut rows = 0usize;
+        for w in 0..n {
+            if w > 0 && key_cmp(perm[w - 1], perm[w]) == std::cmp::Ordering::Equal {
+                continue;
+            }
+            let row = rel.row(perm[w] as usize);
+            data.extend(cols.iter().map(|&c| row[c]));
+            rows += 1;
+        }
+        TrieIndex {
+            vars: order.to_vec(),
+            data,
+            rows,
+        }
+    }
+
+    /// The indexed column order.
+    pub fn vars(&self) -> &[u32] {
+        &self.vars
+    }
+
+    /// Number of indexed columns.
+    pub fn arity(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of distinct projected rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the index holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Row accessor (rows are in lexicographic order of the index order).
+    pub fn row(&self, i: usize) -> &[Value] {
+        let a = self.arity();
+        if a == 0 {
+            &[]
+        } else {
+            &self.data[i * a..(i + 1) * a]
+        }
+    }
+
+    /// Iterate over all rows in index order.
+    pub fn rows(&self) -> impl Iterator<Item = &[Value]> {
+        (0..self.rows).map(move |i| self.row(i))
+    }
+
+    /// A cursor positioned at the trie root (all rows, depth 0).
+    pub fn probe(&self) -> Probe<'_> {
+        Probe {
+            data: &self.data,
+            arity: self.arity(),
+            depth: 0,
+            lo: 0,
+            hi: self.rows,
+        }
+    }
+
+    /// The row range matching `prefix` — same contract as
+    /// [`Relation::prefix_range`], answered by descending the trie.
+    pub fn prefix_range(&self, prefix: &[Value]) -> Range<usize> {
+        let mut p = self.probe();
+        for &v in prefix {
+            if !p.descend(v) {
+                return 0..0;
+            }
+        }
+        p.range()
+    }
+
+    /// Membership test for a full projected row.
+    pub fn contains(&self, row: &[Value]) -> bool {
+        debug_assert_eq!(row.len(), self.arity());
+        if self.arity() == 0 {
+            return self.rows > 0;
+        }
+        !self.prefix_range(row).is_empty()
+    }
+
+    /// Group the rows by their first `prefix_len` columns (trie nodes at
+    /// that depth), in index order.
+    pub fn group_ranges(&self, prefix_len: usize) -> Vec<Range<usize>> {
+        debug_assert!(prefix_len <= self.arity());
+        let n = self.rows;
+        let a = self.arity();
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        while start < n {
+            let mut end = start + 1;
+            while end < n
+                && self.data[end * a..end * a + prefix_len]
+                    == self.data[start * a..start * a + prefix_len]
+            {
+                end += 1;
+            }
+            out.push(start..end);
+            start = end;
+        }
+        out
+    }
+
+    /// Materialize the whole index as a relation (already sorted and
+    /// deduplicated — no re-sort happens).
+    pub fn to_relation(&self) -> Relation {
+        Relation::from_sorted_unique_rows(self.vars.clone(), self.rows())
+    }
+
+    /// Materialize a subset of rows, given as ascending, disjoint row
+    /// ranges, as a relation (sorted + unique by construction).
+    pub fn relation_of_ranges<I>(&self, ranges: I) -> Relation
+    where
+        I: IntoIterator<Item = Range<usize>>,
+    {
+        Relation::from_sorted_unique_rows(
+            self.vars.clone(),
+            ranges.into_iter().flat_map(|r| r.map(|i| self.row(i))),
+        )
+    }
+
+    /// Approximate heap footprint in bytes (for cache observability).
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<Value>() + self.vars.len() * 4
+    }
+}
+
+/// A zero-allocation trie cursor: a current depth and a row range that only
+/// ever narrows.
+///
+/// `Probe` is `Copy` (a slice pointer and three word-sized fields), so
+/// backtracking search keeps per-level snapshots by value instead of
+/// re-deriving ranges with global binary searches. All searches — the
+/// [`Probe::descend`] bounds and the [`Probe::seek`] leapfrog — gallop
+/// from the current position before bisecting, so a run of nearby probes
+/// costs `O(log gap)`, not `O(log n)`.
+#[derive(Clone, Copy)]
+pub struct Probe<'a> {
+    data: &'a [Value],
+    arity: usize,
+    depth: usize,
+    lo: usize,
+    hi: usize,
+}
+
+impl fmt::Debug for Probe<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Probe")
+            .field("depth", &self.depth)
+            .field("range", &(self.lo..self.hi))
+            .finish()
+    }
+}
+
+impl<'a> Probe<'a> {
+    pub(crate) fn over(data: &'a [Value], arity: usize, rows: usize) -> Probe<'a> {
+        Probe {
+            data,
+            arity,
+            depth: 0,
+            lo: 0,
+            hi: rows,
+        }
+    }
+
+    /// Current depth: how many leading columns are bound.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The current row range (indices into the underlying index/relation).
+    pub fn range(&self) -> Range<usize> {
+        self.lo..self.hi
+    }
+
+    /// Number of rows in the current range.
+    pub fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// Whether the current range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lo >= self.hi
+    }
+
+    #[inline]
+    fn at(&self, row: usize) -> Value {
+        self.data[row * self.arity + self.depth]
+    }
+
+    /// First row in `[from, hi)` whose current-depth column is `>= v`,
+    /// galloping from `from` before bisecting.
+    fn lower_bound_from(&self, from: usize, v: Value) -> usize {
+        if from >= self.hi || self.at(from) >= v {
+            return from;
+        }
+        // Gallop: exponentially widen [prev, probe] until at(probe) >= v.
+        let (mut prev, mut step) = (from, 1usize);
+        let mut end = self.hi;
+        loop {
+            let probe = match prev.checked_add(step) {
+                Some(p) if p < self.hi => p,
+                _ => break,
+            };
+            if self.at(probe) >= v {
+                end = probe;
+                break;
+            }
+            prev = probe;
+            step <<= 1;
+        }
+        // Bisect (prev, end]: at(prev) < v and (end == hi or at(end) >= v).
+        let (mut lo, mut hi) = (prev + 1, end);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.at(mid) < v {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// First row in `[from, hi)` whose current-depth column is `> v`.
+    fn upper_bound_from(&self, from: usize, v: Value) -> usize {
+        match v.checked_add(1) {
+            Some(next) => self.lower_bound_from(from, next),
+            None => self.hi,
+        }
+    }
+
+    /// Narrow the range to the rows whose next column equals `v` and move
+    /// one level down. Returns `false` (leaving the cursor unchanged) when
+    /// no row matches.
+    pub fn descend(&mut self, v: Value) -> bool {
+        debug_assert!(self.depth < self.arity, "descend below the leaf level");
+        let lo = self.lower_bound_from(self.lo, v);
+        if lo >= self.hi || self.at(lo) != v {
+            return false;
+        }
+        let hi = self.upper_bound_from(lo, v);
+        self.lo = lo;
+        self.hi = hi;
+        self.depth += 1;
+        true
+    }
+
+    /// [`Probe::descend`] through each value of `key` in turn.
+    pub fn descend_all(&mut self, key: &[Value]) -> bool {
+        key.iter().all(|&v| self.descend(v))
+    }
+
+    /// The value at the current depth of the first row in range — i.e. the
+    /// smallest un-visited value at this trie level.
+    pub fn current(&self) -> Option<Value> {
+        if self.is_empty() || self.depth >= self.arity {
+            None
+        } else {
+            Some(self.at(self.lo))
+        }
+    }
+
+    /// Leapfrog: advance the range start to the first row whose
+    /// current-depth value is `≥ v` and return that value. The cursor only
+    /// moves forward, so a sorted sequence of seeks over one level is
+    /// amortized linear in the range.
+    pub fn seek(&mut self, v: Value) -> Option<Value> {
+        debug_assert!(self.depth < self.arity);
+        self.lo = self.lower_bound_from(self.lo, v);
+        self.current()
+    }
+
+    /// Skip past every row carrying the current value and return the next
+    /// distinct value at this level, if any.
+    pub fn next_value(&mut self) -> Option<Value> {
+        let cur = self.current()?;
+        self.lo = self.upper_bound_from(self.lo, cur);
+        self.current()
+    }
+
+    /// The subrange of rows carrying the current value at this level.
+    pub fn group(&self) -> Range<usize> {
+        match self.current() {
+            None => self.lo..self.lo,
+            Some(v) => self.lo..self.upper_bound_from(self.lo, v),
+        }
+    }
+
+    /// Step into the current value's subtrie: a child cursor over exactly
+    /// the rows carrying [`Probe::current`], one level deeper.
+    pub fn enter(&self) -> Probe<'a> {
+        let g = self.group();
+        Probe {
+            data: self.data,
+            arity: self.arity,
+            depth: self.depth + 1,
+            lo: g.start,
+            hi: g.end,
+        }
+    }
+}
+
+/// What kind of content an [`IndexKey`] version stamp describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// A database relation; `version` is its [`Relation::version`].
+    Base,
+    /// A derived relation (e.g. an FD-expanded atom); `version` is a
+    /// caller-computed signature over everything the derivation reads.
+    Derived,
+}
+
+/// Cache key for one [`TrieIndex`]: which relation, which content version,
+/// which column order.
+///
+/// Soundness rests on [`Relation::version`] being a globally unique content
+/// snapshot id: equal `(kind, version)` implies identical rows, so entries
+/// can be shared across databases, clones, threads, and delta batches
+/// without comparing data. [`IndexKind::Derived`] keys carry a
+/// caller-computed signature instead (hashing every input version of the
+/// derivation), kept in a separate key space so signatures can never
+/// collide with raw versions.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct IndexKey {
+    /// Relation (or derivation source) name, for observability and
+    /// stale-entry eviction.
+    pub name: String,
+    /// Base version vs. derived signature (separate key spaces).
+    pub kind: IndexKind,
+    /// Content snapshot: [`Relation::version`] for [`IndexKind::Base`],
+    /// the derivation signature for [`IndexKind::Derived`].
+    pub version: u64,
+    /// The indexed column order.
+    pub order: Vec<u32>,
+}
+
+impl IndexKey {
+    /// Key for an index over a database relation.
+    pub fn base(name: impl Into<String>, rel: &Relation, order: Vec<u32>) -> IndexKey {
+        IndexKey {
+            name: name.into(),
+            kind: IndexKind::Base,
+            version: rel.version(),
+            order,
+        }
+    }
+
+    /// Key for an index over a derived relation, stamped with a signature
+    /// the caller computed over the derivation's inputs.
+    pub fn derived(name: impl Into<String>, signature: u64, order: Vec<u32>) -> IndexKey {
+        IndexKey {
+            name: name.into(),
+            kind: IndexKind::Derived,
+            version: signature,
+            order,
+        }
+    }
+
+    /// Hash of the version-independent part — shard selector, and the
+    /// identity under which stale versions are evicted.
+    fn slot_hash(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.name.hash(&mut h);
+        self.kind.hash(&mut h);
+        self.order.hash(&mut h);
+        h.finish()
+    }
+
+    /// Whether `other` indexes the same `(name, kind, order)` at a
+    /// different content version — i.e. is a version sibling of `self`.
+    fn sibling_of(&self, other: &IndexKey) -> bool {
+        self.version != other.version
+            && self.name == other.name
+            && self.kind == other.kind
+            && self.order == other.order
+    }
+}
+
+/// Cumulative [`IndexSet`] counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IndexSetStats {
+    /// Indexes built (cache misses that materialized a [`TrieIndex`]).
+    pub builds: u64,
+    /// Lookups served from an already-built index.
+    pub hits: u64,
+    /// Stale entries evicted when their relation's version moved on.
+    pub evictions: u64,
+}
+
+impl IndexSetStats {
+    /// Counter-wise difference `self - earlier` (saturating), for metering
+    /// one window of executions.
+    pub fn since(&self, earlier: &IndexSetStats) -> IndexSetStats {
+        IndexSetStats {
+            builds: self.builds.saturating_sub(earlier.builds),
+            hits: self.hits.saturating_sub(earlier.hits),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+        }
+    }
+}
+
+/// Number of shards. Lookups hash the `(name, kind, order)` slot, so
+/// concurrent executions probing different relations never contend, while
+/// version siblings of one slot colocate for cheap eviction.
+const SHARDS: usize = 8;
+
+/// How many content versions of one `(name, kind, order)` slot stay
+/// resident. A delta-superseded version is dead and ages out under this
+/// cap; several *live* versions (one `PreparedQuery` serving many
+/// databases, as `fdjoin_exec` batches do) coexist below it without
+/// thrashing.
+const MAX_VERSIONS_PER_SLOT: usize = 16;
+
+/// Per-shard entry cap (a memory bound, never a correctness concern —
+/// evicted indexes rebuild on their next use).
+const MAX_PER_SHARD: usize = 256;
+
+/// One cached index plus its last-used tick (LRU bookkeeping; updated with
+/// a relaxed store under the shard *read* lock, so hits never serialize).
+#[derive(Debug)]
+struct Entry {
+    ix: Arc<TrieIndex>,
+    last_used: AtomicU64,
+}
+
+/// A concurrent, self-invalidating cache of [`TrieIndex`]es.
+///
+/// `get_or_build` is the whole protocol: a shard read lock on the hit
+/// path, and on a miss the build runs *outside* any lock (re-checked on
+/// insert, so a racing duplicate build is possible but harmless — never a
+/// blocked shard). Version bumps invalidate by construction — the new
+/// version is a different key, so it misses and rebuilds — while
+/// superseded versions age out LRU-wise under per-slot
+/// (`MAX_VERSIONS_PER_SLOT`) and per-shard (`MAX_PER_SHARD`) caps.
+///
+/// One `IndexSet` lives on each `fdjoin_core` `PreparedQuery` (shared
+/// `Arc`-wise with batch executors and delta views); nothing stops a
+/// caller from owning one directly next to a [`crate::Database`].
+#[derive(Debug)]
+pub struct IndexSet {
+    shards: Vec<RwLock<HashMap<IndexKey, Entry>>>,
+    /// Interned derivation signatures: input-version vectors → unique ids.
+    signatures: RwLock<SigTable>,
+    tick: AtomicU64,
+    builds: AtomicU64,
+    hits: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for IndexSet {
+    fn default() -> IndexSet {
+        IndexSet::new()
+    }
+}
+
+/// Bound on one generation of the interned-signature table.
+const MAX_SIGNATURES: usize = 1024;
+
+/// Two-generation interning table: when `current` fills, it becomes
+/// `previous` and only entries untouched for a whole generation are
+/// dropped (their derived indexes then rebuild lazily, one by one) — no
+/// all-at-once rebuild storm, which a full `clear()` would cause.
+#[derive(Debug, Default)]
+struct SigTable {
+    current: HashMap<Vec<u64>, u64>,
+    previous: HashMap<Vec<u64>, u64>,
+}
+
+impl IndexSet {
+    /// An empty cache.
+    pub fn new() -> IndexSet {
+        IndexSet {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            signatures: RwLock::new(SigTable::default()),
+            tick: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Intern a derivation's input versions into one signature for
+    /// [`IndexKey::derived`]. Interning (rather than hashing) makes equal
+    /// signatures *exactly* equivalent to equal inputs — no collision can
+    /// ever alias two database states — while the same inputs keep mapping
+    /// to the same signature for the life of this set, so derived indexes
+    /// survive across executions. The table is generational: recently used
+    /// mappings survive a capacity turnover, stale ones lapse (costing
+    /// their indexes a lazy rebuild, never correctness).
+    pub fn signature(&self, inputs: &[u64]) -> u64 {
+        if let Some(&sig) = self.signatures.read().unwrap().current.get(inputs) {
+            return sig;
+        }
+        let mut table = self.signatures.write().unwrap();
+        if let Some(&sig) = table.current.get(inputs) {
+            return sig;
+        }
+        // Promote from the previous generation, or mint a fresh id.
+        let sig = table
+            .previous
+            .get(inputs)
+            .copied()
+            .unwrap_or_else(crate::relation::next_version);
+        if table.current.len() >= MAX_SIGNATURES {
+            table.previous = std::mem::take(&mut table.current);
+        }
+        table.current.insert(inputs.to_vec(), sig);
+        sig
+    }
+
+    fn shard(&self, key: &IndexKey) -> &RwLock<HashMap<IndexKey, Entry>> {
+        &self.shards[(key.slot_hash() as usize) % SHARDS]
+    }
+
+    fn touch(&self, entry: &Entry) {
+        entry
+            .last_used
+            .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Fetch the index for `key`, building it with `build` on a miss.
+    /// Returns the index and whether this call built it (`true`) or hit
+    /// the cache (`false`).
+    ///
+    /// The build runs *outside* the shard lock: a large sort never blocks
+    /// other lookups hashing to the same shard. Two threads racing on the
+    /// same cold key may both build; the first insert wins and the loser's
+    /// copy is dropped (counted as a hit — indexes are pure functions of
+    /// the key, so which copy survives is unobservable).
+    pub fn get_or_build(
+        &self,
+        key: IndexKey,
+        build: impl FnOnce() -> TrieIndex,
+    ) -> (Arc<TrieIndex>, bool) {
+        let shard = self.shard(&key);
+        if let Some(hit) = shard.read().unwrap().get(&key) {
+            self.touch(hit);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(&hit.ix), false);
+        }
+        let ix = Arc::new(build());
+        let mut map = shard.write().unwrap();
+        if let Some(hit) = map.get(&key) {
+            // Raced with another builder; their copy wins, ours is dropped.
+            self.touch(hit);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(&hit.ix), false);
+        }
+        // Age out version siblings past the per-slot cap (superseded
+        // versions stop being touched and are the ones that leave), then
+        // enforce the shard-wide bound.
+        let mut siblings: Vec<(IndexKey, u64)> = map
+            .iter()
+            .filter(|(k, _)| key.sibling_of(k))
+            .map(|(k, e)| (k.clone(), e.last_used.load(Ordering::Relaxed)))
+            .collect();
+        while siblings.len() + 1 > MAX_VERSIONS_PER_SLOT {
+            let (pos, _) = siblings
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, t))| *t)
+                .expect("nonempty sibling list");
+            let (victim, _) = siblings.swap_remove(pos);
+            map.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        if map.len() >= MAX_PER_SHARD {
+            if let Some(victim) = map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone())
+            {
+                map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        let entry = Entry {
+            ix: Arc::clone(&ix),
+            last_used: AtomicU64::new(self.tick.fetch_add(1, Ordering::Relaxed)),
+        };
+        map.insert(key, entry);
+        (ix, true)
+    }
+
+    /// Convenience for database relations: index `rel` under
+    /// `(name, rel.version(), order)`.
+    pub fn index_of(&self, name: &str, rel: &Relation, order: &[u32]) -> (Arc<TrieIndex>, bool) {
+        self.get_or_build(IndexKey::base(name, rel, order.to_vec()), || {
+            TrieIndex::build(rel, order)
+        })
+    }
+
+    /// Number of resident indexes.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cumulative build/hit/eviction counters.
+    pub fn stats(&self) -> IndexSetStats {
+        IndexSetStats {
+            builds: self.builds.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Approximate heap footprint of all resident indexes, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .unwrap()
+                    .values()
+                    .map(|e| e.ix.memory_bytes())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel() -> Relation {
+        let mut r = Relation::from_rows(
+            vec![0, 1, 2],
+            [
+                [1, 10, 100],
+                [1, 10, 101],
+                [1, 11, 100],
+                [2, 10, 100],
+                [2, 12, 107],
+                [1, 10, 100], // dup
+            ],
+        );
+        r.sort_dedup();
+        r
+    }
+
+    #[test]
+    fn build_matches_project() {
+        let r = rel();
+        for order in [vec![0, 1, 2], vec![2, 0, 1], vec![1], vec![2, 1]] {
+            let ix = TrieIndex::build(&r, &order);
+            let p = r.project(&order);
+            assert_eq!(ix.len(), p.len(), "order {order:?}");
+            for i in 0..ix.len() {
+                assert_eq!(ix.row(i), p.row(i), "order {order:?} row {i}");
+            }
+            assert_eq!(ix.to_relation(), p);
+        }
+    }
+
+    #[test]
+    fn probe_descend_and_range() {
+        let r = rel();
+        let ix = TrieIndex::build(&r, &[0, 1, 2]);
+        let mut p = ix.probe();
+        assert_eq!(p.range(), 0..5);
+        assert!(p.descend(1));
+        assert_eq!(p.len(), 3);
+        assert!(p.descend(10));
+        assert_eq!(p.len(), 2);
+        assert!(!p.descend(999));
+        assert_eq!(p.len(), 2, "failed descend leaves the cursor in place");
+        assert!(p.descend(101));
+        assert_eq!(p.len(), 1);
+        assert_eq!(ix.row(p.range().start), &[1, 10, 101]);
+    }
+
+    #[test]
+    fn probe_seek_and_next_value() {
+        let r = rel();
+        let ix = TrieIndex::build(&r, &[1]);
+        // Distinct values at level 0: 10, 11, 12.
+        let mut p = ix.probe();
+        assert_eq!(p.current(), Some(10));
+        assert_eq!(p.seek(11), Some(11));
+        assert_eq!(p.next_value(), Some(12));
+        assert_eq!(p.seek(12), Some(12), "seek never moves backwards");
+        assert_eq!(p.next_value(), None);
+    }
+
+    #[test]
+    fn probe_enter_narrows() {
+        let r = rel();
+        let ix = TrieIndex::build(&r, &[0, 1]);
+        let mut p = ix.probe();
+        assert_eq!(p.current(), Some(1));
+        let mut child = p.enter();
+        assert_eq!(child.current(), Some(10));
+        assert_eq!(child.next_value(), Some(11));
+        assert_eq!(p.next_value(), Some(2));
+        let child2 = p.enter();
+        assert_eq!(child2.current(), Some(10));
+    }
+
+    #[test]
+    fn prefix_range_agrees_with_relation() {
+        let r = rel();
+        let ix = TrieIndex::build(&r, &[0, 1, 2]);
+        for key in [vec![], vec![1], vec![1, 10], vec![1, 10, 100], vec![9]] {
+            let (a, b) = (ix.prefix_range(&key), r.prefix_range(&key));
+            // Empty ranges may sit at different positions (the relation
+            // reports the insertion point); matched rows must be identical.
+            assert_eq!(a.len(), b.len(), "{key:?}");
+            for (i, j) in a.zip(b) {
+                assert_eq!(ix.row(i), r.row(j), "{key:?}");
+            }
+        }
+        assert!(ix.contains(&[2, 12, 107]));
+        assert!(!ix.contains(&[2, 12, 108]));
+    }
+
+    #[test]
+    fn nullary_and_empty_orders() {
+        let r = rel();
+        let ix = TrieIndex::build(&r, &[]);
+        assert_eq!(ix.len(), 1, "projection of nonempty onto () is {{()}}");
+        assert!(ix.contains(&[]));
+        let empty = Relation::new(vec![0]);
+        let ix = TrieIndex::build(&empty, &[]);
+        assert_eq!(ix.len(), 0);
+        assert!(!ix.contains(&[]));
+    }
+
+    #[test]
+    fn index_set_caches_by_version() {
+        let set = IndexSet::new();
+        let mut r = rel();
+        let (a, built) = set.index_of("R", &r, &[1, 0]);
+        assert!(built);
+        let (b, built) = set.index_of("R", &r, &[1, 0]);
+        assert!(!built);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(set.stats().builds, 1);
+        assert_eq!(set.stats().hits, 1);
+
+        // A content change invalidates: the new version misses and builds.
+        r.apply_delta([[7u64, 7, 7]], [] as [&[Value]; 0]);
+        let (c, built) = set.index_of("R", &r, &[1, 0]);
+        assert!(built);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert!(c.contains(&[7, 7]));
+    }
+
+    #[test]
+    fn superseded_versions_age_out_under_slot_cap() {
+        let set = IndexSet::new();
+        let mut r = rel();
+        for i in 0..40u64 {
+            set.index_of("R", &r, &[1, 0]);
+            r.apply_delta([[i + 100, i, i]], [] as [&[Value]; 0]);
+        }
+        assert!(set.stats().evictions > 0, "old versions aged out");
+        assert!(
+            set.len() <= 16,
+            "per-slot cap bounds residency, got {}",
+            set.len()
+        );
+        // Several *live* versions below the cap coexist without thrashing:
+        // two databases' worth of the same relation name both stay warm.
+        let set = IndexSet::new();
+        let (r1, r2) = (rel(), rel()); // distinct versions, same name
+        set.index_of("R", &r1, &[0, 1]);
+        set.index_of("R", &r2, &[0, 1]);
+        let (_, built1) = set.index_of("R", &r1, &[0, 1]);
+        let (_, built2) = set.index_of("R", &r2, &[0, 1]);
+        assert!(!built1 && !built2, "both versions resident");
+        assert_eq!(set.stats().evictions, 0);
+    }
+
+    #[test]
+    fn index_set_distinguishes_orders_and_kinds() {
+        let set = IndexSet::new();
+        let r = rel();
+        set.index_of("R", &r, &[0, 1]);
+        set.index_of("R", &r, &[1, 0]);
+        let key = IndexKey::derived("R", r.version(), vec![0, 1]);
+        set.get_or_build(key, || TrieIndex::build(&r, &[0, 1]));
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.stats().builds, 3);
+    }
+
+    #[test]
+    fn relation_of_ranges_is_sorted_subset() {
+        let r = rel();
+        let ix = TrieIndex::build(&r, &[0, 1, 2]);
+        let groups = ix.group_ranges(1);
+        assert_eq!(groups.len(), 2);
+        let first = ix.relation_of_ranges([groups[0].clone()]);
+        assert_eq!(first.len(), 3);
+        assert!(first.is_sorted());
+        let both = ix.relation_of_ranges(groups);
+        assert_eq!(both, ix.to_relation());
+    }
+}

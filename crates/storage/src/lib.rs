@@ -11,7 +11,14 @@
 //!   ([`Relation::stats`]), accumulated inside the sort and delta-merge
 //!   passes themselves, feeding the data-dependent cost model in
 //!   `fdjoin_core::cost`;
-//! - [`HashIndex`]: secondary indexes for non-prefix lookups;
+//! - [`TrieIndex`] / [`Probe`] / [`IndexSet`]: the shared access-path
+//!   layer — cached per-`(relation, column order)` trie indexes navigated
+//!   by a zero-allocation narrowing cursor, keyed by content version so
+//!   repeated executions, batches, and delta joins reuse them (see the
+//!   [`index`-module docs](IndexSet));
+//! - [`HashIndex`]: hash-keyed secondary indexes. No algorithm uses them
+//!   since the trie layer landed; they remain as the candidate access
+//!   path for non-prefix lookups (see the ROADMAP follow-on);
 //! - [`UdfRegistry`]: user-defined functions backing unguarded FDs
 //!   (Sec. 1.1 of the paper);
 //! - [`Database`]: a named collection of relation instances.
@@ -21,11 +28,13 @@
 //! reused buffers, per the perf-book guidance.
 
 mod database;
+mod index;
 mod relation;
 mod stats;
 mod udf;
 
 pub use database::{Database, MissingRelation};
+pub use index::{IndexKey, IndexKind, IndexSet, IndexSetStats, Probe, TrieIndex};
 pub use relation::{DeltaApplied, HashIndex, Relation};
 pub use stats::RelationStats;
 pub use udf::{UdfFn, UdfRegistry};

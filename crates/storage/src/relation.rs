@@ -1,10 +1,24 @@
 //! Row-major relations with sort-order (trie-equivalent) prefix indexes.
 
+use crate::index::{Probe, TrieIndex};
 use crate::stats::{RelationStats, StatsAcc};
 use crate::Value;
 use fdjoin_lattice::VarSet;
 use std::cmp::Ordering;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+/// Source of relation content versions. Monotonic and *global*, so a
+/// version is a unique content-snapshot id: two relations carry the same
+/// version only if one is an untouched clone of the other — in which case
+/// their rows are identical. That property is what lets the access-path
+/// layer ([`crate::IndexSet`]) key cached indexes by `(name, version,
+/// order)` and share them soundly across databases, clones, and threads.
+static VERSION_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn next_version() -> u64 {
+    VERSION_COUNTER.fetch_add(1, AtomicOrdering::Relaxed) + 1
+}
 
 /// A relation instance: a bag of fixed-arity rows over named variables.
 ///
@@ -13,10 +27,11 @@ use std::ops::Range;
 /// lookups by binary search give exactly the trie navigation that
 /// LeapFrog-TrieJoin-style algorithms need, without pointer chasing.
 ///
-/// Relations are *versioned*: [`Relation::version`] increments on every
-/// content mutation ([`Relation::push_row`], [`Relation::apply_delta`]), so
-/// incremental-maintenance layers can detect drift without diffing rows.
-/// The version is bookkeeping, not content — equality compares rows only.
+/// Relations are *versioned*: [`Relation::version`] takes a fresh,
+/// globally unique value on every content mutation ([`Relation::push_row`],
+/// [`Relation::apply_delta`]), so incremental-maintenance layers detect
+/// drift — and index caches key content — without diffing rows. The
+/// version is bookkeeping, not content — equality compares rows only.
 ///
 /// Sorted relations also carry exact per-prefix degree/skew statistics
 /// ([`Relation::stats`]), accumulated inside the same passes that sort and
@@ -78,8 +93,44 @@ impl Relation {
             vars,
             data: Vec::new(),
             sorted: true,
-            version: 0,
+            version: next_version(),
             stats: Some(StatsAcc::new(arity).finish()),
+        }
+    }
+
+    /// Create from rows that are already lexicographically sorted and
+    /// duplicate-free (e.g. a walk over [`TrieIndex`] rows or a filtered
+    /// subsequence of a sorted relation). Skips the sort a
+    /// [`Relation::sort_dedup`] would pay; the precondition is checked in
+    /// debug builds.
+    pub fn from_sorted_unique_rows<'r>(
+        vars: Vec<u32>,
+        rows: impl IntoIterator<Item = &'r [Value]>,
+    ) -> Relation {
+        let arity = vars.len();
+        let mut acc = StatsAcc::new(arity);
+        let mut data: Vec<Value> = Vec::new();
+        for (n, row) in rows.into_iter().enumerate() {
+            assert_eq!(row.len(), arity, "row arity mismatch");
+            if arity == 0 {
+                debug_assert!(n == 0, "a nullary relation has at most one row");
+                data.push(1);
+                acc.push(row);
+            } else {
+                debug_assert!(
+                    n == 0 || data[(n - 1) * arity..n * arity] < *row,
+                    "rows must be strictly increasing"
+                );
+                data.extend_from_slice(row);
+                acc.push(row);
+            }
+        }
+        Relation {
+            vars,
+            data,
+            sorted: true,
+            version: next_version(),
+            stats: Some(acc.finish()),
         }
     }
 
@@ -137,7 +188,7 @@ impl Relation {
         }
         self.sorted = false;
         self.stats = None;
-        self.version += 1;
+        self.version = next_version();
     }
 
     /// Exact degree/skew statistics of this relation, per prefix length of
@@ -150,10 +201,13 @@ impl Relation {
         self.stats.as_ref()
     }
 
-    /// Content version: bumped on every mutation that can change the row
-    /// set ([`Relation::push_row`], [`Relation::apply_delta`]). Freshly
-    /// constructed relations start at the version their construction
-    /// implies (one bump per pushed row).
+    /// Content version: a globally unique snapshot id, refreshed on every
+    /// mutation that can change the row set ([`Relation::push_row`],
+    /// [`Relation::apply_delta`]). Monotonic over time, and — because the
+    /// counter is global — equal versions imply equal content (clones share
+    /// a version exactly until either side mutates), which is what makes
+    /// version-keyed index caching ([`crate::IndexSet`]) sound across
+    /// databases and threads.
     pub fn version(&self) -> u64 {
         self.version
     }
@@ -196,7 +250,7 @@ impl Relation {
                     acc.push(&[]);
                 }
                 self.stats = Some(acc.finish());
-                self.version += 1;
+                self.version = next_version();
             }
             return applied;
         }
@@ -266,7 +320,7 @@ impl Relation {
         self.sorted = true;
         self.stats = Some(acc.finish());
         if applied.changed() > 0 {
-            self.version += 1;
+            self.version = next_version();
         }
         applied
     }
@@ -391,13 +445,22 @@ impl Relation {
         r.end - r.start
     }
 
-    /// Membership test (requires sorted).
+    /// A zero-allocation trie cursor over this relation's own sorted data
+    /// (natural column order) — the same [`Probe`] a [`TrieIndex`] yields,
+    /// without building one. Requires the relation to be sorted.
+    pub fn probe(&self) -> Probe<'_> {
+        debug_assert!(self.sorted, "probe requires a sorted relation");
+        Probe::over(&self.data, self.arity(), self.len())
+    }
+
+    /// Membership test (requires sorted), answered by descending the
+    /// relation's own trie shape level by level.
     pub fn contains_row(&self, row: &[Value]) -> bool {
         debug_assert_eq!(row.len(), self.arity());
         if self.arity() == 0 {
             return !self.is_empty();
         }
-        !self.prefix_range(row).is_empty()
+        self.probe().descend_all(row)
     }
 
     /// Project onto the given columns (in the given order), sorted + deduped.
@@ -429,8 +492,9 @@ impl Relation {
     }
 
     /// Keep rows whose projection onto the shared variables appears in
-    /// `other` (semijoin reduction `self ⋉ other`). `other` must be sorted
-    /// with the shared variables as a prefix... no: we project other first.
+    /// `other` (semijoin reduction `self ⋉ other`). The filter runs through
+    /// the access-path layer: a [`TrieIndex`] of `other` on the shared
+    /// columns, probed with zero per-row key allocation.
     pub fn semijoin(&self, other: &Relation) -> Relation {
         let shared: Vec<u32> = self
             .vars
@@ -445,15 +509,12 @@ impl Relation {
                 self.clone()
             };
         }
-        let other_proj = other.project(&shared);
+        let ix = TrieIndex::build(other, &shared);
         let cols: Vec<usize> = shared.iter().map(|&v| self.col_of(v).unwrap()).collect();
         let mut out = Relation::new(self.vars.clone());
-        let mut key = vec![0 as Value; shared.len()];
         for row in self.rows() {
-            for (slot, &c) in key.iter_mut().zip(&cols) {
-                *slot = row[c];
-            }
-            if other_proj.contains_row(&key) {
+            let mut p = ix.probe();
+            if cols.iter().all(|&c| p.descend(row[c])) {
                 out.push_row(row);
             }
         }

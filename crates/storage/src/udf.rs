@@ -18,6 +18,7 @@ pub type UdfFn = Arc<dyn Fn(&[Value]) -> Value + Send + Sync>;
 #[derive(Clone, Default)]
 pub struct UdfRegistry {
     map: HashMap<(VarSet, u32), UdfFn>,
+    version: u64,
 }
 
 impl UdfRegistry {
@@ -33,6 +34,15 @@ impl UdfRegistry {
         F: Fn(&[Value]) -> Value + Send + Sync + 'static,
     {
         self.map.insert((args, out), Arc::new(f));
+        self.version = crate::relation::next_version();
+    }
+
+    /// Registry version: a globally unique stamp refreshed on every
+    /// [`UdfRegistry::register`], with the same clone-shares-until-mutated
+    /// semantics as [`crate::Relation::version`]. Derivations whose output
+    /// depends on UDFs (FD expansion) fold it into their cache signatures.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Look up a UDF.

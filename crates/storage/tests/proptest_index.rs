@@ -1,0 +1,154 @@
+//! Property tests for the access-path layer: `TrieIndex`/`Probe` answers
+//! must agree with the seed-era primitives (`Relation::project` +
+//! `Relation::prefix_range`) on random relations and column orders, and the
+//! `IndexSet` cache must be transparent (a hit returns exactly what a fresh
+//! build would).
+
+use fdjoin_storage::{IndexSet, Relation, TrieIndex, Value};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn rows_strategy(arity: usize) -> impl Strategy<Value = Vec<Vec<Value>>> {
+    proptest::collection::vec(proptest::collection::vec(0u64..6, arity), 0..40)
+}
+
+/// All 15 nonempty ordered projections of a 3-column schema would be a lot;
+/// pick the order by an index into a fixed enumeration.
+fn orders() -> Vec<Vec<u32>> {
+    vec![
+        vec![0, 1, 2],
+        vec![0, 2, 1],
+        vec![1, 0, 2],
+        vec![1, 2, 0],
+        vec![2, 0, 1],
+        vec![2, 1, 0],
+        vec![0],
+        vec![1],
+        vec![2],
+        vec![0, 1],
+        vec![1, 0],
+        vec![0, 2],
+        vec![2, 0],
+        vec![1, 2],
+        vec![2, 1],
+    ]
+}
+
+proptest! {
+    #[test]
+    fn trie_index_equals_projection(rows in rows_strategy(3), oi in 0usize..15) {
+        let order = orders()[oi].clone();
+        let mut rel = Relation::from_rows(vec![0, 1, 2], rows);
+        rel.sort_dedup();
+        let ix = TrieIndex::build(&rel, &order);
+        let proj = rel.project(&order);
+        prop_assert_eq!(ix.len(), proj.len());
+        for i in 0..ix.len() {
+            prop_assert_eq!(ix.row(i), proj.row(i));
+        }
+        prop_assert_eq!(&ix.to_relation(), &proj);
+        // Group structure agrees at every depth.
+        for d in 0..=order.len() {
+            prop_assert_eq!(ix.group_ranges(d), proj.group_ranges(d));
+        }
+    }
+
+    #[test]
+    fn probe_ranges_equal_prefix_range(
+        rows in rows_strategy(3),
+        oi in 0usize..15,
+        key in proptest::collection::vec(0u64..6, 0..3),
+    ) {
+        let order = orders()[oi].clone();
+        let mut rel = Relation::from_rows(vec![0, 1, 2], rows);
+        rel.sort_dedup();
+        let ix = TrieIndex::build(&rel, &order);
+        let proj = rel.project(&order);
+        let key = &key[..key.len().min(order.len())];
+        let (a, b) = (ix.prefix_range(key), proj.prefix_range(key));
+        prop_assert_eq!(a.len(), b.len(), "prefix {:?}", key);
+        for (i, j) in a.zip(b) {
+            prop_assert_eq!(ix.row(i), proj.row(j));
+        }
+        // Membership for full rows.
+        if key.len() == order.len() {
+            prop_assert_eq!(ix.contains(key), proj.contains_row(key));
+        }
+    }
+
+    #[test]
+    fn probe_seek_walks_distinct_values(rows in rows_strategy(2), oi in 9usize..15) {
+        let order = orders()[oi].clone();
+        let mut rel = Relation::from_rows(vec![0, 1, 2], rows.iter().map(|r| {
+            let mut r = r.clone();
+            r.push(0);
+            r
+        }));
+        rel.sort_dedup();
+        let ix = TrieIndex::build(&rel, &order);
+        // Walking next_value() visits exactly the distinct level-0 values.
+        let expect: BTreeSet<Value> = ix.rows().map(|r| r[0]).collect();
+        let mut walked = Vec::new();
+        let mut p = ix.probe();
+        let mut cur = p.current();
+        while let Some(v) = cur {
+            walked.push(v);
+            cur = p.next_value();
+        }
+        prop_assert_eq!(walked.clone(), expect.iter().copied().collect::<Vec<_>>());
+        // seek(v) from the root lands on the first distinct value ≥ v.
+        for target in 0u64..7 {
+            let mut p = ix.probe();
+            let got = p.seek(target);
+            let expect = walked.iter().copied().find(|&v| v >= target);
+            prop_assert_eq!(got, expect, "seek({})", target);
+        }
+        // enter() restricts to exactly the rows carrying the value.
+        let mut p = ix.probe();
+        while let Some(v) = p.current() {
+            let child = p.enter();
+            let direct = ix.prefix_range(&[v]);
+            prop_assert_eq!(child.range(), direct);
+            if p.next_value().is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn relation_probe_equals_contains(rows in rows_strategy(3), probe_row in proptest::collection::vec(0u64..6, 3)) {
+        let mut rel = Relation::from_rows(vec![0, 1, 2], rows.clone());
+        rel.sort_dedup();
+        let model: BTreeSet<Vec<Value>> = rows.iter().cloned().collect();
+        prop_assert_eq!(rel.contains_row(&probe_row), model.contains(&probe_row));
+        let mut p = rel.probe();
+        prop_assert_eq!(
+            probe_row.iter().all(|&v| p.descend(v)),
+            model.contains(&probe_row)
+        );
+    }
+
+    #[test]
+    fn index_set_hits_are_transparent(rows in rows_strategy(3), oi in 0usize..15) {
+        let order = orders()[oi].clone();
+        let mut rel = Relation::from_rows(vec![0, 1, 2], rows);
+        rel.sort_dedup();
+        let set = IndexSet::new();
+        let (built_ix, built) = set.index_of("R", &rel, &order);
+        prop_assert!(built);
+        let (hit_ix, built2) = set.index_of("R", &rel, &order);
+        prop_assert!(!built2);
+        prop_assert_eq!(&*built_ix, &*hit_ix);
+        prop_assert_eq!(&*hit_ix, &TrieIndex::build(&rel, &order));
+        // A clone shares the version — and therefore the cache entry.
+        let clone = rel.clone();
+        let (_, built3) = set.index_of("R", &clone, &order);
+        prop_assert!(!built3, "clone shares the content version");
+        // Mutation diverges the version: the clone now misses.
+        let mut mutated = clone.clone();
+        mutated.apply_delta([[9u64, 9, 9]], [] as [&[Value]; 0]);
+        let (mutated_ix, built4) = set.index_of("R", &mutated, &order);
+        prop_assert!(built4, "new content version must rebuild");
+        prop_assert_eq!(&*mutated_ix, &TrieIndex::build(&mutated, &order));
+    }
+}

@@ -42,8 +42,9 @@
 //! ```
 //!
 //! For repeated executions, prepare once — the lattice presentation, chain
-//! search, LLP solve, and proof sequences are computed once per size
-//! profile and cached:
+//! search, LLP solve, proof sequences, *and* the trie indexes every probe
+//! runs through are computed once per size profile / relation version and
+//! cached:
 //!
 //! ```
 //! # use fdjoin::core::{Engine, ExecOptions};
@@ -58,7 +59,10 @@
 //! let planning_after_first = prepared.prep_stats();
 //! let second = prepared.execute(&db, &ExecOptions::new()).unwrap();
 //! assert_eq!(first.output, second.output);
-//! assert_eq!(prepared.prep_stats(), planning_after_first); // plans reused
+//! let window = prepared.prep_stats().since(&planning_after_first);
+//! assert_eq!(window.solves(), 0); // plans reused
+//! assert_eq!(window.index_builds, 0); // trie indexes reused
+//! assert!(window.index_hits > 0);
 //! ```
 //!
 //! Explicit algorithms, degree bounds, variable/atom orders, and chain

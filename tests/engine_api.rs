@@ -403,7 +403,14 @@ fn explicit_variants_match_free_functions() {
         assert_eq!(via_engine.algorithm_used, alg);
         assert_eq!(free.algorithm_used, alg);
         assert_eq!(via_engine.output, free.output, "{alg} output mismatch");
-        assert_eq!(via_engine.stats, free.stats, "{alg} stats mismatch");
+        // The engine's index cache warms across the loop; compare the
+        // cache-independent counters plus total acquisitions.
+        assert_eq!(
+            via_engine.stats.deterministic(),
+            free.stats.deterministic(),
+            "{alg} stats mismatch"
+        );
+        assert_eq!(via_engine.stats.index_gets(), free.stats.index_gets());
         assert_eq!(
             via_engine.predicted_log_bound, free.predicted_log_bound,
             "{alg} bound mismatch"
@@ -439,24 +446,39 @@ fn prepared_query_skips_recomputation() {
         let second = prepared.execute(&db, &opts).unwrap();
         let after_second = prepared.prep_stats();
 
-        // Re-execution reuses every cached plan: the preparation work
-        // counter must not grow.
+        // Re-execution reuses every cached plan and every cached trie
+        // index: no solves, no index builds — only index hits may grow.
+        let window = after_second.since(&after_first);
         assert_eq!(
-            after_first, after_second,
+            window.solves(),
+            0,
             "{alg}: second execution must not re-plan (lattice/LLP/chain/proof)"
         );
-        // And the results are deterministic.
+        assert_eq!(
+            window.index_builds, 0,
+            "{alg}: second execution must not rebuild any trie index"
+        );
+        assert!(
+            window.index_hits > 0,
+            "{alg}: second execution must serve probes from cached indexes"
+        );
+        // And the results are deterministic (the index build/hit split
+        // reflects cache warmth, so compare the cache-independent part
+        // plus the total number of index acquisitions).
         assert_eq!(first.output, second.output);
         assert_eq!(
-            first.stats, second.stats,
-            "{alg}: identical Stats across reruns"
+            first.stats.deterministic(),
+            second.stats.deterministic(),
+            "{alg}: identical work counters across reruns"
         );
+        assert_eq!(first.stats.index_gets(), second.stats.index_gets());
 
         // The prepared path is execution-equivalent to two direct calls.
         let direct = Engine::new().execute(&q, &db, &opts).unwrap();
         assert_eq!(first.output, direct.output);
         assert_eq!(
-            first.stats, direct.stats,
+            first.stats.deterministic(),
+            direct.stats.deterministic(),
             "{alg}: prepared Stats == direct Stats"
         );
     }
@@ -480,10 +502,13 @@ fn prepared_query_replans_for_new_size_profile() {
     let after_db2 = prepared.prep_stats();
     assert!(after_db2.chain_searches > after_db1.chain_searches);
 
-    // …but re-running either database stays cached.
+    // …but re-running either database stays cached (no solves, no index
+    // rebuilds — the databases' relation versions are unchanged).
     prepared.execute(&db1, &ExecOptions::new()).unwrap();
     prepared.execute(&db2, &ExecOptions::new()).unwrap();
-    assert_eq!(prepared.prep_stats(), after_db2);
+    let window = prepared.prep_stats().since(&after_db2);
+    assert_eq!(window.solves(), 0);
+    assert_eq!(window.index_builds, 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -607,11 +632,9 @@ fn auto_honors_algorithm_specific_options() {
     assert_eq!(r1.algorithm_used, Algorithm::Chain);
     let after_first = prepared.prep_stats();
     let r2 = prepared.execute(&db, &with_chain).unwrap();
-    assert_eq!(
-        prepared.prep_stats(),
-        after_first,
-        "override plan must be cached"
-    );
+    let window = prepared.prep_stats().since(&after_first);
+    assert_eq!(window.solves(), 0, "override plan must be cached");
+    assert_eq!(window.index_builds, 0, "override run reuses cached indexes");
     assert_eq!(r1.output, r2.output);
 }
 

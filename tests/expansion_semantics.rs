@@ -2,9 +2,10 @@
 //! guarded vs unguarded FDs, dangling-tuple removal, consistency filtering,
 //! and the interaction with each algorithm's final verification.
 
-use fdjoin::core::{naive_join, Expander, Stats};
+use fdjoin::core::{naive_join, AccessPaths, Expander, Stats};
 use fdjoin::lattice::VarSet;
 use fdjoin::query::Query;
+use fdjoin::storage::IndexSet;
 use fdjoin::storage::{Database, Relation};
 
 /// Q :- R(x,y), S(y,z), T(z,u), K(u,x) with y→z guarded in S.
@@ -21,8 +22,10 @@ fn four_cycle() -> (Query, Database) {
 #[test]
 fn guarded_expansion_follows_key() {
     let (q, db) = four_cycle();
-    let ex = Expander::new(&q, &db).unwrap();
+    let set = IndexSet::new();
+    let paths = AccessPaths::new(&set, &q, &db).unwrap();
     let mut stats = Stats::default();
+    let ex = Expander::new(&q, &db, &paths, &mut stats).unwrap();
     // Expanding R over {x,y} adds z via the key y→z in S.
     let rel = db.relation("R").unwrap();
     let expanded = ex.expand_relation(rel, &mut stats);
@@ -38,8 +41,10 @@ fn dangling_tuples_dropped_by_expansion() {
     let mut r = db.relation("R").unwrap().clone();
     r.push_row(&[3, 30]);
     db.insert("R", r);
-    let ex = Expander::new(&q, &db).unwrap();
+    let set = IndexSet::new();
+    let paths = AccessPaths::new(&set, &q, &db).unwrap();
     let mut stats = Stats::default();
+    let ex = Expander::new(&q, &db, &paths, &mut stats).unwrap();
     let expanded = ex.expand_relation(db.relation("R").unwrap(), &mut stats);
     assert_eq!(expanded.len(), 2, "dangling (3,30) removed");
 }
@@ -78,8 +83,10 @@ fn udf_consistency_filters_contradictions() {
 #[test]
 fn verify_fds_rejects_planted_violations() {
     let (q, db) = four_cycle();
-    let ex = Expander::new(&q, &db).unwrap();
+    let set = IndexSet::new();
+    let paths = AccessPaths::new(&set, &q, &db).unwrap();
     let mut stats = Stats::default();
+    let ex = Expander::new(&q, &db, &paths, &mut stats).unwrap();
     let all = VarSet::full(4);
     // Correct tuple.
     assert!(ex.verify_fds(all, &[1, 10, 100, 7], &mut stats));
@@ -103,8 +110,10 @@ fn missing_udf_backing_panics_loudly() {
 #[test]
 fn expansion_idempotent_on_closed_relations() {
     let (q, db) = four_cycle();
-    let ex = Expander::new(&q, &db).unwrap();
+    let set = IndexSet::new();
+    let paths = AccessPaths::new(&set, &q, &db).unwrap();
     let mut stats = Stats::default();
+    let ex = Expander::new(&q, &db, &paths, &mut stats).unwrap();
     let once = ex.expand_relation(db.relation("R").unwrap(), &mut stats);
     let twice = ex.expand_relation(&once, &mut stats);
     assert_eq!(once, twice);
