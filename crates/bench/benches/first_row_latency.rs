@@ -1,0 +1,90 @@
+//! First-row latency: the cursor's reason to exist, measured.
+//!
+//! A consumer that wants the *first* answers (or just `exists`) should not
+//! pay for the whole join. Three comparisons on warm caches (indexes
+//! pre-built, plans prepared, so the delta is enumeration, not setup):
+//!
+//! - `first_row/*` — time to the first delivered row: `ResultStream` vs. a
+//!   full materializing `execute` that then reads row 0.
+//! - `limit_16/*` — a small page: `limit(16)` on a fresh cursor vs.
+//!   materializing everything and truncating.
+//! - `exists/*` — the emptiness check: one pruned descent vs. a full run.
+//!
+//! The gap widens with output size: the stream's cost tracks the *prefix*
+//! it delivers, the materializing run's cost tracks the whole answer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdjoin_core::{Engine, ExecOptions, PreparedQuery};
+use fdjoin_query::examples;
+use fdjoin_storage::Database;
+use fdjoin_stream::ResultStream;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn warm(rows: usize) -> (PreparedQuery, Database) {
+    let q = examples::fig4_query();
+    let mut rng = StdRng::seed_from_u64(5);
+    let db = fdjoin_instances::random_instance(&q, &mut rng, rows, 85);
+    let prepared = Engine::new().prepare(&q);
+    // Pre-build every trie and plan so the bench isolates enumeration.
+    prepared.execute(&db, &ExecOptions::new()).unwrap();
+    (prepared, db)
+}
+
+fn bench_first_row(c: &mut Criterion) {
+    let mut g = c.benchmark_group("first_row_latency");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for rows in [200usize, 800] {
+        let (prepared, db) = warm(rows);
+        let opts = ExecOptions::new();
+
+        g.bench_with_input(BenchmarkId::new("first_row/stream", rows), &db, |b, db| {
+            b.iter(|| {
+                let mut s = ResultStream::open(&prepared, db).unwrap();
+                s.next_row().map(|r| r[0])
+            })
+        });
+        g.bench_with_input(
+            BenchmarkId::new("first_row/materialize", rows),
+            &db,
+            |b, db| {
+                b.iter(|| {
+                    let r = prepared.execute(db, &opts).unwrap();
+                    let first = r.output.rows().next().map(|row| row[0]);
+                    first
+                })
+            },
+        );
+
+        g.bench_with_input(BenchmarkId::new("limit_16/stream", rows), &db, |b, db| {
+            b.iter(|| {
+                let mut s = ResultStream::open(&prepared, db).unwrap();
+                s.limit(16).len()
+            })
+        });
+        g.bench_with_input(
+            BenchmarkId::new("limit_16/materialize", rows),
+            &db,
+            |b, db| {
+                b.iter(|| {
+                    let r = prepared.execute(db, &opts).unwrap();
+                    r.output.rows().take(16).count()
+                })
+            },
+        );
+
+        g.bench_with_input(BenchmarkId::new("exists/stream", rows), &db, |b, db| {
+            b.iter(|| ResultStream::open(&prepared, db).unwrap().exists())
+        });
+        g.bench_with_input(
+            BenchmarkId::new("exists/materialize", rows),
+            &db,
+            |b, db| b.iter(|| !prepared.execute(db, &opts).unwrap().output.is_empty()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_first_row);
+criterion_main!(benches);

@@ -50,7 +50,7 @@ use fdjoin_bounds::chain::{best_chain_bound, chain_bound, Chain, ChainBound};
 use fdjoin_bounds::csm::CsmSequence;
 use fdjoin_bounds::llp::{solve_llp, LlpSolution};
 use fdjoin_bounds::smproof::SmProof;
-use fdjoin_query::{LatticePresentation, Query};
+use fdjoin_query::{EnumerationClass, LatticePresentation, Query};
 use fdjoin_storage::{Database, IndexSet, MissingRelation, Relation};
 use std::fmt;
 use std::sync::Arc;
@@ -231,6 +231,19 @@ pub enum JoinError {
     /// The options are inconsistent with the query (bad variable/atom
     /// order, out-of-range degree bound, …).
     InvalidOptions(String),
+    /// An admission control layer (e.g. `fdjoin_exec`) rejected the
+    /// execution before it started: the data-dependent branch estimate
+    /// ([`PreparedQuery::estimate`]) exceeded the caller's budget. Both
+    /// sides of the comparison ride along so the caller can report — or
+    /// relax — the margin.
+    Budget {
+        /// `log₂` of the skew-pessimistic branch estimate that tripped the
+        /// rejection ([`crate::cost::JoinEstimate::log_max`]). Boxed to
+        /// keep the error type (and every `Result` carrying it) small.
+        estimate_log_max: Box<Rational>,
+        /// `log₂` of the budget it was compared against.
+        budget_log: Box<Rational>,
+    },
 }
 
 impl fmt::Display for JoinError {
@@ -250,6 +263,14 @@ impl fmt::Display for JoinError {
             }
             JoinError::NoCsmSequence => write!(f, "CSM proof sequence construction failed"),
             JoinError::InvalidOptions(msg) => write!(f, "invalid options: {msg}"),
+            JoinError::Budget {
+                estimate_log_max,
+                budget_log,
+            } => write!(
+                f,
+                "admission rejected: estimated log₂ output {estimate_log_max} exceeds \
+                 budget log₂ {budget_log}"
+            ),
         }
     }
 }
@@ -346,6 +367,14 @@ pub struct AutoDecision {
     /// equal to [`AutoDecision::estimate_log_avg`] on uniform data, larger
     /// under skew.
     pub estimate_log_max: Option<Rational>,
+    /// The query's Carmeli–Kröll enumeration class
+    /// ([`fdjoin_query::EnumerationClass`]), computed once at prepare time:
+    /// whether a streaming cursor over this query enjoys constant-delay
+    /// enumeration (possibly only thanks to the FDs), or may stall between
+    /// rows on adversarial data. Data-independent — the same for every
+    /// execution of the prepared query — but recorded per decision so
+    /// serving layers see it next to the bounds they budget with.
+    pub enumeration: EnumerationClass,
 }
 
 /// The unified result of any engine execution.
@@ -466,6 +495,7 @@ impl Engine {
     /// (size-profile-dependent) planning across executions.
     pub fn prepare(&self, q: &Query) -> PreparedQuery {
         let pres = q.lattice_presentation();
+        let enumeration = q.enumeration_class();
         let counters = PrepCounters::default();
         PrepCounters::bump(&counters.lattice_presentations);
         let shared = self.shared.as_ref().map(|cache| {
@@ -476,6 +506,7 @@ impl Engine {
         PreparedQuery {
             query: q.clone(),
             pres,
+            enumeration,
             counters,
             local: LocalPlans::default(),
             shared,
@@ -528,6 +559,9 @@ impl Engine {
 pub struct PreparedQuery {
     query: Query,
     pres: LatticePresentation,
+    /// The Carmeli–Kröll enumeration class, a pure function of the query
+    /// (hypergraph + FDs) computed once at prepare time.
+    enumeration: EnumerationClass,
     counters: PrepCounters,
     local: LocalPlans,
     shared: Option<SharedHandle>,
@@ -578,6 +612,34 @@ impl PreparedQuery {
     /// memory, [`fdjoin_storage::IndexSetStats`]).
     pub fn index_set(&self) -> &Arc<IndexSet> {
         &self.indexes
+    }
+
+    /// The query's Carmeli–Kröll enumeration class
+    /// ([`fdjoin_query::EnumerationClass`]), computed once at prepare time:
+    /// whether streaming enumeration of this query's answers is guaranteed
+    /// constant-delay (after the access-path tries are built), constant-
+    /// delay only thanks to the FDs, or provably not constant-delay. Also
+    /// recorded on every [`AutoDecision`].
+    pub fn enumeration_class(&self) -> EnumerationClass {
+        self.enumeration
+    }
+
+    /// Bind this prepared query to `db`'s content versions and hand out its
+    /// access-path view — the hook `fdjoin_stream::ResultStream` opens a
+    /// cursor through. The returned [`AccessPaths`] shares the engine-wide
+    /// trie-index cache, so a stream abandoned mid-flight leaves every trie
+    /// it built behind for the next cursor (observable as
+    /// [`PrepStats::index_builds`] staying flat across a
+    /// [`PrepStats::since`] window while [`PrepStats::stream_cursors`]
+    /// grows).
+    pub fn access_paths<'q>(&'q self, db: &Database) -> Result<AccessPaths<'q>, JoinError> {
+        PrepCounters::bump(&self.counters.stream_cursors);
+        Ok(AccessPaths::with_token(
+            &self.indexes,
+            &self.query,
+            db,
+            self.token,
+        )?)
     }
 
     /// The data-dependent branch estimate of this query over `db`, from the
@@ -752,6 +814,7 @@ impl PreparedQuery {
                 llp_log_bound: None,
                 estimate_log_avg: None,
                 estimate_log_max: None,
+                enumeration: self.enumeration,
             };
         }
         if opts.chain.is_some() {
@@ -762,6 +825,7 @@ impl PreparedQuery {
                 llp_log_bound: None,
                 estimate_log_avg: None,
                 estimate_log_max: None,
+                enumeration: self.enumeration,
             };
         }
         let chain = self.chain_plan(raw_lens);
@@ -774,6 +838,7 @@ impl PreparedQuery {
                 llp_log_bound: None,
                 estimate_log_avg: None,
                 estimate_log_max: None,
+                enumeration: self.enumeration,
             };
         }
         let mut llp_log_bound = None;
@@ -787,6 +852,7 @@ impl PreparedQuery {
                     llp_log_bound: Some(llp_value),
                     estimate_log_avg: None,
                     estimate_log_max: None,
+                    enumeration: self.enumeration,
                 };
             }
             llp_log_bound = Some(llp_value);
@@ -811,6 +877,7 @@ impl PreparedQuery {
                     llp_log_bound,
                     estimate_log_avg,
                     estimate_log_max,
+                    enumeration: self.enumeration,
                 };
             }
         }
@@ -827,6 +894,7 @@ impl PreparedQuery {
                 llp_log_bound,
                 estimate_log_avg,
                 estimate_log_max,
+                enumeration: self.enumeration,
             };
         }
         AutoDecision {
@@ -836,6 +904,7 @@ impl PreparedQuery {
             llp_log_bound,
             estimate_log_avg,
             estimate_log_max,
+            enumeration: self.enumeration,
         }
     }
 

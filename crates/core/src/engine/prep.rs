@@ -45,6 +45,14 @@ pub struct PrepStats {
     /// Stale trie indexes evicted after a relation's content version moved
     /// on (e.g. an applied delta).
     pub index_evictions: u64,
+    /// Access-path bindings handed out to streaming cursors
+    /// ([`PreparedQuery::access_paths`](super::PreparedQuery::access_paths),
+    /// the hook `fdjoin_stream::ResultStream` opens with). Together with
+    /// [`PrepStats::index_builds`] / [`PrepStats::index_hits`] in a
+    /// [`PrepStats::since`] window this makes warm and cold streaming runs
+    /// comparable: a warm window grows `stream_cursors` and `index_hits`
+    /// but not `index_builds`.
+    pub stream_cursors: u64,
 }
 
 impl PrepStats {
@@ -80,6 +88,7 @@ impl PrepStats {
             index_builds: self.index_builds.saturating_sub(earlier.index_builds),
             index_hits: self.index_hits.saturating_sub(earlier.index_hits),
             index_evictions: self.index_evictions.saturating_sub(earlier.index_evictions),
+            stream_cursors: self.stream_cursors.saturating_sub(earlier.stream_cursors),
         }
     }
 }
@@ -96,6 +105,7 @@ pub(crate) struct PrepCounters {
     pub cllp_solves: AtomicU64,
     pub shared_hits: AtomicU64,
     pub shared_misses: AtomicU64,
+    pub stream_cursors: AtomicU64,
 }
 
 impl PrepCounters {
@@ -119,6 +129,7 @@ impl PrepCounters {
             index_builds: 0,
             index_hits: 0,
             index_evictions: 0,
+            stream_cursors: ld(&self.stream_cursors),
         }
     }
 }

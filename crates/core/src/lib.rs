@@ -65,3 +65,7 @@ pub use engine::{
 };
 pub use expand::Expander;
 pub use stats::Stats;
+
+// Re-exported so engine consumers can match on the enumeration class
+// recorded in [`AutoDecision`] without a direct `fdjoin_query` dependency.
+pub use fdjoin_query::EnumerationClass;

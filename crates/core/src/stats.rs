@@ -23,6 +23,12 @@ pub struct Stats {
     /// Trie indexes served from the access-path cache
     /// (`fdjoin_storage::IndexSet`) instead of being rebuilt.
     pub index_hits: u64,
+    /// Tuples delivered through a `fdjoin_stream::ResultStream` cursor
+    /// (never bumped by materializing executions).
+    pub rows_streamed: u64,
+    /// Times a result stream suspended itself — saved its cursor levels as
+    /// plain-data snapshots and returned control to the caller.
+    pub stream_pauses: u64,
 }
 
 impl Stats {
@@ -61,6 +67,8 @@ impl Stats {
         self.branches += other.branches;
         self.index_builds += other.index_builds;
         self.index_hits += other.index_hits;
+        self.rows_streamed += other.rows_streamed;
+        self.stream_pauses += other.stream_pauses;
     }
 }
 
@@ -78,6 +86,8 @@ mod tests {
             branches: 5,
             index_builds: 6,
             index_hits: 7,
+            rows_streamed: 8,
+            stream_pauses: 9,
         };
         let b = Stats {
             probes: 10,
@@ -87,13 +97,20 @@ mod tests {
             branches: 50,
             index_builds: 60,
             index_hits: 70,
+            rows_streamed: 80,
+            stream_pauses: 90,
         };
         a.merge(&b);
         assert_eq!(a.probes, 11);
         assert_eq!(a.work(), 11 + 22 + 33 + 44);
         assert_eq!(a.branches, 55);
         assert_eq!(a.index_gets(), 66 + 77);
+        assert_eq!(a.rows_streamed, 88);
+        assert_eq!(a.stream_pauses, 99);
         assert_eq!(a.deterministic().index_gets(), 0);
         assert_eq!(a.deterministic().work(), a.work());
+        // Streaming counters are deterministic for a fixed driving pattern
+        // (unlike the cache-warmth build/hit split) and survive the filter.
+        assert_eq!(a.deterministic().rows_streamed, 88);
     }
 }

@@ -186,6 +186,37 @@ impl Executor {
         }
         BatchHandle { rx, n, started }
     }
+
+    /// [`submit`](Executor::submit) with estimate-driven admission
+    /// control: each database is first checked against the
+    /// [`Admission`](crate::Admission) cap, and over-budget executions
+    /// fail fast in the handle with `JoinError::Budget` — the estimate is
+    /// the only work they cost.
+    pub fn submit_with_admission(
+        &self,
+        prepared: &Arc<PreparedQuery>,
+        dbs: &Arc<Vec<Database>>,
+        opts: &ExecOptions,
+        admission: &crate::Admission,
+    ) -> BatchHandle {
+        let started = Instant::now();
+        let (tx, rx) = channel();
+        let n = dbs.len();
+        for i in 0..n {
+            let prepared = prepared.clone();
+            let dbs = dbs.clone();
+            let opts = opts.clone();
+            let admission = admission.clone();
+            let tx = tx.clone();
+            self.pool.spawn(Box::new(move || {
+                let r = admission
+                    .check(&prepared, &dbs[i])
+                    .and_then(|()| prepared.execute(&dbs[i], &opts));
+                let _ = tx.send((i, r));
+            }));
+        }
+        BatchHandle { rx, n, started }
+    }
 }
 
 impl Default for Executor {

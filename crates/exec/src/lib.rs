@@ -24,6 +24,20 @@
 //!    [`JoinResult`](fdjoin_core::JoinResult)s plus aggregate
 //!    [`BatchStats`] (throughput, totals).
 //!
+//! 3. **Budgeted streaming service** ([`Executor::submit_stream`]): serves
+//!    a query through an `fdjoin_stream::ResultStream` cursor instead of a
+//!    materializing run, delivering rows until a [`StreamBudget`] stops it
+//!    — wall-clock deadline, row cap, or byte cap. Because the cursor
+//!    suspends as plain snapshots over the engine-wide trie cache,
+//!    abandoning a stream mid-flight discards nothing expensive: prepared
+//!    plans and cached trie indexes survive for the next submission.
+//!    Estimate-driven **admission control** guards both entry points:
+//!    [`StreamBudget::admit_below`] and [`Admission`] (for
+//!    [`Executor::submit_with_admission`] batches) reject executions whose
+//!    [`PreparedQuery::estimate`](fdjoin_core::PreparedQuery::estimate)
+//!    exceeds a `log₂` cap with `JoinError::Budget` — before any cursor,
+//!    trie, or pool slot is spent.
+//!
 //! The raw admission primitives — [`Executor::spawn`] (persistent pool)
 //! and [`run_scoped`] (scoped workers over borrowed data) — are public so
 //! other serving drivers can schedule non-batch workloads on the same
@@ -68,9 +82,11 @@
 
 mod batch;
 mod pool;
+mod streaming;
 
 pub use batch::{BatchHandle, BatchResult, BatchStats, ExecuteBatch, Executor};
 pub use pool::run_scoped;
+pub use streaming::{Admission, StreamBudget, StreamEnd, StreamHandle, StreamOutcome};
 // The cache types live in `fdjoin_core` (they are wired into
 // `Engine::prepare` and relabel crate-private plan structures); this crate
 // is their serving-layer home.

@@ -1,0 +1,250 @@
+//! Streaming service: budgeted, cancellable result delivery over
+//! `fdjoin_stream` cursors, plus estimate-driven admission control.
+//!
+//! A materializing batch job either finishes or fails; a *stream* job can
+//! also be **abandoned** — the [`StreamBudget`] caps (wall-clock deadline,
+//! row count, byte volume) stop the enumeration between rows, and because
+//! a [`ResultStream`] suspends as plain data over the engine-wide trie
+//! cache, abandoning it discards *nothing that was expensive*: the
+//! prepared query's plans and every trie index built so far stay cached
+//! for the next cursor (observable via
+//! [`PrepStats`](fdjoin_core::PrepStats) windows — `index_builds` stays
+//! flat while `stream_cursors` grows).
+//!
+//! Admission happens *before* work: [`StreamBudget::admit_below`] (and
+//! [`Admission`] for materializing batches) compares the data-dependent
+//! branch estimate [`PreparedQuery::estimate`] against a `log₂` cap and
+//! rejects over-budget executions with [`JoinError::Budget`] — carrying
+//! both sides of the comparison — without opening a cursor or touching the
+//! pool.
+
+use crate::batch::Executor;
+use fdjoin_bigint::Rational;
+use fdjoin_core::{EnumerationClass, JoinError, PreparedQuery, Stats};
+use fdjoin_storage::{Database, Relation, Value};
+use fdjoin_stream::ResultStream;
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Resource caps for one streaming execution, checked between rows.
+/// Builder-style; an empty budget streams to exhaustion.
+///
+/// ```
+/// use fdjoin_exec::StreamBudget;
+/// use std::time::Duration;
+/// let budget = StreamBudget::new()
+///     .max_rows(1_000)
+///     .deadline(Duration::from_millis(50));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct StreamBudget {
+    deadline: Option<Duration>,
+    max_rows: Option<u64>,
+    max_bytes: Option<u64>,
+    max_log_estimate: Option<Rational>,
+}
+
+impl StreamBudget {
+    /// No caps: stream to exhaustion.
+    pub fn new() -> StreamBudget {
+        StreamBudget::default()
+    }
+
+    /// Stop delivering once this much wall-clock time has elapsed since
+    /// submission ([`StreamEnd::Deadline`]). `Duration::ZERO` cancels
+    /// before the first row — a deterministic way to test cancellation.
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Deliver at most this many rows ([`StreamEnd::RowBudget`]).
+    pub fn max_rows(mut self, n: u64) -> Self {
+        self.max_rows = Some(n);
+        self
+    }
+
+    /// Stop once the delivered rows' payload reaches this many bytes
+    /// ([`StreamEnd::ByteBudget`]); the row that crosses the cap is still
+    /// delivered.
+    pub fn max_bytes(mut self, b: u64) -> Self {
+        self.max_bytes = Some(b);
+        self
+    }
+
+    /// Admission cap: reject the submission outright (with
+    /// [`JoinError::Budget`], before any cursor is opened) unless the
+    /// skew-pessimistic branch estimate
+    /// ([`fdjoin_core::cost::JoinEstimate::log_max`]) fits under this
+    /// `log₂` bound.
+    pub fn admit_below(mut self, log_max: Rational) -> Self {
+        self.max_log_estimate = Some(log_max);
+        self
+    }
+}
+
+/// Why a streaming execution stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamEnd {
+    /// Every answer was delivered.
+    Exhausted,
+    /// The [`StreamBudget::max_rows`] cap was reached.
+    RowBudget,
+    /// The [`StreamBudget::max_bytes`] cap was reached.
+    ByteBudget,
+    /// The [`StreamBudget::deadline`] passed; remaining rows abandoned.
+    Deadline,
+}
+
+/// The result of one streaming execution: the delivered row prefix (in
+/// enumeration order — sorted lexicographically by the atom variables),
+/// how it ended, and the work it cost.
+#[derive(Clone, Debug)]
+pub struct StreamOutcome {
+    /// Rows delivered before the stream ended (all of them iff
+    /// [`StreamEnd::Exhausted`]).
+    pub rows: Relation,
+    /// The stream's work counters, including [`Stats::rows_streamed`] /
+    /// [`Stats::stream_pauses`].
+    pub stats: Stats,
+    /// Why delivery stopped.
+    pub end: StreamEnd,
+    /// The query's Carmeli–Kröll enumeration class: whether the per-row
+    /// delay was guaranteed constant.
+    pub enumeration: EnumerationClass,
+    /// Wall-clock time from submission to the end of delivery.
+    pub wall: Duration,
+}
+
+/// An in-flight streaming execution submitted to an [`Executor`].
+pub struct StreamHandle {
+    rx: Receiver<Result<StreamOutcome, JoinError>>,
+}
+
+impl StreamHandle {
+    /// Block until the stream ends (exhaustion, budget, or rejection).
+    pub fn wait(self) -> Result<StreamOutcome, JoinError> {
+        self.rx
+            .recv()
+            .expect("a stream job panicked before reporting its result")
+    }
+}
+
+/// Estimate-driven admission for materializing batches
+/// ([`Executor::submit_with_admission`]): every database whose
+/// skew-pessimistic branch estimate exceeds the cap fails fast with
+/// [`JoinError::Budget`] instead of executing.
+#[derive(Clone, Debug)]
+pub struct Admission {
+    max_log_estimate: Rational,
+}
+
+impl Admission {
+    /// Admit only executions whose estimated `log₂` branch count fits
+    /// under `log_max`.
+    pub fn below(log_max: Rational) -> Admission {
+        Admission {
+            max_log_estimate: log_max,
+        }
+    }
+
+    /// Check one `(prepared, database)` pair against the cap.
+    pub fn check(&self, prepared: &PreparedQuery, db: &Database) -> Result<(), JoinError> {
+        let est = prepared.estimate(db)?;
+        if est.log_max > self.max_log_estimate {
+            return Err(JoinError::Budget {
+                estimate_log_max: Box::new(est.log_max),
+                budget_log: Box::new(self.max_log_estimate.clone()),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Executor {
+    /// Stream `prepared`'s answers over `db` on the pool, delivering rows
+    /// until the [`StreamBudget`] stops it. Returns immediately with a
+    /// handle; admission (when [`StreamBudget::admit_below`] is set) runs
+    /// synchronously on the submitting thread, so a rejected query costs
+    /// an estimate — never a cursor, a trie build, or a pool slot.
+    ///
+    /// Cancellation is cooperative and loss-free for the serving layer: a
+    /// budget-stopped stream abandons only the *un-delivered* suffix; the
+    /// prepared plans and every cached trie index survive for the next
+    /// submission.
+    pub fn submit_stream(
+        &self,
+        prepared: &Arc<PreparedQuery>,
+        db: &Arc<Database>,
+        budget: StreamBudget,
+    ) -> StreamHandle {
+        let started = Instant::now();
+        let (tx, rx) = channel();
+        if let Some(cap) = &budget.max_log_estimate {
+            let admitted = match prepared.estimate(db) {
+                Ok(est) => {
+                    if est.log_max > *cap {
+                        Err(JoinError::Budget {
+                            estimate_log_max: Box::new(est.log_max),
+                            budget_log: Box::new(cap.clone()),
+                        })
+                    } else {
+                        Ok(())
+                    }
+                }
+                Err(e) => Err(e),
+            };
+            if let Err(e) = admitted {
+                let _ = tx.send(Err(e));
+                return StreamHandle { rx };
+            }
+        }
+        let prepared = Arc::clone(prepared);
+        let db = Arc::clone(db);
+        self.spawn(move || {
+            let _ = tx.send(run_stream(&prepared, &db, &budget, started));
+        });
+        StreamHandle { rx }
+    }
+}
+
+/// Drive one cursor under the budget; runs on a pool worker.
+fn run_stream(
+    prepared: &PreparedQuery,
+    db: &Database,
+    budget: &StreamBudget,
+    started: Instant,
+) -> Result<StreamOutcome, JoinError> {
+    let mut stream = ResultStream::open(prepared, db)?;
+    let row_bytes = std::mem::size_of::<Value>() as u64;
+    let mut rows = Relation::new((0..prepared.query().n_vars() as u32).collect());
+    let mut delivered = 0u64;
+    let mut bytes = 0u64;
+    let end = loop {
+        if budget.max_rows.is_some_and(|cap| delivered >= cap) {
+            break StreamEnd::RowBudget;
+        }
+        if budget.max_bytes.is_some_and(|cap| bytes >= cap) {
+            break StreamEnd::ByteBudget;
+        }
+        if budget.deadline.is_some_and(|d| started.elapsed() >= d) {
+            break StreamEnd::Deadline;
+        }
+        match stream.next_row() {
+            Some(row) => {
+                bytes += row.len() as u64 * row_bytes;
+                delivered += 1;
+                rows.push_row(row);
+            }
+            None => break StreamEnd::Exhausted,
+        }
+    };
+    Ok(StreamOutcome {
+        rows,
+        stats: stream.stats(),
+        end,
+        enumeration: stream.enumeration_class(),
+        wall: started.elapsed(),
+    })
+}

@@ -7,12 +7,14 @@
 //! which lets us turn the paper's abstract lattices (Figs. 4, 7, 8, 9) into
 //! runnable queries.
 
+mod enumeration;
 mod fd;
 mod hypergraph;
 mod query;
 
 pub mod examples;
 
+pub use enumeration::EnumerationClass;
 pub use fd::{Fd, FdSet};
 pub use hypergraph::{EdgeCover, Hypergraph};
 pub use query::{query_from_lattice, Atom, LatticePresentation, Query, QueryBuilder};

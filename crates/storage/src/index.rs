@@ -238,6 +238,44 @@ impl TrieIndex {
     pub fn memory_bytes(&self) -> usize {
         self.data.len() * std::mem::size_of::<Value>() + self.vars.len() * 4
     }
+
+    /// Reattach a saved cursor position to this index: the inverse of
+    /// [`Probe::snapshot`]. The snapshot must have been taken from a probe
+    /// over an index with identical content (same rows, same order) —
+    /// callers pausing across database versions must re-validate content
+    /// identity (e.g. via [`Relation::version`]) before resuming; a
+    /// snapshot from different content silently addresses the wrong rows.
+    pub fn resume(&self, snap: ProbeSnapshot) -> Probe<'_> {
+        debug_assert!(snap.depth <= self.arity(), "snapshot depth out of range");
+        debug_assert!(snap.hi <= self.rows, "snapshot range out of range");
+        debug_assert!(snap.lo <= snap.hi, "snapshot range inverted");
+        Probe {
+            data: &self.data,
+            arity: self.arity(),
+            depth: snap.depth,
+            lo: snap.lo,
+            hi: snap.hi,
+        }
+    }
+}
+
+/// A paused [`Probe`] position as plain data: the cursor's depth and row
+/// range, detached from the index's lifetime.
+///
+/// `Probe` borrows its index, so a suspended search (e.g. a paused result
+/// stream) cannot hold live probes alongside the owning
+/// `Arc<`[`TrieIndex`]`>`s. A snapshot is the three word-sized fields that
+/// identify the position; [`TrieIndex::resume`] turns it back into a live
+/// cursor in O(1). Snapshots are only meaningful against an index with the
+/// same content they were taken from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProbeSnapshot {
+    /// How many leading columns the paused cursor had bound.
+    pub depth: usize,
+    /// Start of the paused row range.
+    pub lo: usize,
+    /// End (exclusive) of the paused row range.
+    pub hi: usize,
 }
 
 /// A zero-allocation trie cursor: a current depth and a row range that only
@@ -399,6 +437,16 @@ impl<'a> Probe<'a> {
         match self.current() {
             None => self.lo..self.lo,
             Some(v) => self.lo..self.upper_bound_from(self.lo, v),
+        }
+    }
+
+    /// Save this cursor's position as plain data, detached from the index
+    /// lifetime; [`TrieIndex::resume`] restores it in O(1).
+    pub fn snapshot(&self) -> ProbeSnapshot {
+        ProbeSnapshot {
+            depth: self.depth,
+            lo: self.lo,
+            hi: self.hi,
         }
     }
 
@@ -817,6 +865,28 @@ mod tests {
         assert_eq!(p.next_value(), Some(2));
         let child2 = p.enter();
         assert_eq!(child2.current(), Some(10));
+    }
+
+    #[test]
+    fn snapshot_resume_round_trips() {
+        let r = rel();
+        let ix = TrieIndex::build(&r, &[0, 1, 2]);
+        let mut p = ix.probe();
+        assert!(p.descend(1));
+        assert!(p.descend(10));
+        let snap = p.snapshot();
+        // The live cursor moves on; the snapshot stays put.
+        assert_eq!(p.next_value(), Some(101));
+        let mut resumed = ix.resume(snap);
+        assert_eq!(resumed.depth(), 2);
+        assert_eq!(resumed.range(), p.range().start - 1..p.range().end);
+        assert_eq!(resumed.current(), Some(100));
+        assert_eq!(resumed.next_value(), Some(101));
+        assert_eq!(resumed.next_value(), None);
+        // Root snapshot resumes to the full index.
+        let root = ix.probe().snapshot();
+        assert_eq!(ix.resume(root).range(), 0..ix.len());
+        assert_eq!(ProbeSnapshot::default().depth, 0);
     }
 
     #[test]

@@ -83,6 +83,23 @@
 //! ([`core::PlanCache`] via [`core::Engine::with_plan_cache`]); see
 //! `examples/serving.rs`.
 //!
+//! ## Streaming enumeration
+//!
+//! When the consumer wants the first rows — or just a count, an existence
+//! check, or a page — materializing the whole join is wasted work.
+//! [`stream`] enumerates answers on demand: [`stream::ResultStream`] is a
+//! cursor over the same cached trie indexes the batch algorithms probe,
+//! suspending between rows as plain per-depth snapshots. `limit`/`offset`/
+//! `exists`/`count` prune the enumeration (strictly less
+//! [`core::Stats::deterministic`] work than a full run), checkpoints make
+//! a pagination cursor that survives the stream — and is rejected as stale
+//! if the underlying data changed — and [`query::EnumerationClass`]
+//! reports whether the per-row delay is provably constant
+//! (Carmeli–Kröll: (FD-extended) acyclicity). The serving layer wraps
+//! this as [`exec::Executor::submit_stream`] with deadline/row/byte
+//! budgets ([`exec::StreamBudget`]) and estimate-driven admission control;
+//! see `examples/streaming.rs` and `tests/streaming.rs`.
+//!
 //! ## Incremental maintenance
 //!
 //! When relations change by small deltas, [`delta`] maintains a
@@ -131,7 +148,8 @@
 //! | [`core`] | the `Engine` + Chain Algorithm, SMA, CSMA, and baselines |
 //! | [`core::engine`] | `Engine`, `PreparedQuery`, `Algorithm`, `ExecOptions`, `JoinResult`, `JoinError` |
 //! | [`core::cost`] | data-dependent branch estimates from measured degree/skew statistics |
-//! | [`exec`] | serving layer: batch/concurrent drivers, shared plan cache |
+//! | [`stream`] | cursor-based result streaming, pagination checkpoints, enumeration classes |
+//! | [`exec`] | serving layer: batch/concurrent drivers, budgeted streaming, shared plan cache |
 //! | [`delta`] | incremental maintenance: delta batches, materialized views, delta stats |
 //! | [`instances`] | worst-case and random instance generators |
 
@@ -145,3 +163,4 @@ pub use fdjoin_lattice as lattice;
 pub use fdjoin_lp as lp;
 pub use fdjoin_query as query;
 pub use fdjoin_storage as storage;
+pub use fdjoin_stream as stream;

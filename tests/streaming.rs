@@ -1,0 +1,68 @@
+//! Streaming through the facade: the Carmeli–Kröll enumeration class is
+//! recorded on every Auto decision, and the cursor layer composes with the
+//! engine's prepared queries end to end.
+
+use fdjoin::core::{Algorithm, Engine, ExecOptions};
+use fdjoin::query::{examples, EnumerationClass, Query};
+use fdjoin::stream::ResultStream;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn auto_class(q: &Query, seed: u64) -> EnumerationClass {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = fdjoin::instances::random_instance(q, &mut rng, 12, 80);
+    let r = Engine::new()
+        .execute(q, &db, &ExecOptions::new().algorithm(Algorithm::Auto))
+        .expect("auto execution");
+    let decision = r.auto.expect("auto runs record their decision");
+    decision.enumeration
+}
+
+/// The acceptance criterion: an actual Auto execution reports
+/// constant-delay for an acyclic query and not-constant-delay for a query
+/// that provably has no constant-delay enumeration (the triangle, cyclic
+/// even under its FD closure).
+#[test]
+fn auto_decisions_report_enumeration_class() {
+    let cd = auto_class(&examples::simple_fd_path(), 1);
+    assert_eq!(cd, EnumerationClass::ConstantDelay);
+    assert!(cd.is_constant_delay());
+
+    let ncd = auto_class(&examples::triangle(), 2);
+    assert_eq!(ncd, EnumerationClass::NotConstantDelay);
+    assert!(!ncd.is_constant_delay());
+
+    // The interesting middle class: the triangle again, but an FD y→z
+    // makes its closure acyclic — constant delay *because of* the FDs.
+    let mut b = Query::builder();
+    let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+    b.atom("R", &[x, y]).atom("S", &[y, z]).atom("T", &[z, x]);
+    b.fd(&[y], &[z]);
+    let via_fds = auto_class(&b.build(), 3);
+    assert_eq!(via_fds, EnumerationClass::ConstantDelayViaFds);
+    assert!(via_fds.is_constant_delay());
+}
+
+/// The recorded class is data-independent: every database, and every
+/// prepared execution, reports the same class the prepared query exposes.
+#[test]
+fn enumeration_class_is_stable_across_data() {
+    let q = examples::fig4_query();
+    let prepared = Engine::new().prepare(&q);
+    assert_eq!(
+        prepared.enumeration_class(),
+        EnumerationClass::NotConstantDelay
+    );
+    for seed in [10u64, 11] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let db = fdjoin::instances::random_instance(&q, &mut rng, 15, 75);
+        let r = prepared.execute(&db, &ExecOptions::new()).expect("execute");
+        assert_eq!(
+            r.auto.expect("auto decision").enumeration,
+            prepared.enumeration_class()
+        );
+        // The stream layer reports the same class it enumerates under.
+        let s = ResultStream::open(&prepared, &db).expect("open");
+        assert_eq!(s.enumeration_class(), prepared.enumeration_class());
+    }
+}
