@@ -17,7 +17,7 @@
 //!   paths, not planning).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fdjoin_core::{Algorithm, Engine, ExecOptions};
+use fdjoin_core::{Algorithm, Engine, ExecOptions, Observer};
 use fdjoin_instances::bounded_degree_triangle;
 use fdjoin_query::examples;
 use fdjoin_storage::{Relation, TrieIndex, Value};
@@ -144,5 +144,40 @@ fn bench_engine_reuse(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_storage_probes, bench_engine_reuse);
+fn bench_obs_overhead(c: &mut Criterion) {
+    // Observability guard: the same warm-engine workload with tracing
+    // disabled (the default — one branch per emit point) and enabled
+    // (spans + metrics recorded). The disabled pass must track
+    // `engine/warm_indexes`; the acceptance bar is <2% regression.
+    let q = examples::triangle();
+    let n = 512u64;
+    let db = bounded_degree_triangle(n, 16);
+    let opts = ExecOptions::new().algorithm(Algorithm::GenericJoin);
+
+    let mut g = c.benchmark_group("probe_ablation");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let off = Engine::new().prepare(&q);
+    off.execute(&db, &opts).unwrap();
+    g.bench_with_input(BenchmarkId::new("engine/obs_disabled", n), &db, |b, db| {
+        b.iter(|| off.execute(db, &opts).unwrap().output.len())
+    });
+
+    let trace = Observer::enabled();
+    let on = Engine::new().observe(trace.clone()).prepare(&q);
+    on.execute(&db, &opts).unwrap();
+    g.bench_with_input(BenchmarkId::new("engine/obs_enabled", n), &db, |b, db| {
+        b.iter(|| on.execute(db, &opts).unwrap().output.len())
+    });
+    // Keep the ring from accumulating across iterations.
+    trace.drain_spans();
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_storage_probes,
+    bench_engine_reuse,
+    bench_obs_overhead
+);
 criterion_main!(benches);

@@ -24,10 +24,12 @@
 //!   whose derivation actually read it; everything else keeps hitting.
 
 use crate::Stats;
+use fdjoin_obs::{Observer, SpanKind};
 use fdjoin_query::Query;
 use fdjoin_storage::{Database, IndexKey, IndexSet, MissingRelation, Relation, TrieIndex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Source of per-query expansion tokens (see [`AccessPaths::new`]).
 static TOKEN_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -49,6 +51,10 @@ pub struct AccessPaths<'a> {
     set: &'a IndexSet,
     /// Interned expansion signature per atom (see module docs).
     atom_sigs: Vec<u64>,
+    /// Tracing handle: cache *misses* emit an `index_build` span (hits are
+    /// deliberately silent — they are counted, not traced). Disabled by
+    /// default; `PreparedQuery` attaches its engine's observer.
+    obs: Observer,
 }
 
 impl<'a> AccessPaths<'a> {
@@ -91,7 +97,19 @@ impl<'a> AccessPaths<'a> {
             inputs.push(udf_version);
             atom_sigs.push(set.signature(&inputs));
         }
-        Ok(AccessPaths { set, atom_sigs })
+        Ok(AccessPaths {
+            set,
+            atom_sigs,
+            obs: Observer::disabled(),
+        })
+    }
+
+    /// Attach an observer: every index *build* this handle performs from
+    /// now on is traced as an `index_build` span keyed by relation, order,
+    /// and content version.
+    pub fn with_observer(mut self, obs: Observer) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The underlying cache (for observability).
@@ -108,8 +126,12 @@ impl<'a> AccessPaths<'a> {
         order: &[u32],
         stats: &mut Stats,
     ) -> Arc<TrieIndex> {
+        let started = self.obs.is_enabled().then(Instant::now);
         let (ix, built) = self.set.index_of(name, rel, order);
         self.meter(built, stats);
+        if built {
+            self.trace_build(started, name, "base", rel.version(), order, ix.len());
+        }
         ix
     }
 
@@ -125,10 +147,37 @@ impl<'a> AccessPaths<'a> {
         order: &[u32],
         stats: &mut Stats,
     ) -> Arc<TrieIndex> {
-        let key = IndexKey::derived(name, self.atom_sigs[atom], order.to_vec());
+        let started = self.obs.is_enabled().then(Instant::now);
+        let sig = self.atom_sigs[atom];
+        let key = IndexKey::derived(name, sig, order.to_vec());
         let (ix, built) = self.set.get_or_build(key, || TrieIndex::build(rel, order));
         self.meter(built, stats);
+        if built {
+            self.trace_build(started, name, "derived", sig, order, ix.len());
+        }
         ix
+    }
+
+    /// Record one cache miss as a retroactive `index_build` span: the
+    /// probe-first protocol means the span exists only when a trie was
+    /// actually materialized, timed from before the cache lookup.
+    fn trace_build(
+        &self,
+        started: Option<Instant>,
+        name: &str,
+        kind: &'static str,
+        version: u64,
+        order: &[u32],
+        rows: usize,
+    ) {
+        let Some(started) = started else { return };
+        let mut span = self
+            .obs
+            .span_started_at(SpanKind::IndexBuild, name, started);
+        span.field("kind", kind);
+        span.field("version", version);
+        span.field("order", format!("{order:?}"));
+        span.field("rows", rows);
     }
 
     fn meter(&self, built: bool, stats: &mut Stats) {

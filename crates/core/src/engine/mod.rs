@@ -34,10 +34,12 @@
 //! The free functions at the bottom ([`chain_join`], [`sma_join`], …) are
 //! thin shims over the engine, kept for ergonomic one-shot calls.
 
+mod explain;
 mod prep;
 mod relabel;
 mod shared;
 
+pub use explain::{Explain, ExplainAnalysis};
 pub use prep::PrepStats;
 pub use shared::{PlanCache, PlanCacheStats};
 
@@ -50,10 +52,12 @@ use fdjoin_bounds::chain::{best_chain_bound, chain_bound, Chain, ChainBound};
 use fdjoin_bounds::csm::CsmSequence;
 use fdjoin_bounds::llp::{solve_llp, LlpSolution};
 use fdjoin_bounds::smproof::SmProof;
+use fdjoin_obs::{Observer, Registry, SpanKind};
 use fdjoin_query::{EnumerationClass, LatticePresentation, Query};
 use fdjoin_storage::{Database, IndexSet, MissingRelation, Relation};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::AccessPaths;
 
@@ -451,6 +455,10 @@ pub struct Engine {
     /// query-dependent derived indexes are disambiguated by a per-query
     /// token in their signatures).
     indexes: Arc<IndexSet>,
+    /// The observability handle ([`fdjoin_obs::Observer`]), disabled by
+    /// default and inherited by every `PreparedQuery`. Attach one with
+    /// [`Engine::observe`].
+    obs: Observer,
 }
 
 impl Default for Engine {
@@ -466,6 +474,7 @@ impl Engine {
         Engine {
             shared: None,
             indexes: Arc::new(IndexSet::new()),
+            obs: Observer::disabled(),
         }
     }
 
@@ -476,7 +485,25 @@ impl Engine {
         Engine {
             shared: Some(cache),
             indexes: Arc::new(IndexSet::new()),
+            obs: Observer::disabled(),
         }
+    }
+
+    /// Attach an [`Observer`]: every query prepared from now on emits
+    /// `prepare`/`solve`/`index_build` spans and registry metrics through
+    /// it. Pass the *same* observer to an `fdjoin_exec::Executor` (and
+    /// thereby to streams and delta views) to get one coherent span tree
+    /// per submission. The default (disabled) observer costs one branch
+    /// per emit point and records nothing.
+    pub fn observe(mut self, obs: Observer) -> Engine {
+        self.obs = obs;
+        self
+    }
+
+    /// The engine's observability handle (disabled unless
+    /// [`Engine::observe`] attached one).
+    pub fn observer(&self) -> &Observer {
+        &self.obs
     }
 
     /// The attached cross-query plan cache, if any.
@@ -494,6 +521,8 @@ impl Engine {
     /// canonical fingerprint — and return a handle that caches all further
     /// (size-profile-dependent) planning across executions.
     pub fn prepare(&self, q: &Query) -> PreparedQuery {
+        let started = Instant::now();
+        let mut span = self.obs.span(SpanKind::Prepare, query_label(q));
         let pres = q.lattice_presentation();
         let enumeration = q.enumeration_class();
         let counters = PrepCounters::default();
@@ -503,6 +532,21 @@ impl Engine {
             let fp = fdjoin_lattice::canonical_fingerprint(&pres.lattice, &pres.inputs);
             SharedHandle::new(cache.shape(&fp), &fp, &pres.inputs)
         });
+        if self.obs.is_enabled() {
+            span.field("atoms", q.atoms().len());
+            span.field("vars", q.n_vars());
+            span.field("fds", q.fds.fds().len());
+            span.field("lattice_elems", pres.lattice.len());
+            span.field("enumeration", enumeration.to_string());
+            span.field("shared_cache", shared.is_some());
+            let m = self.obs.metrics();
+            m.add("fdjoin_prepares_total", &[], 1);
+            m.observe(
+                "fdjoin_prepare_latency_ns",
+                &[],
+                started.elapsed().as_nanos() as u64,
+            );
+        }
         PreparedQuery {
             query: q.clone(),
             pres,
@@ -513,6 +557,7 @@ impl Engine {
             indexes: Arc::clone(&self.indexes),
             baseline: self.indexes.stats(),
             token: crate::access::next_token(),
+            obs: self.obs.clone(),
         }
     }
 
@@ -576,6 +621,9 @@ pub struct PreparedQuery {
     /// query-dependent expansions never alias across queries sharing the
     /// engine-wide cache.
     token: u64,
+    /// The preparing engine's observability handle: executions emit
+    /// `solve`/`index_build` spans and per-execution metrics through it.
+    obs: Observer,
 }
 
 impl PreparedQuery {
@@ -624,6 +672,15 @@ impl PreparedQuery {
         self.enumeration
     }
 
+    /// The observability handle inherited from the preparing engine
+    /// (disabled unless [`Engine::observe`] attached one). Downstream
+    /// layers — `fdjoin_stream` cursors, `fdjoin_delta` views — emit their
+    /// spans and metrics through this same handle, which is what makes one
+    /// submission's spans a single tree.
+    pub fn observer(&self) -> &Observer {
+        &self.obs
+    }
+
     /// Bind this prepared query to `db`'s content versions and hand out its
     /// access-path view — the hook `fdjoin_stream::ResultStream` opens a
     /// cursor through. The returned [`AccessPaths`] shares the engine-wide
@@ -634,12 +691,10 @@ impl PreparedQuery {
     /// grows).
     pub fn access_paths<'q>(&'q self, db: &Database) -> Result<AccessPaths<'q>, JoinError> {
         PrepCounters::bump(&self.counters.stream_cursors);
-        Ok(AccessPaths::with_token(
-            &self.indexes,
-            &self.query,
-            db,
-            self.token,
-        )?)
+        Ok(
+            AccessPaths::with_token(&self.indexes, &self.query, db, self.token)?
+                .with_observer(self.obs.clone()),
+        )
     }
 
     /// The data-dependent branch estimate of this query over `db`, from the
@@ -671,6 +726,70 @@ impl PreparedQuery {
     /// Execute against a database. Plans for previously seen size profiles
     /// are reused; see [`PrepStats`].
     pub fn execute(&self, db: &Database, opts: &ExecOptions) -> Result<JoinResult, JoinError> {
+        self.execute_with(db, opts, &self.obs)
+    }
+
+    /// [`PreparedQuery::execute`] emitting through an explicit observer —
+    /// the hook [`PreparedQuery::explain_analyze`] uses to trace one
+    /// execution into a private recorder without disturbing (or requiring)
+    /// the engine-wide one.
+    pub(crate) fn execute_with(
+        &self,
+        db: &Database,
+        opts: &ExecOptions,
+        obs: &Observer,
+    ) -> Result<JoinResult, JoinError> {
+        if !obs.is_enabled() {
+            return self.execute_inner(db, opts, obs);
+        }
+        let started = Instant::now();
+        let mut span = obs.span(SpanKind::Solve, query_label(&self.query));
+        let result = self.execute_inner(db, opts, obs);
+        let m = obs.metrics();
+        match &result {
+            Ok(r) => {
+                let algorithm = r.algorithm_used.to_string();
+                span.field("algorithm", algorithm.clone());
+                span.field("rows", r.output.len());
+                span.field("work", r.stats.work());
+                if let Some(bound) = &r.predicted_log_bound {
+                    span.field("predicted_log_bound", bound.to_f64());
+                }
+                if let Some(auto) = &r.auto {
+                    span.field("auto_reason", auto.reason.to_string());
+                    span.field("enumeration", auto.enumeration.to_string());
+                    if let Some(b) = &auto.chain_log_bound {
+                        span.field("chain_log_bound", b.to_f64());
+                    }
+                    if let Some(b) = &auto.llp_log_bound {
+                        span.field("llp_log_bound", b.to_f64());
+                    }
+                    if let Some(e) = &auto.estimate_log_max {
+                        span.field("estimate_log_max", e.to_f64());
+                    }
+                }
+                record_execution_metrics(&m, &algorithm, &r.stats, started);
+                // The ROADMAP calibration loop: estimate vs. observed work,
+                // computed only when someone is listening.
+                if let Ok(est) = self.estimate(db) {
+                    let observed = (r.stats.work().max(1) as f64).log2();
+                    m.record_estimate_error(est.log_max.to_f64() - observed);
+                }
+            }
+            Err(e) => {
+                span.field("error", e.to_string());
+                m.add("fdjoin_execution_errors_total", &[], 1);
+            }
+        }
+        result
+    }
+
+    fn execute_inner(
+        &self,
+        db: &Database,
+        opts: &ExecOptions,
+        obs: &Observer,
+    ) -> Result<JoinResult, JoinError> {
         let q = &self.query;
         // Validate the database up front so every algorithm shares the
         // non-panicking MissingRelation path.
@@ -683,7 +802,8 @@ impl PreparedQuery {
         // cache: every probe below goes through trie indexes keyed by
         // relation content versions, so repeated executions (and batch
         // workers, and delta joins) rebuild nothing that hasn't changed.
-        let paths = AccessPaths::with_token(&self.indexes, q, db, self.token)?;
+        let paths =
+            AccessPaths::with_token(&self.indexes, q, db, self.token)?.with_observer(obs.clone());
 
         let (algorithm, auto) = match opts.algorithm {
             Algorithm::Auto => {
@@ -1009,9 +1129,11 @@ impl PreparedQuery {
                     let kp = sh.canon_key(lens);
                     if let Some(canon) = shared_map(&sh.entry).get(&kp.key) {
                         PrepCounters::bump(&self.counters.shared_hits);
+                        self.note_plan_event("fdjoin_plan_shared_hits_total");
                         return apply(&sh.relabel_to_local(&kp), &canon);
                     }
                     PrepCounters::bump(&self.counters.shared_misses);
+                    self.note_plan_event("fdjoin_plan_shared_misses_total");
                     let v = solve();
                     let _ = shared_map(&sh.entry)
                         .get_or_insert_with(&kp.key, || apply(&sh.relabel_to_canon(&kp), &v));
@@ -1034,8 +1156,20 @@ impl PreparedQuery {
         )
     }
 
+    /// Count one planning event into the attached registry. Kept at the
+    /// same sites as the [`PrepCounters`] bumps so
+    /// `fdjoin_plan_solves_total` always equals the sum of
+    /// [`PrepStats::solves`] over the executions recorded (the
+    /// reconciliation the observability tests assert).
+    fn note_plan_event(&self, metric: &'static str) {
+        if self.obs.is_enabled() {
+            self.obs.metrics().add(metric, &[], 1);
+        }
+    }
+
     fn solve_chain(&self, raw_lens: &[u64]) -> Option<ChainBound> {
         PrepCounters::bump(&self.counters.chain_searches);
+        self.note_plan_event("fdjoin_plan_solves_total");
         let logs = log_sizes_of(raw_lens);
         best_chain_bound(&self.pres.lattice, &self.pres.inputs, &logs)
     }
@@ -1049,6 +1183,7 @@ impl PreparedQuery {
         }
         self.local.chain_override.get_or_insert_with(&key, || {
             PrepCounters::bump(&self.counters.chain_searches);
+            self.note_plan_event("fdjoin_plan_solves_total");
             let logs = log_sizes_of(raw_lens);
             chain_bound(&self.pres.lattice, &self.pres.inputs, &logs, chain)
         })
@@ -1068,6 +1203,7 @@ impl PreparedQuery {
 
     fn solve_llp(&self, raw_lens: &[u64]) -> LlpSolution {
         PrepCounters::bump(&self.counters.llp_solves);
+        self.note_plan_event("fdjoin_plan_solves_total");
         let logs = log_sizes_of(raw_lens);
         solve_llp(&self.pres.lattice, &self.pres.inputs, &logs)
     }
@@ -1089,6 +1225,7 @@ impl PreparedQuery {
         // shard held by the caller — the lock order is strictly sma → llp.
         let llp = self.llp_plan(raw_lens);
         PrepCounters::bump(&self.counters.proof_searches);
+        self.note_plan_event("fdjoin_plan_solves_total");
         let logs = log_sizes_of(raw_lens);
         sma::plan(&self.pres, &llp, &logs)
     }
@@ -1124,6 +1261,7 @@ impl PreparedQuery {
         degree_bounds: &[UserDegreeBound],
     ) -> Result<csma::CsmaPlan, JoinError> {
         PrepCounters::bump(&self.counters.cllp_solves);
+        self.note_plan_event("fdjoin_plan_solves_total");
         let logs = log_sizes_of(expanded_lens);
         csma::plan(&self.query, &self.pres, &logs, degree_bounds)
     }
@@ -1138,6 +1276,40 @@ fn assert_thread_safe() {
     check::<PreparedQuery>();
     check::<PlanCache>();
     check::<JoinResult>();
+}
+
+/// The human span label for a query: its atom names in body order.
+fn query_label(q: &Query) -> String {
+    q.atoms()
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect::<Vec<_>>()
+        .join("⋈")
+}
+
+/// Record one successful execution into the registry: the per-algorithm
+/// execution counter, latency and work histograms, and the [`Stats`]-field
+/// totals that reconcile 1:1 against summed per-result counters.
+fn record_execution_metrics(m: &Registry, algorithm: &str, stats: &Stats, started: Instant) {
+    m.add("fdjoin_executions_total", &[("algorithm", algorithm)], 1);
+    m.observe(
+        "fdjoin_solve_latency_ns",
+        &[],
+        started.elapsed().as_nanos() as u64,
+    );
+    m.observe("fdjoin_work", &[], stats.work());
+    m.add("fdjoin_work_total", &[], stats.work());
+    m.add("fdjoin_probes_total", &[], stats.probes);
+    m.add(
+        "fdjoin_intermediate_tuples_total",
+        &[],
+        stats.intermediate_tuples,
+    );
+    m.add("fdjoin_output_tuples_total", &[], stats.output_tuples);
+    m.add("fdjoin_expansions_total", &[], stats.expansions);
+    m.add("fdjoin_branches_total", &[], stats.branches);
+    m.add("fdjoin_index_builds_total", &[], stats.index_builds);
+    m.add("fdjoin_index_hits_total", &[], stats.index_hits);
 }
 
 /// Dyadic upper approximations `log₂ max(len, 1)` for a size profile.

@@ -93,6 +93,31 @@ impl PrepStats {
     }
 }
 
+impl std::fmt::Display for PrepStats {
+    /// One line: planning work, shared-cache traffic, access-path cache
+    /// traffic, stream cursors. Used by EXPLAIN ANALYZE to show the
+    /// planning cost of one execution window.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "presentations={} solves={} (chain={} llp={} proof={} cllp={}) shared={}h/{}m \
+             index={}b/{}h/{}e cursors={}",
+            self.lattice_presentations,
+            self.solves(),
+            self.chain_searches,
+            self.llp_solves,
+            self.proof_searches,
+            self.cllp_solves,
+            self.shared_hits,
+            self.shared_misses,
+            self.index_builds,
+            self.index_hits,
+            self.index_evictions,
+            self.stream_cursors,
+        )
+    }
+}
+
 /// Lock-free interior-mutable counters behind [`PrepStats`]; snapshots are
 /// taken with relaxed loads (counters are monotonic, not synchronizing).
 #[derive(Debug, Default)]

@@ -60,8 +60,8 @@ pub use access::AccessPaths;
 pub use chain_algo::atom_log_sizes;
 pub use engine::{
     binary_join, chain_join, chain_join_no_argmin, csma_join, generic_join, naive_join, sma_join,
-    Algorithm, AutoDecision, AutoReason, Engine, ExecOptions, JoinError, JoinResult, PlanCache,
-    PlanCacheStats, PlanDetail, PrepStats, PreparedQuery, UserDegreeBound,
+    Algorithm, AutoDecision, AutoReason, Engine, ExecOptions, Explain, ExplainAnalysis, JoinError,
+    JoinResult, PlanCache, PlanCacheStats, PlanDetail, PrepStats, PreparedQuery, UserDegreeBound,
 };
 pub use expand::Expander;
 pub use stats::Stats;
@@ -69,3 +69,7 @@ pub use stats::Stats;
 // Re-exported so engine consumers can match on the enumeration class
 // recorded in [`AutoDecision`] without a direct `fdjoin_query` dependency.
 pub use fdjoin_query::EnumerationClass;
+
+// Re-exported so `Engine::observe` / `PreparedQuery::observer` callers can
+// construct and drain observers without a direct `fdjoin_obs` dependency.
+pub use fdjoin_obs::{ObsConfig, Observer};

@@ -72,6 +72,35 @@ impl Stats {
     }
 }
 
+impl std::fmt::Display for Stats {
+    /// One line, most significant counters first; the streaming counters
+    /// appear only when a cursor was actually involved. Used by the text
+    /// span trees and EXPLAIN ANALYZE output of `fdjoin_obs`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "work={} probes={} intermediate={} output={} expansions={} branches={} \
+             index={}b/{}h",
+            self.work(),
+            self.probes,
+            self.intermediate_tuples,
+            self.output_tuples,
+            self.expansions,
+            self.branches,
+            self.index_builds,
+            self.index_hits,
+        )?;
+        if self.rows_streamed > 0 || self.stream_pauses > 0 {
+            write!(
+                f,
+                " streamed={} pauses={}",
+                self.rows_streamed, self.stream_pauses
+            )?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -55,6 +55,30 @@ pub struct DeltaStats {
     pub full_recomputes: u64,
 }
 
+impl std::fmt::Display for DeltaStats {
+    /// One line: batch counts, applied rows, join/specialization split,
+    /// output churn, work, and plan traffic.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "batches={} rows={}+/{}- joins={} (specialized={}) recomputes={} \
+             revalidated={} output={}+/{}- work={} solves={} reused={}",
+            self.batches,
+            self.inserts_applied,
+            self.deletes_applied,
+            self.delta_joins,
+            self.specialized_deltas,
+            self.full_recomputes,
+            self.revalidated,
+            self.tuples_added,
+            self.tuples_removed,
+            self.join_work,
+            self.planning_solves,
+            self.plans_reused,
+        )
+    }
+}
+
 impl DeltaStats {
     /// Tuples the maintenance touched: revalidated + added + removed.
     pub fn tuples_touched(&self) -> u64 {

@@ -2,6 +2,7 @@
 
 use crate::{DeltaBatch, DeltaStats};
 use fdjoin_core::{Algorithm, ExecOptions, JoinError, PreparedQuery};
+use fdjoin_obs::SpanKind;
 use fdjoin_storage::{Relation, Value};
 use std::sync::Arc;
 
@@ -173,6 +174,10 @@ impl MaterializedView {
     /// batch's counters; cumulative ones accrue on
     /// [`MaterializedView::stats`].
     pub fn apply_delta(&mut self, delta: &DeltaBatch) -> Result<DeltaStats, JoinError> {
+        let obs = self.prepared.observer().clone();
+        // The span wraps the whole maintenance, so the delta joins'
+        // `solve` spans (same thread, same observer) nest under it.
+        let mut span = obs.span(SpanKind::DeltaApply, "apply_delta");
         let mut bs = DeltaStats {
             batches: 1,
             ..DeltaStats::default()
@@ -181,6 +186,10 @@ impl MaterializedView {
         self.delta_algorithms.clear();
         if delta.is_empty() {
             self.stats.merge(&bs);
+            if obs.is_enabled() {
+                span.field("empty", true);
+                obs.metrics().add("fdjoin_delta_batches_total", &[], 1);
+            }
             return Ok(bs);
         }
         // The threshold compares *effective* delta rows aimed at the
@@ -217,6 +226,21 @@ impl MaterializedView {
         // and the cumulative counters must reflect that (see the error
         // contract above).
         self.stats.merge(&bs);
+        if obs.is_enabled() {
+            span.field("inserts_applied", bs.inserts_applied);
+            span.field("deletes_applied", bs.deletes_applied);
+            span.field("delta_joins", bs.delta_joins);
+            span.field("specialized", bs.specialized_deltas);
+            span.field("full_recomputes", bs.full_recomputes);
+            span.field("join_work", bs.join_work);
+            if let Err(e) = &result {
+                span.field("error", e.to_string());
+            }
+            let m = obs.metrics();
+            m.add("fdjoin_delta_batches_total", &[], 1);
+            m.add("fdjoin_delta_specialized_total", &[], bs.specialized_deltas);
+        }
+        span.finish();
         result.map(|()| bs)
     }
 

@@ -16,6 +16,7 @@
 
 use crate::pool::{run_scoped, Pool};
 use fdjoin_core::{ExecOptions, JoinError, JoinResult, PreparedQuery};
+use fdjoin_obs::{Observer, Span, SpanKind};
 use fdjoin_storage::Database;
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::Arc;
@@ -47,6 +48,22 @@ impl BatchStats {
         } else {
             f64::INFINITY
         }
+    }
+}
+
+impl std::fmt::Display for BatchStats {
+    /// One line: sizes, outcome split, totals, wall time.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "databases={} ok={} err={} output={} work={} wall={:.3}ms",
+            self.databases,
+            self.succeeded,
+            self.failed,
+            self.output_tuples,
+            self.work,
+            self.wall.as_secs_f64() * 1e3,
+        )
     }
 }
 
@@ -131,6 +148,7 @@ impl ExecuteBatch for PreparedQuery {
 /// ```
 pub struct Executor {
     pool: Pool,
+    obs: Observer,
 }
 
 impl Executor {
@@ -143,6 +161,34 @@ impl Executor {
     pub fn with_threads(threads: usize) -> Executor {
         Executor {
             pool: Pool::new(threads),
+            obs: Observer::disabled(),
+        }
+    }
+
+    /// Attach an observer: every submission from now on is traced as one
+    /// `submit` span whose `batch` children run on the pool workers. For a
+    /// coherent tree across layers, attach *the same* observer (clones
+    /// share one recorder) to the `Engine` that prepared the queries; when
+    /// no observer is attached here, submissions fall back to the prepared
+    /// query's own ([`fdjoin_core::PreparedQuery::observer`]), so wiring
+    /// the engine alone is enough.
+    pub fn observe(mut self, obs: Observer) -> Executor {
+        self.obs = obs;
+        self
+    }
+
+    /// The executor's own observer (disabled unless [`Executor::observe`]d).
+    pub fn observer(&self) -> &Observer {
+        &self.obs
+    }
+
+    /// The observer submissions of `prepared` trace through: this
+    /// executor's own when attached, else the prepared query's.
+    pub(crate) fn span_observer<'a>(&'a self, prepared: &'a PreparedQuery) -> &'a Observer {
+        if self.obs.is_enabled() {
+            &self.obs
+        } else {
+            prepared.observer()
         }
     }
 
@@ -171,20 +217,7 @@ impl Executor {
         dbs: &Arc<Vec<Database>>,
         opts: &ExecOptions,
     ) -> BatchHandle {
-        let started = Instant::now();
-        let (tx, rx) = channel();
-        let n = dbs.len();
-        for i in 0..n {
-            let prepared = prepared.clone();
-            let dbs = dbs.clone();
-            let opts = opts.clone();
-            let tx = tx.clone();
-            self.pool.spawn(Box::new(move || {
-                let r = prepared.execute(&dbs[i], &opts);
-                let _ = tx.send((i, r));
-            }));
-        }
-        BatchHandle { rx, n, started }
+        self.submit_inner(prepared, dbs, opts, None)
     }
 
     /// [`submit`](Executor::submit) with estimate-driven admission
@@ -199,7 +232,24 @@ impl Executor {
         opts: &ExecOptions,
         admission: &crate::Admission,
     ) -> BatchHandle {
+        self.submit_inner(prepared, dbs, opts, Some(admission.clone()))
+    }
+
+    fn submit_inner(
+        &self,
+        prepared: &Arc<PreparedQuery>,
+        dbs: &Arc<Vec<Database>>,
+        opts: &ExecOptions,
+        admission: Option<crate::Admission>,
+    ) -> BatchHandle {
         let started = Instant::now();
+        let obs = self.span_observer(prepared).clone();
+        // The submit span stays open in the handle until `wait` has
+        // collected every result, so it closes after all `batch` children.
+        // Detached: `wait` may run on a different thread than `submit`.
+        let mut span = obs.span_detached(SpanKind::Submit, batch_label(prepared));
+        span.field("databases", dbs.len());
+        let parent = span.id();
         let (tx, rx) = channel();
         let n = dbs.len();
         for i in 0..n {
@@ -207,16 +257,46 @@ impl Executor {
             let dbs = dbs.clone();
             let opts = opts.clone();
             let admission = admission.clone();
+            let obs = obs.clone();
             let tx = tx.clone();
             self.pool.spawn(Box::new(move || {
-                let r = admission
-                    .check(&prepared, &dbs[i])
-                    .and_then(|()| prepared.execute(&dbs[i], &opts));
+                // Explicit parenting: the job runs on a pool worker whose
+                // thread stack knows nothing of the submitting thread.
+                let mut job_span =
+                    obs.span_with_parent(SpanKind::Batch, batch_label(&prepared), parent);
+                job_span.field("db_index", i);
+                let r = match &admission {
+                    Some(a) => a
+                        .check(&prepared, &dbs[i])
+                        .and_then(|()| prepared.execute(&dbs[i], &opts)),
+                    None => prepared.execute(&dbs[i], &opts),
+                };
+                match &r {
+                    Ok(jr) => job_span.field("rows", jr.output.len()),
+                    Err(e) => job_span.field("error", e.to_string()),
+                }
+                job_span.finish();
                 let _ = tx.send((i, r));
             }));
         }
-        BatchHandle { rx, n, started }
+        BatchHandle {
+            rx,
+            n,
+            started,
+            span: Some(span),
+        }
     }
+}
+
+/// The span label for one batched query: its atom names in body order.
+fn batch_label(prepared: &PreparedQuery) -> String {
+    let names: Vec<&str> = prepared
+        .query()
+        .atoms()
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect();
+    names.join("⋈")
 }
 
 impl Default for Executor {
@@ -230,6 +310,9 @@ pub struct BatchHandle {
     rx: Receiver<(usize, Result<JoinResult, JoinError>)>,
     n: usize,
     started: Instant,
+    /// The batch's `submit` span, held open until [`BatchHandle::wait`]
+    /// has collected every child result.
+    span: Option<Span>,
 }
 
 impl BatchHandle {
@@ -258,7 +341,15 @@ impl BatchHandle {
             .into_iter()
             .map(|s| s.expect("every database reported"))
             .collect();
-        BatchResult::collect(results, self.started.elapsed())
+        let batch = BatchResult::collect(results, self.started.elapsed());
+        if let Some(mut span) = self.span {
+            span.field("succeeded", batch.stats.succeeded);
+            span.field("failed", batch.stats.failed);
+            span.field("output_tuples", batch.stats.output_tuples);
+            span.field("work", batch.stats.work);
+            span.finish();
+        }
+        batch
     }
 }
 

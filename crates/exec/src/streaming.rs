@@ -21,6 +21,7 @@
 use crate::batch::Executor;
 use fdjoin_bigint::Rational;
 use fdjoin_core::{EnumerationClass, JoinError, PreparedQuery, Stats};
+use fdjoin_obs::{Observer, SpanKind};
 use fdjoin_storage::{Database, Relation, Value};
 use fdjoin_stream::ResultStream;
 use std::sync::mpsc::{channel, Receiver};
@@ -97,6 +98,25 @@ pub enum StreamEnd {
     Deadline,
 }
 
+impl StreamEnd {
+    /// Stable lowercase name, used as the `end` label of the
+    /// `fdjoin_stream_endings_total` metric.
+    pub fn name(self) -> &'static str {
+        match self {
+            StreamEnd::Exhausted => "exhausted",
+            StreamEnd::RowBudget => "row-budget",
+            StreamEnd::ByteBudget => "byte-budget",
+            StreamEnd::Deadline => "deadline",
+        }
+    }
+}
+
+impl std::fmt::Display for StreamEnd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// The result of one streaming execution: the delivered row prefix (in
 /// enumeration order — sorted lexicographically by the atom variables),
 /// how it ended, and the work it cost.
@@ -115,6 +135,22 @@ pub struct StreamOutcome {
     pub enumeration: EnumerationClass,
     /// Wall-clock time from submission to the end of delivery.
     pub wall: Duration,
+}
+
+impl std::fmt::Display for StreamOutcome {
+    /// One line: rows delivered, why delivery stopped, the enumeration
+    /// class, wall time, and the work counters.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rows={} end={} enumeration={} wall={:.3}ms {}",
+            self.rows.len(),
+            self.end,
+            self.enumeration,
+            self.wall.as_secs_f64() * 1e3,
+            self.stats,
+        )
+    }
 }
 
 /// An in-flight streaming execution submitted to an [`Executor`].
@@ -180,6 +216,11 @@ impl Executor {
         budget: StreamBudget,
     ) -> StreamHandle {
         let started = Instant::now();
+        let obs = self.span_observer(prepared).clone();
+        // Detached: the span opens here but closes on the pool worker,
+        // after delivery ends.
+        let mut span = obs.span_detached(SpanKind::Submit, "stream");
+        let parent = span.id();
         let (tx, rx) = channel();
         if let Some(cap) = &budget.max_log_estimate {
             let admitted = match prepared.estimate(db) {
@@ -196,14 +237,28 @@ impl Executor {
                 Err(e) => Err(e),
             };
             if let Err(e) = admitted {
+                span.field("error", e.to_string());
                 let _ = tx.send(Err(e));
                 return StreamHandle { rx };
             }
         }
         let prepared = Arc::clone(prepared);
         let db = Arc::clone(db);
+        let obs2 = obs.clone();
+        // The submit span travels to the worker and closes there, after
+        // delivery ends — it covers the whole stream's lifetime.
+        let mut span = span;
         self.spawn(move || {
-            let _ = tx.send(run_stream(&prepared, &db, &budget, started));
+            let r = run_stream(&prepared, &db, &budget, started, &obs2, parent);
+            match &r {
+                Ok(o) => {
+                    span.field("rows", o.rows.len());
+                    span.field("end", o.end.name());
+                }
+                Err(e) => span.field("error", e.to_string()),
+            }
+            span.finish();
+            let _ = tx.send(r);
         });
         StreamHandle { rx }
     }
@@ -215,12 +270,19 @@ fn run_stream(
     db: &Database,
     budget: &StreamBudget,
     started: Instant,
+    obs: &Observer,
+    parent: Option<u64>,
 ) -> Result<StreamOutcome, JoinError> {
+    // The drive span lives on *this* worker's stack, so the cursor's
+    // per-row `stream_advance` spans and the open-time `index_build`
+    // spans nest under it (no-op when the observer is disabled).
+    let mut drive = obs.span_with_parent(SpanKind::Batch, "stream", parent);
     let mut stream = ResultStream::open(prepared, db)?;
     let row_bytes = std::mem::size_of::<Value>() as u64;
     let mut rows = Relation::new((0..prepared.query().n_vars() as u32).collect());
     let mut delivered = 0u64;
     let mut bytes = 0u64;
+    let mut first_row_ns: Option<u64> = None;
     let end = loop {
         if budget.max_rows.is_some_and(|cap| delivered >= cap) {
             break StreamEnd::RowBudget;
@@ -233,6 +295,9 @@ fn run_stream(
         }
         match stream.next_row() {
             Some(row) => {
+                if delivered == 0 {
+                    first_row_ns = Some(started.elapsed().as_nanos() as u64);
+                }
                 bytes += row.len() as u64 * row_bytes;
                 delivered += 1;
                 rows.push_row(row);
@@ -240,11 +305,36 @@ fn run_stream(
             None => break StreamEnd::Exhausted,
         }
     };
+    if obs.is_enabled() {
+        if !matches!(end, StreamEnd::Exhausted) {
+            // An instant span marking the abandonment point — the budget
+            // suspended the cursor with answers possibly remaining.
+            let mut pause = obs.span(SpanKind::StreamPause, "budget");
+            pause.field("end", end.name());
+        }
+        let m = obs.metrics();
+        m.add("fdjoin_stream_rows_total", &[], delivered);
+        m.add(
+            "fdjoin_stream_pauses_total",
+            &[],
+            stream.stats().stream_pauses,
+        );
+        m.add("fdjoin_stream_endings_total", &[("end", end.name())], 1);
+        if let Some(ns) = first_row_ns {
+            m.observe("fdjoin_first_row_latency_ns", &[], ns);
+        }
+        drive.field("rows", delivered);
+        drive.field("end", end.name());
+    }
+    let stats = stream.stats();
+    let enumeration = stream.enumeration_class();
+    drop(stream);
+    drive.finish();
     Ok(StreamOutcome {
         rows,
-        stats: stream.stats(),
+        stats,
         end,
-        enumeration: stream.enumeration_class(),
+        enumeration,
         wall: started.elapsed(),
     })
 }

@@ -765,6 +765,23 @@ impl IndexSet {
         self.len() == 0
     }
 
+    /// Number of resident indexes for `name` at content stamp `version`
+    /// (any column order, base or derived) — the access-path reuse an
+    /// execution binding this relation version can expect before it runs.
+    /// `fdjoin_core`'s EXPLAIN surfaces it per atom.
+    pub fn cached_for(&self, name: &str, version: u64) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .unwrap()
+                    .keys()
+                    .filter(|k| k.version == version && k.name == name)
+                    .count()
+            })
+            .sum()
+    }
+
     /// Cumulative build/hit/eviction counters.
     pub fn stats(&self) -> IndexSetStats {
         IndexSetStats {

@@ -54,6 +54,7 @@
 
 use fdjoin_core::{Expander, JoinError, PreparedQuery, Stats};
 use fdjoin_lattice::VarSet;
+use fdjoin_obs::{Observer, SpanKind};
 use fdjoin_storage::{Database, ProbeSnapshot, Relation, TrieIndex, Value};
 use std::fmt;
 use std::sync::Arc;
@@ -104,6 +105,9 @@ pub struct ResultStream<'a> {
     done: bool,
     row_buf: Vec<Value>,
     stats: Stats,
+    /// The prepared query's tracing handle: each delivered row is a
+    /// `stream_advance` span (no-op when the engine has no observer).
+    obs: Observer,
 }
 
 impl<'a> ResultStream<'a> {
@@ -185,6 +189,7 @@ impl<'a> ResultStream<'a> {
             done: false,
             row_buf: Vec::new(),
             stats,
+            obs: prepared.observer().clone(),
         })
     }
 
@@ -339,7 +344,20 @@ impl<'a> ResultStream<'a> {
     /// included — the same schema as a materialized `JoinResult::output`.
     #[allow(clippy::should_implement_trait)] // lending semantics, not Iterator
     pub fn next_row(&mut self) -> Option<&[Value]> {
-        if self.advance() {
+        // One span per delivered (or attempted) row: the descent work
+        // between two suspensions. Gated so the disabled path costs one
+        // branch per row.
+        let mut span = if self.obs.is_enabled() {
+            Some(self.obs.span(SpanKind::StreamAdvance, "next_row"))
+        } else {
+            None
+        };
+        let got = self.advance();
+        if let Some(span) = &mut span {
+            span.field("emitted", got);
+            span.field("rows_streamed", self.stats.rows_streamed + got as u64);
+        }
+        if got {
             self.stats.rows_streamed += 1;
             self.stats.stream_pauses += 1;
             Some(&self.row_buf)

@@ -135,6 +135,49 @@
 //! assert_eq!(stats.delta_joins, 1);
 //! ```
 //!
+//! ## Observability
+//!
+//! [`obs`] is the self-contained (std-only, dependency-free) tracing and
+//! metrics layer the whole serving stack emits through. One
+//! [`obs::Observer`] handle — attached with [`core::Engine::observe`] and
+//! carried by every `PreparedQuery` it prepares — turns on structured
+//! spans (`prepare`, `index_build`, `solve`, `batch`/`submit`,
+//! `stream_advance`, `delta_apply`, parent-linked across the worker pool)
+//! and a process-wide metrics registry (counters + log₂-bucketed latency
+//! histograms, exported as Prometheus text or JSON). Disabled — the
+//! default — every emit point is one branch. EXPLAIN / EXPLAIN ANALYZE
+//! render the planner's view and a traced execution without any observer
+//! at all:
+//!
+//! ```
+//! use fdjoin::core::Engine;
+//! use fdjoin::storage::{Database, Relation};
+//!
+//! let q = fdjoin::query::examples::triangle();
+//! let mut db = Database::new();
+//! db.insert("R", Relation::from_rows(vec![0, 1], [[1, 2], [2, 3]]));
+//! db.insert("S", Relation::from_rows(vec![1, 2], [[2, 3], [3, 1]]));
+//! db.insert("T", Relation::from_rows(vec![2, 0], [[3, 1], [1, 2]]));
+//!
+//! let prepared = Engine::new().prepare(&q);
+//! let plan = prepared.explain(&db).unwrap();
+//! let text = plan.to_string();
+//! assert!(text.contains("EXPLAIN"));
+//! assert!(text.contains("bounds(log2):"));
+//! assert!(text.contains("auto:"));
+//!
+//! // ANALYZE runs the query once under a private trace and appends the
+//! // observed algorithm, counters, and span tree.
+//! let analyzed = prepared.explain_analyze(&db).unwrap();
+//! let report = analyzed.to_string();
+//! assert!(report.contains("ANALYZE"));
+//! assert!(report.contains("solve"));
+//! ```
+//!
+//! See `examples/observability.rs` for the full span-tree / metrics-export
+//! loop and ARCHITECTURE.md § Observability for the span taxonomy, metric
+//! names, and the EXPLAIN grammar.
+//!
 //! ## Crate map
 //!
 //! | Module | Contents |
@@ -151,6 +194,7 @@
 //! | [`stream`] | cursor-based result streaming, pagination checkpoints, enumeration classes |
 //! | [`exec`] | serving layer: batch/concurrent drivers, budgeted streaming, shared plan cache |
 //! | [`delta`] | incremental maintenance: delta batches, materialized views, delta stats |
+//! | [`obs`] | observability: structured spans, metrics registry, JSONL/Prometheus export |
 //! | [`instances`] | worst-case and random instance generators |
 
 pub use fdjoin_bigint as bigint;
@@ -161,6 +205,7 @@ pub use fdjoin_exec as exec;
 pub use fdjoin_instances as instances;
 pub use fdjoin_lattice as lattice;
 pub use fdjoin_lp as lp;
+pub use fdjoin_obs as obs;
 pub use fdjoin_query as query;
 pub use fdjoin_storage as storage;
 pub use fdjoin_stream as stream;
