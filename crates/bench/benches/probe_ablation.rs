@@ -144,6 +144,36 @@ fn bench_engine_reuse(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_parallel_scaling(c: &mut Criterion) {
+    // Intra-query scaling curve: one n=16384 bounded-degree triangle solved
+    // at 1/2/4/8 sub-range tasks with warm indexes. `tasks=1` is the
+    // sequential guard — it runs the identical inline code path the
+    // pre-parallelism engine ran, so it must sit within noise of any
+    // sequential baseline. Speedups at 2/4/8 require that many physical
+    // cores; on fewer cores the curve degrades gracefully to flat.
+    let q = examples::triangle();
+    let n = 1u64 << 14;
+    let db = bounded_degree_triangle(n, 16);
+    let prepared = Engine::new().prepare(&q);
+    prepared
+        .execute(&db, &ExecOptions::new().algorithm(Algorithm::GenericJoin))
+        .unwrap();
+
+    let mut g = c.benchmark_group("probe_ablation");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for tasks in [1usize, 2, 4, 8] {
+        let opts = ExecOptions::new()
+            .algorithm(Algorithm::GenericJoin)
+            .parallelism(tasks);
+        g.bench_with_input(
+            BenchmarkId::new("engine/parallel_tasks", tasks),
+            &opts,
+            |b, opts| b.iter(|| prepared.execute(&db, opts).unwrap().output.len()),
+        );
+    }
+    g.finish();
+}
+
 fn bench_obs_overhead(c: &mut Criterion) {
     // Observability guard: the same warm-engine workload with tracing
     // disabled (the default — one branch per emit point) and enabled
@@ -178,6 +208,7 @@ criterion_group!(
     benches,
     bench_storage_probes,
     bench_engine_reuse,
+    bench_parallel_scaling,
     bench_obs_overhead
 );
 criterion_main!(benches);

@@ -76,7 +76,12 @@ pub fn csm_sequence(
     // Conditional closure: down-steps and c-edges, recorded with provenance.
     let closure = |how: &mut HashMap<ElemId, How>| loop {
         let mut changed = false;
-        let known: Vec<ElemId> = how.keys().copied().collect();
+        // Sorted keys: provenance (which `y` a down-step is attributed to)
+        // must not depend on hash iteration order, or the emitted rule
+        // sequence — and hence CSMA's deterministic work counters — would
+        // vary run to run.
+        let mut known: Vec<ElemId> = how.keys().copied().collect();
+        known.sort_unstable();
         for y in known {
             for x in lat.elems() {
                 if lat.lt(x, y) && !how.contains_key(&x) {

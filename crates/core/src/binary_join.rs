@@ -17,6 +17,7 @@ pub(crate) fn execute(
     db: &Database,
     atom_order: Option<&[usize]>,
     paths: &AccessPaths<'_>,
+    par: &crate::par::ParCtx,
 ) -> Result<(Relation, Stats), MissingRelation> {
     let mut stats = Stats::default();
     let ex = Expander::new(q, db, paths, &mut stats)?;
@@ -54,44 +55,66 @@ pub(crate) fn execute(
         let index = paths.base(&atom.name, rel, &build_order, &mut stats);
         let mut out_vars: Vec<u32> = acc.vars().to_vec();
         out_vars.extend(&fresh);
-        let mut next = Relation::new(out_vars);
         let acc_shared_cols: Vec<usize> = shared.iter().map(|&v| acc.col_of(v).unwrap()).collect();
-        let mut buf: Vec<Value> = Vec::new();
-        for row in acc.rows() {
-            stats.probes += 1;
-            let mut probe = index.probe();
-            if !acc_shared_cols.iter().all(|&c| probe.descend(row[c])) {
-                continue;
+        // Per-row probe work is independent; fan it out over contiguous
+        // blocks of accumulator rows (fragments merge in block order, then
+        // the same sort_dedup as the sequential path).
+        let parts = crate::par::for_blocks(par, acc.len(), None, &mut stats, |rows, stats| {
+            let mut part = Relation::new(out_vars.clone());
+            let mut buf: Vec<Value> = Vec::new();
+            for row in rows.map(|ri| acc.row(ri)) {
+                stats.probes += 1;
+                let mut probe = index.probe();
+                if !acc_shared_cols.iter().all(|&c| probe.descend(row[c])) {
+                    continue;
+                }
+                for ri in probe.range() {
+                    let ext = index.row(ri);
+                    buf.clear();
+                    buf.extend_from_slice(row);
+                    buf.extend_from_slice(&ext[shared.len()..]);
+                    part.push_row(&buf);
+                    stats.intermediate_tuples += 1;
+                }
             }
-            for ri in probe.range() {
-                let ext = index.row(ri);
-                buf.clear();
-                buf.extend_from_slice(row);
-                buf.extend_from_slice(&ext[shared.len()..]);
-                next.push_row(&buf);
-                stats.intermediate_tuples += 1;
+            part
+        });
+        let mut next = Relation::new(out_vars);
+        for part in &parts {
+            for row in part.rows() {
+                next.push_row(row);
             }
         }
         next.sort_dedup();
         acc = next;
     }
 
-    // Expand to all variables and verify FDs / UDF predicates.
+    // Expand to all variables and verify FDs / UDF predicates, fanned out
+    // over blocks of accumulator rows like the join loops above.
     let nv = q.n_vars();
     let target = VarSet::full(nv as u32);
     let all: Vec<u32> = (0..nv as u32).collect();
-    let mut out = Relation::new(all);
-    let mut vals = vec![0 as Value; nv];
-    for row in acc.rows() {
-        for (&v, &x) in acc.vars().iter().zip(row) {
-            vals[v as usize] = x;
+    let parts = crate::par::for_blocks(par, acc.len(), None, &mut stats, |rows, stats| {
+        let mut part = Relation::new(all.clone());
+        let mut vals = vec![0 as Value; nv];
+        for row in rows.map(|ri| acc.row(ri)) {
+            for (&v, &x) in acc.vars().iter().zip(row) {
+                vals[v as usize] = x;
+            }
+            let mut bound = acc.var_set();
+            if ex.expand_tuple(&mut bound, &mut vals, target, stats)
+                && ex.verify_fds(bound, &vals, stats)
+            {
+                part.push_row(&vals);
+                stats.output_tuples += 1;
+            }
         }
-        let mut bound = acc.var_set();
-        if ex.expand_tuple(&mut bound, &mut vals, target, &mut stats)
-            && ex.verify_fds(bound, &vals, &mut stats)
-        {
-            out.push_row(&vals);
-            stats.output_tuples += 1;
+        part
+    });
+    let mut out = Relation::new(all);
+    for part in &parts {
+        for row in part.rows() {
+            out.push_row(row);
         }
     }
     out.sort_dedup();

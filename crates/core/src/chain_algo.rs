@@ -41,6 +41,7 @@ pub(crate) fn execute(
     bound: &ChainBound,
     use_argmin: bool,
     paths: &AccessPaths<'_>,
+    par: &crate::par::ParCtx,
 ) -> Result<(Relation, Stats), MissingRelation> {
     let lat = &pres.lattice;
     let chain = &bound.chain;
@@ -99,11 +100,9 @@ pub(crate) fn execute(
 
     let nv = q.n_vars();
     let mut q_prev = Relation::nullary_unit();
-    let mut vals = vec![0 as Value; nv];
     for i in 1..=k {
         let out_vars = col_order(level_sets[i]);
         let target = level_sets[i];
-        let mut q_i = Relation::new(out_vars.clone());
         let covering: Vec<usize> = (0..q.atoms().len())
             .filter(|&j| proj[i][j].is_some())
             .collect();
@@ -125,81 +124,98 @@ pub(crate) fn execute(
             })
             .collect();
 
-        let mut buf = vec![0 as Value; out_vars.len()];
-        for t in q_prev.rows() {
-            // j* = argmin_j |t ⋈ Π_{R_j ∧ C_i}(R_j)| — per-tuple choice
-            // (or, for the A1 ablation, just the first covering atom).
-            // Each lookup descends the projection trie through the shared
-            // prefix values straight out of `t` (no key vector).
-            let mut best: Option<(usize, std::ops::Range<usize>)> = None;
-            for (ci, &j) in covering.iter().enumerate() {
-                let (p, _) = proj[i][j].as_ref().unwrap();
-                stats.probes += 1;
-                let mut probe = p.probe();
-                let hit = prev_positions[ci].iter().all(|&c| probe.descend(t[c]));
-                let range = if hit { probe.range() } else { 0..0 };
-                if best.as_ref().is_none_or(|(_, r)| range.len() < r.len()) {
-                    best = Some((ci, range));
-                }
-                if !use_argmin {
-                    break;
-                }
-            }
-            let (ci_star, range) = best.expect("some covering atom");
-            if range.is_empty() {
-                continue;
-            }
-            let j_star = covering[ci_star];
-            let (p_star, _) = proj[i][j_star].as_ref().unwrap();
-
-            'ext: for ri in range {
-                let ext = p_star.row(ri);
-                // Assemble candidate over C_{i-1} ∪ (R_{j*} ∧ C_i).
-                for (&v, &x) in q_prev.vars().iter().zip(t) {
-                    vals[v as usize] = x;
-                }
-                let mut bound_set = level_sets[i - 1];
-                let mut consistent = true;
-                for (&v, &x) in p_star.vars().iter().zip(ext) {
-                    if bound_set.contains(v) {
-                        if vals[v as usize] != x {
-                            consistent = false;
-                            break;
-                        }
-                    } else {
-                        vals[v as usize] = x;
-                        bound_set = bound_set.insert(v);
-                    }
-                }
-                if !consistent {
-                    continue;
-                }
-                // Expand to the closure C_i (goodness Eq. 11 guarantees
-                // C_{i-1} ∨ (R_{j*} ∧ C_i) = C_i) and verify FDs within.
-                if !ex.expand_tuple(&mut bound_set, &mut vals, target, &mut stats)
-                    || !ex.verify_fds(target, &vals, &mut stats)
-                {
-                    continue;
-                }
-                // Verify against every other covering relation: the
-                // projection onto R_j ∧ C_i must contain the candidate
-                // (one trie membership descent per relation).
-                for &j in &covering {
-                    if j == j_star {
-                        continue;
-                    }
+        // Per-row work is independent (shared tries are read-only), so the
+        // level fans out over contiguous blocks of Q_{i-1} rows through
+        // the shared sub-range entry point: fragments come back in block
+        // order and are re-canonicalized by the same `sort_dedup` the
+        // sequential path runs, so output and counters are identical at
+        // any parallelism.
+        let parts = crate::par::for_blocks(par, q_prev.len(), None, &mut stats, |rows, stats| {
+            let mut part = Relation::new(out_vars.clone());
+            let mut vals = vec![0 as Value; nv];
+            let mut buf = vec![0 as Value; out_vars.len()];
+            for t in rows.map(|ti| q_prev.row(ti)) {
+                // j* = argmin_j |t ⋈ Π_{R_j ∧ C_i}(R_j)| — per-tuple choice
+                // (or, for the A1 ablation, just the first covering atom).
+                // Each lookup descends the projection trie through the shared
+                // prefix values straight out of `t` (no key vector).
+                let mut best: Option<(usize, std::ops::Range<usize>)> = None;
+                for (ci, &j) in covering.iter().enumerate() {
                     let (p, _) = proj[i][j].as_ref().unwrap();
                     stats.probes += 1;
                     let mut probe = p.probe();
-                    if !p.vars().iter().all(|&v| probe.descend(vals[v as usize])) {
-                        continue 'ext;
+                    let hit = prev_positions[ci].iter().all(|&c| probe.descend(t[c]));
+                    let range = if hit { probe.range() } else { 0..0 };
+                    if best.as_ref().is_none_or(|(_, r)| range.len() < r.len()) {
+                        best = Some((ci, range));
+                    }
+                    if !use_argmin {
+                        break;
                     }
                 }
-                for (slot, &v) in buf.iter_mut().zip(&out_vars) {
-                    *slot = vals[v as usize];
+                let (ci_star, range) = best.expect("some covering atom");
+                if range.is_empty() {
+                    continue;
                 }
-                q_i.push_row(&buf);
-                stats.intermediate_tuples += 1;
+                let j_star = covering[ci_star];
+                let (p_star, _) = proj[i][j_star].as_ref().unwrap();
+
+                'ext: for ri in range {
+                    let ext = p_star.row(ri);
+                    // Assemble candidate over C_{i-1} ∪ (R_{j*} ∧ C_i).
+                    for (&v, &x) in q_prev.vars().iter().zip(t) {
+                        vals[v as usize] = x;
+                    }
+                    let mut bound_set = level_sets[i - 1];
+                    let mut consistent = true;
+                    for (&v, &x) in p_star.vars().iter().zip(ext) {
+                        if bound_set.contains(v) {
+                            if vals[v as usize] != x {
+                                consistent = false;
+                                break;
+                            }
+                        } else {
+                            vals[v as usize] = x;
+                            bound_set = bound_set.insert(v);
+                        }
+                    }
+                    if !consistent {
+                        continue;
+                    }
+                    // Expand to the closure C_i (goodness Eq. 11 guarantees
+                    // C_{i-1} ∨ (R_{j*} ∧ C_i) = C_i) and verify FDs within.
+                    if !ex.expand_tuple(&mut bound_set, &mut vals, target, stats)
+                        || !ex.verify_fds(target, &vals, stats)
+                    {
+                        continue;
+                    }
+                    // Verify against every other covering relation: the
+                    // projection onto R_j ∧ C_i must contain the candidate
+                    // (one trie membership descent per relation).
+                    for &j in &covering {
+                        if j == j_star {
+                            continue;
+                        }
+                        let (p, _) = proj[i][j].as_ref().unwrap();
+                        stats.probes += 1;
+                        let mut probe = p.probe();
+                        if !p.vars().iter().all(|&v| probe.descend(vals[v as usize])) {
+                            continue 'ext;
+                        }
+                    }
+                    for (slot, &v) in buf.iter_mut().zip(&out_vars) {
+                        *slot = vals[v as usize];
+                    }
+                    part.push_row(&buf);
+                    stats.intermediate_tuples += 1;
+                }
+            }
+            part
+        });
+        let mut q_i = Relation::new(out_vars.clone());
+        for part in &parts {
+            for row in part.rows() {
+                q_i.push_row(row);
             }
         }
         q_i.sort_dedup();

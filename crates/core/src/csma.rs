@@ -122,6 +122,7 @@ pub(crate) fn execute(
     ex: &Expander<'_>,
     mut stats: Stats,
     paths: &AccessPaths<'_>,
+    par: &crate::par::ParCtx,
 ) -> Result<(Relation, Stats), MissingRelation> {
     let lat = &pres.lattice;
 
@@ -163,12 +164,13 @@ pub(crate) fn execute(
 
     let nv = q.n_vars();
     let all: Vec<u32> = (0..nv as u32).collect();
-    let mut out = Relation::new(all.clone());
+    let mut out = Relation::new(all);
     let ctx = Ctx {
         lat,
         pairs: &csma.pairs,
         ex,
         nv,
+        par,
     };
     exec(
         &ctx,
@@ -181,30 +183,13 @@ pub(crate) fn execute(
 
     // Soundness pass: dedup, semijoin with every input, verify all FDs.
     out.sort_dedup();
-    let mut reduced = Relation::new(all);
     let full = VarSet::full(nv as u32);
     let inputs: Vec<&Relation> = q
         .atoms()
         .iter()
         .map(|a| db.relation(&a.name))
         .collect::<Result<_, _>>()?;
-    'rows: for row in out.rows() {
-        for rel in &inputs {
-            // Membership by descending the input's own trie shape — no
-            // per-row key vector.
-            stats.probes += 1;
-            let mut probe = rel.probe();
-            if rel.is_empty() || !rel.vars().iter().all(|&v| probe.descend(row[v as usize])) {
-                continue 'rows;
-            }
-        }
-        if !ex.verify_fds(full, row, &mut stats) {
-            continue;
-        }
-        reduced.push_row(row);
-        stats.output_tuples += 1;
-    }
-    reduced.sort_dedup();
+    let reduced = crate::par::semijoin_reduce_verified(&inputs, ex, full, &out, par, &mut stats);
 
     Ok((reduced, stats))
 }
@@ -214,6 +199,7 @@ struct Ctx<'a> {
     pairs: &'a [DegreePair],
     ex: &'a Expander<'a>,
     nv: usize,
+    par: &'a crate::par::ParCtx,
 }
 
 fn exec(
@@ -351,42 +337,54 @@ fn join_into(
         .iter()
         .map(|&v| ta.col_of(v).expect("meet variables present in T(A)"))
         .collect();
-    let mut vals = vec![0 as Value; ctx.nv];
-    let mut buf = vec![0 as Value; out_vars.len()];
-    for row in ta.rows() {
-        stats.probes += 1;
-        let mut probe = guard.probe();
-        if !ta_key_cols.iter().all(|&c| probe.descend(row[c])) {
-            continue;
-        }
-        'ext: for r in probe.range() {
-            let ext = guard.row(r);
-            for (&v, &x) in ta.vars().iter().zip(row) {
-                vals[v as usize] = x;
-            }
-            let mut bound = ta.var_set();
-            for (&v, &x) in guard.vars().iter().zip(ext) {
-                if bound.contains(v) {
-                    if vals[v as usize] != x {
-                        continue 'ext;
-                    }
-                } else {
-                    vals[v as usize] = x;
-                    bound = bound.insert(v);
-                }
-            }
-            if !ctx
-                .ex
-                .expand_tuple(&mut bound, &mut vals, target_set, stats)
-                || !ctx.ex.verify_fds(target_set, &vals, stats)
-            {
+    // Per-row probe-and-extend work is independent; fan it out over
+    // contiguous blocks of T(A) rows (fragments merge in block order, then
+    // the same sort_dedup as the sequential path).
+    let parts = crate::par::for_blocks(ctx.par, ta.len(), None, stats, |rows, stats| {
+        let mut part = Relation::new(out_vars.clone());
+        let mut vals = vec![0 as Value; ctx.nv];
+        let mut buf = vec![0 as Value; out_vars.len()];
+        for row in rows.map(|ri| ta.row(ri)) {
+            stats.probes += 1;
+            let mut probe = guard.probe();
+            if !ta_key_cols.iter().all(|&c| probe.descend(row[c])) {
                 continue;
             }
-            for (slot, &v) in buf.iter_mut().zip(&out_vars) {
-                *slot = vals[v as usize];
+            'ext: for r in probe.range() {
+                let ext = guard.row(r);
+                for (&v, &x) in ta.vars().iter().zip(row) {
+                    vals[v as usize] = x;
+                }
+                let mut bound = ta.var_set();
+                for (&v, &x) in guard.vars().iter().zip(ext) {
+                    if bound.contains(v) {
+                        if vals[v as usize] != x {
+                            continue 'ext;
+                        }
+                    } else {
+                        vals[v as usize] = x;
+                        bound = bound.insert(v);
+                    }
+                }
+                if !ctx
+                    .ex
+                    .expand_tuple(&mut bound, &mut vals, target_set, stats)
+                    || !ctx.ex.verify_fds(target_set, &vals, stats)
+                {
+                    continue;
+                }
+                for (slot, &v) in buf.iter_mut().zip(&out_vars) {
+                    *slot = vals[v as usize];
+                }
+                part.push_row(&buf);
+                stats.intermediate_tuples += 1;
             }
-            result.push_row(&buf);
-            stats.intermediate_tuples += 1;
+        }
+        part
+    });
+    for part in &parts {
+        for row in part.rows() {
+            result.push_row(row);
         }
     }
     result.sort_dedup();

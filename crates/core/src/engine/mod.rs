@@ -133,6 +133,25 @@ pub struct ExecOptions {
     atom_order: Option<Vec<usize>>,
     chain: Option<Chain>,
     no_cost_tiebreak: bool,
+    parallelism: Parallelism,
+}
+
+/// How many sub-range tasks one solve may fan out over (the
+/// [`ExecOptions::parallelism`] knob). Parallelism never changes results:
+/// sub-range solves merge deterministically, so output bytes,
+/// [`Stats::deterministic`] totals, and [`AutoDecision`]s are identical at
+/// every setting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Estimate-gated: split to one task per available core only when
+    /// [`PreparedQuery::estimate`] says the solve is large enough to
+    /// amortize the fan-out (its skew-pessimistic branch estimate reaches
+    /// [`ExecOptions::AUTO_SPLIT_LOG2`] in log₂); otherwise run
+    /// sequentially. Small solves therefore never pay thread costs.
+    #[default]
+    Auto,
+    /// Exactly this many tasks (clamped to ≥ 1; `1` = sequential).
+    Fixed(usize),
 }
 
 impl ExecOptions {
@@ -215,6 +234,31 @@ impl ExecOptions {
     pub fn chain(mut self, chain: Chain) -> Self {
         self.chain = Some(chain);
         self
+    }
+
+    /// The log₂ branch-estimate threshold at which [`Parallelism::Auto`]
+    /// starts splitting solves (≈ 128k estimated branches). Below it, the
+    /// fan-out overhead (thread spawns, per-task buffers, re-sorting
+    /// fragments) outweighs any speedup.
+    pub const AUTO_SPLIT_LOG2: f64 = 17.0;
+
+    /// Set an exact sub-range task count for this execution
+    /// ([`Parallelism::Fixed`]); `1` forces the sequential path.
+    pub fn parallelism(mut self, tasks: usize) -> Self {
+        self.parallelism = Parallelism::Fixed(tasks);
+        self
+    }
+
+    /// Set the parallelism mode directly ([`Parallelism::Auto`] is the
+    /// default).
+    pub fn parallelism_mode(mut self, mode: Parallelism) -> Self {
+        self.parallelism = mode;
+        self
+    }
+
+    /// The configured parallelism mode.
+    pub fn parallelism_setting(&self) -> Parallelism {
+        self.parallelism
     }
 }
 
@@ -709,6 +753,42 @@ impl PreparedQuery {
         Ok(crate::cost::estimate_join(&self.query, db)?)
     }
 
+    /// Resolve [`ExecOptions::parallelism_setting`] into a concrete
+    /// per-solve fan-out context. [`Parallelism::Auto`] splits to one task
+    /// per available core only when the measured branch estimate clears
+    /// [`ExecOptions::AUTO_SPLIT_LOG2`] — below that, fan-out overhead
+    /// would dominate — and declines entirely on single-core machines or
+    /// when no estimate is computable (e.g. a relation went missing
+    /// between validation and here).
+    fn resolve_parallelism(
+        &self,
+        db: &Database,
+        opts: &ExecOptions,
+        obs: &Observer,
+    ) -> crate::par::ParCtx {
+        let tasks = match opts.parallelism {
+            Parallelism::Fixed(k) => k.max(1),
+            Parallelism::Auto => {
+                let cores = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
+                match self.estimate(db) {
+                    Ok(est)
+                        if cores >= 2 && est.log_max.to_f64() >= ExecOptions::AUTO_SPLIT_LOG2 =>
+                    {
+                        cores
+                    }
+                    _ => 1,
+                }
+            }
+        };
+        if tasks <= 1 {
+            crate::par::ParCtx::sequential()
+        } else {
+            crate::par::ParCtx::new(tasks, obs)
+        }
+    }
+
     /// The raw size profile of this query's atoms in `db` — the key under
     /// which chain/LLP/SMA plans are cached. Two databases with the same
     /// profile execute from the same cached plans; a profile drift (e.g.
@@ -813,6 +893,12 @@ impl PreparedQuery {
             explicit => (explicit, None),
         };
 
+        // Resolve parallelism once, on the coordinating thread — after the
+        // auto decision (so `AutoDecision` can never depend on the task
+        // count) and while the `solve` span is the innermost open span (so
+        // worker-side `solve_part` spans parent under it).
+        let par = self.resolve_parallelism(db, opts, obs);
+
         match algorithm {
             Algorithm::Auto => unreachable!("choose() returns a concrete algorithm"),
             Algorithm::Chain | Algorithm::ChainNoArgmin => {
@@ -824,7 +910,7 @@ impl PreparedQuery {
                     None => self.chain_plan(&raw_lens).ok_or(JoinError::NoGoodChain)?,
                 };
                 let (output, stats) =
-                    chain_algo::execute(q, db, &self.pres, &bound, use_argmin, &paths)?;
+                    chain_algo::execute(q, db, &self.pres, &bound, use_argmin, &paths, &par)?;
                 Ok(JoinResult {
                     output,
                     stats,
@@ -836,7 +922,7 @@ impl PreparedQuery {
             }
             Algorithm::Sma => {
                 let plan = self.sma_plan(&raw_lens)?;
-                let (output, stats) = sma::execute(q, db, &self.pres, &plan, &paths)?;
+                let (output, stats) = sma::execute(q, db, &self.pres, &plan, &paths, &par)?;
                 Ok(JoinResult {
                     output,
                     stats,
@@ -855,8 +941,9 @@ impl PreparedQuery {
                 }
                 let expanded_lens: Vec<u64> = expanded.iter().map(|r| r.len() as u64).collect();
                 let plan = self.csma_plan(&expanded_lens, &opts.degree_bounds)?;
-                let (output, stats) =
-                    csma::execute(q, db, &self.pres, &plan, &expanded, &ex, stats, &paths)?;
+                let (output, stats) = csma::execute(
+                    q, db, &self.pres, &plan, &expanded, &ex, stats, &paths, &par,
+                )?;
                 Ok(JoinResult {
                     output,
                     stats,
@@ -871,7 +958,7 @@ impl PreparedQuery {
                     bind_fds: opts.bind_fds,
                     var_order: opts.var_order.clone(),
                 };
-                let (output, stats) = crate::generic_join::execute(q, db, &cfg, &paths)?;
+                let (output, stats) = crate::generic_join::execute(q, db, &cfg, &paths, &par)?;
                 Ok(JoinResult {
                     output,
                     stats,
@@ -883,7 +970,7 @@ impl PreparedQuery {
             }
             Algorithm::BinaryJoin => {
                 let (output, stats) =
-                    crate::binary_join::execute(q, db, opts.atom_order.as_deref(), &paths)?;
+                    crate::binary_join::execute(q, db, opts.atom_order.as_deref(), &paths, &par)?;
                 Ok(JoinResult {
                     output,
                     stats,
@@ -894,7 +981,7 @@ impl PreparedQuery {
                 })
             }
             Algorithm::Naive => {
-                let (output, stats) = naive::execute(q, db, &paths)?;
+                let (output, stats) = naive::execute(q, db, &paths, &par)?;
                 Ok(JoinResult {
                     output,
                     stats,

@@ -46,6 +46,7 @@ pub(crate) fn execute(
     db: &Database,
     opts: &GjConfig,
     paths: &AccessPaths<'_>,
+    par: &crate::par::ParCtx,
 ) -> Result<(Relation, Stats), MissingRelation> {
     let mut stats = Stats::default();
     let ex = Expander::new(q, db, paths, &mut stats)?;
@@ -97,9 +98,6 @@ pub(crate) fn execute(
 
     let all: Vec<u32> = (0..nv as u32).collect();
     let target = VarSet::full(nv as u32);
-    let mut out = Relation::new(all);
-    let mut vals = vec![0 as Value; nv];
-    let mut bound = VarSet::EMPTY;
     // Per-depth cursor snapshots: levels[d][ai] is atom ai's probe with
     // its variables among search_order[..d] descended. Depth d+1 is always
     // rewritten from depth d, so backtracking needs no undo.
@@ -114,6 +112,117 @@ pub(crate) fn execute(
         target,
         opts,
     };
+
+    // Parallel sub-range path: intersect the first variable's domain on
+    // the coordinating thread (the exact depth-0 leapfrog the sequential
+    // search runs, counting the same probes), then fan the matched root
+    // candidates out over tasks balanced by measured child counts. Not
+    // applicable when the first search variable is FD-bound (a single
+    // computed candidate — nothing to split).
+    if par.tasks > 1 && !search_order.is_empty() {
+        let fd_bound_root = opts.bind_fds && q.closure(VarSet::EMPTY).contains(search_order[0]);
+        if !fd_bound_root {
+            let participating = &at_depth[0];
+            let lead = *participating
+                .iter()
+                .min_by_key(|&&ai| levels[0][ai].len())
+                .unwrap();
+            let mut cands: Vec<Value> = Vec::new();
+            let mut weights: Vec<u64> = Vec::new();
+            let cur = &mut levels[0];
+            while let Some(candidate) = cur[lead].current() {
+                let mut ok = true;
+                let mut overshoot: Option<Value> = None;
+                for &ai in participating {
+                    if ai == lead {
+                        continue;
+                    }
+                    stats.probes += 1;
+                    match cur[ai].seek(candidate) {
+                        Some(w) if w == candidate => {}
+                        other => {
+                            ok = false;
+                            overshoot = other;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    // Weight = the candidate's total child count over the
+                    // participating tries (every cursor sits at the
+                    // candidate now, so `group` is a local upper-bound
+                    // scan, not a counted probe).
+                    let w: u64 = participating
+                        .iter()
+                        .map(|&ai| cur[ai].group().len() as u64)
+                        .sum();
+                    cands.push(candidate);
+                    weights.push(w.max(1));
+                }
+                match (ok, overshoot) {
+                    (true, _) => {
+                        cur[lead].next_value();
+                    }
+                    (false, None) => break,
+                    (false, Some(w)) => {
+                        cur[lead].seek(w);
+                    }
+                }
+            }
+            let var0 = search_order[0];
+            let parts = crate::par::for_blocks(
+                par,
+                cands.len(),
+                Some(&weights),
+                &mut stats,
+                |range, stats| {
+                    // Fresh root cursors per task: descending from the root
+                    // yields the same child range as descending from a
+                    // seek position (the data is sorted), so the replayed
+                    // `fill_next_level` counts exactly the sequential
+                    // probes and the subtree search is byte-identical.
+                    let mut levels: Vec<Vec<Probe<'_>>> = (0..=search_order.len())
+                        .map(|_| atoms.iter().map(|a| a.idx.probe()).collect())
+                        .collect();
+                    let mut vals = vec![0 as Value; nv];
+                    let mut bound = VarSet::EMPTY;
+                    let mut part = Relation::new(all.clone());
+                    for &candidate in &cands[range] {
+                        let filled =
+                            fill_next_level(&mut levels, 0, participating, candidate, stats);
+                        debug_assert!(filled, "all cursors verified to contain candidate");
+                        if filled {
+                            vals[var0 as usize] = candidate;
+                            bound = bound.insert(var0);
+                            search(
+                                &ctx,
+                                &mut levels,
+                                1,
+                                &mut bound,
+                                &mut vals,
+                                &mut part,
+                                stats,
+                            );
+                            bound = bound.remove(var0);
+                        }
+                    }
+                    part
+                },
+            );
+            let mut out = Relation::new(all);
+            for part in &parts {
+                for row in part.rows() {
+                    out.push_row(row);
+                }
+            }
+            out.sort_dedup();
+            return Ok((out, stats));
+        }
+    }
+
+    let mut out = Relation::new(all);
+    let mut vals = vec![0 as Value; nv];
+    let mut bound = VarSet::EMPTY;
     search(
         &ctx,
         &mut levels,

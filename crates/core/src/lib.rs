@@ -53,6 +53,7 @@ pub mod engine;
 mod expand;
 mod generic_join;
 mod naive;
+pub mod par;
 mod sma;
 mod stats;
 
@@ -61,9 +62,11 @@ pub use chain_algo::atom_log_sizes;
 pub use engine::{
     binary_join, chain_join, chain_join_no_argmin, csma_join, generic_join, naive_join, sma_join,
     Algorithm, AutoDecision, AutoReason, Engine, ExecOptions, Explain, ExplainAnalysis, JoinError,
-    JoinResult, PlanCache, PlanCacheStats, PlanDetail, PrepStats, PreparedQuery, UserDegreeBound,
+    JoinResult, Parallelism, PlanCache, PlanCacheStats, PlanDetail, PrepStats, PreparedQuery,
+    UserDegreeBound,
 };
 pub use expand::Expander;
+pub use par::run_scoped;
 pub use stats::Stats;
 
 // Re-exported so engine consumers can match on the enumeration class

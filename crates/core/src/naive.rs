@@ -14,6 +14,7 @@ pub(crate) fn execute(
     q: &Query,
     db: &Database,
     paths: &AccessPaths<'_>,
+    par: &crate::par::ParCtx,
 ) -> Result<(Relation, Stats), MissingRelation> {
     let mut stats = Stats::default();
     let ex = Expander::new(q, db, paths, &mut stats)?;
@@ -23,42 +24,59 @@ pub(crate) fn execute(
     let mut partials: Vec<(VarSet, Vec<Value>)> = vec![(VarSet::EMPTY, vec![0; nv])];
     for atom in q.atoms() {
         let rel = db.relation(&atom.name)?;
-        let mut next = Vec::new();
-        for (bound, vals) in &partials {
-            for row in rel.rows() {
-                stats.probes += 1;
-                let mut ok = true;
-                let mut nb = *bound;
-                let mut nv_ = vals.clone();
-                for (&v, &x) in atom.vars.iter().zip(row) {
-                    if nb.contains(v) {
-                        if nv_[v as usize] != x {
-                            ok = false;
-                            break;
+        // Each partial extends independently; fan out over contiguous
+        // blocks of partials. Fragments concatenate in block order, so
+        // `next` is byte-identical to the sequential accumulation.
+        let parts =
+            crate::par::for_blocks(par, partials.len(), None, &mut stats, |range, stats| {
+                let mut next = Vec::new();
+                for (bound, vals) in &partials[range] {
+                    for row in rel.rows() {
+                        stats.probes += 1;
+                        let mut ok = true;
+                        let mut nb = *bound;
+                        let mut nv_ = vals.clone();
+                        for (&v, &x) in atom.vars.iter().zip(row) {
+                            if nb.contains(v) {
+                                if nv_[v as usize] != x {
+                                    ok = false;
+                                    break;
+                                }
+                            } else {
+                                nb = nb.insert(v);
+                                nv_[v as usize] = x;
+                            }
                         }
-                    } else {
-                        nb = nb.insert(v);
-                        nv_[v as usize] = x;
+                        if ok {
+                            next.push((nb, nv_));
+                        }
                     }
                 }
-                if ok {
-                    next.push((nb, nv_));
-                }
-            }
-        }
-        partials = next;
+                next
+            });
+        partials = parts.into_iter().flatten().collect();
         stats.intermediate_tuples += partials.len() as u64;
     }
 
     let all: Vec<u32> = (0..nv as u32).collect();
     let target = VarSet::full(nv as u32);
+    let parts = crate::par::for_blocks(par, partials.len(), None, &mut stats, |range, stats| {
+        let mut part = Relation::new(all.clone());
+        for (bound, vals) in &partials[range] {
+            let (mut bound, mut vals) = (*bound, vals.clone());
+            if ex.expand_tuple(&mut bound, &mut vals, target, stats)
+                && ex.verify_fds(bound, &vals, stats)
+            {
+                part.push_row(&vals);
+                stats.output_tuples += 1;
+            }
+        }
+        part
+    });
     let mut out = Relation::new(all);
-    for (mut bound, mut vals) in partials {
-        if ex.expand_tuple(&mut bound, &mut vals, target, &mut stats)
-            && ex.verify_fds(bound, &vals, &mut stats)
-        {
-            out.push_row(&vals);
-            stats.output_tuples += 1;
+    for part in &parts {
+        for row in part.rows() {
+            out.push_row(row);
         }
     }
     out.sort_dedup();

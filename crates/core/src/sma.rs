@@ -102,6 +102,7 @@ pub(crate) fn execute(
     pres: &LatticePresentation,
     sma: &SmaPlan,
     paths: &AccessPaths<'_>,
+    par: &crate::par::ParCtx,
 ) -> Result<(Relation, Stats), MissingRelation> {
     let lat = &pres.lattice;
     let mut stats = Stats::default();
@@ -137,7 +138,6 @@ pub(crate) fn execute(
 
     let h: &LatticeFn = &sma.h;
     let nv = q.n_vars();
-    let mut vals = vec![0 as Value; nv];
 
     for step in &sma.proof.steps {
         let xi = pool
@@ -211,45 +211,58 @@ pub(crate) fn execute(
         // out of the T(X) row, no key buffer.
         let tx = pool[xi].rel.clone();
         let out_vars: Vec<u32> = join_set.iter().collect();
-        let mut t_join = Relation::new(out_vars.clone());
-        let mut buf = vec![0 as Value; out_vars.len()];
         let tx_z_cols: Vec<usize> = z_vars
             .iter()
             .map(|&v| tx.col_of(v).expect("Z ⊆ X"))
             .collect();
-        for row in tx.rows() {
-            stats.probes += 1;
-            let mut probe = light.probe();
-            if !tx_z_cols.iter().all(|&c| probe.descend(row[c])) {
-                continue;
-            }
-            let range = probe.range();
-            'ext: for r in range {
-                let ext = light.row(r);
-                for (&v, &x) in tx.vars().iter().zip(row) {
-                    vals[v as usize] = x;
-                }
-                let mut bound = tx.var_set();
-                for (&v, &x) in light.vars().iter().zip(ext) {
-                    if bound.contains(v) {
-                        if vals[v as usize] != x {
-                            continue 'ext;
-                        }
-                    } else {
-                        vals[v as usize] = x;
-                        bound = bound.insert(v);
-                    }
-                }
-                if !ex.expand_tuple(&mut bound, &mut vals, join_set, &mut stats)
-                    || !ex.verify_fds(join_set, &vals, &mut stats)
-                {
+        // Per-row probe-and-extend work is independent; fan it out over
+        // contiguous blocks of T(X) rows (fragments merge in block order,
+        // then the same sort_dedup as the sequential path).
+        let parts = crate::par::for_blocks(par, tx.len(), None, &mut stats, |rows, stats| {
+            let mut part = Relation::new(out_vars.clone());
+            let mut vals = vec![0 as Value; nv];
+            let mut buf = vec![0 as Value; out_vars.len()];
+            for row in rows.map(|ri| tx.row(ri)) {
+                stats.probes += 1;
+                let mut probe = light.probe();
+                if !tx_z_cols.iter().all(|&c| probe.descend(row[c])) {
                     continue;
                 }
-                for (slot, &v) in buf.iter_mut().zip(&out_vars) {
-                    *slot = vals[v as usize];
+                let range = probe.range();
+                'ext: for r in range {
+                    let ext = light.row(r);
+                    for (&v, &x) in tx.vars().iter().zip(row) {
+                        vals[v as usize] = x;
+                    }
+                    let mut bound = tx.var_set();
+                    for (&v, &x) in light.vars().iter().zip(ext) {
+                        if bound.contains(v) {
+                            if vals[v as usize] != x {
+                                continue 'ext;
+                            }
+                        } else {
+                            vals[v as usize] = x;
+                            bound = bound.insert(v);
+                        }
+                    }
+                    if !ex.expand_tuple(&mut bound, &mut vals, join_set, stats)
+                        || !ex.verify_fds(join_set, &vals, stats)
+                    {
+                        continue;
+                    }
+                    for (slot, &v) in buf.iter_mut().zip(&out_vars) {
+                        *slot = vals[v as usize];
+                    }
+                    part.push_row(&buf);
+                    stats.intermediate_tuples += 1;
                 }
-                t_join.push_row(&buf);
-                stats.intermediate_tuples += 1;
+            }
+            part
+        });
+        let mut t_join = Relation::new(out_vars.clone());
+        for part in &parts {
+            for row in part.rows() {
+                t_join.push_row(row);
             }
         }
         t_join.sort_dedup();
@@ -279,30 +292,13 @@ pub(crate) fn execute(
         }
     }
     out.sort_dedup();
-    let mut reduced = Relation::new(all);
     let full = fdjoin_lattice::VarSet::full(nv as u32);
     let inputs: Vec<&Relation> = q
         .atoms()
         .iter()
         .map(|a| db.relation(&a.name))
         .collect::<Result<_, _>>()?;
-    'rows: for row in out.rows() {
-        for rel in &inputs {
-            // Membership by descending the input's own trie shape — no
-            // per-row key vector.
-            stats.probes += 1;
-            let mut probe = rel.probe();
-            if rel.is_empty() || !rel.vars().iter().all(|&v| probe.descend(row[v as usize])) {
-                continue 'rows;
-            }
-        }
-        if !ex.verify_fds(full, row, &mut stats) {
-            continue;
-        }
-        reduced.push_row(row);
-        stats.output_tuples += 1;
-    }
-    reduced.sort_dedup();
+    let reduced = crate::par::semijoin_reduce_verified(&inputs, &ex, full, &out, par, &mut stats);
 
     Ok((reduced, stats))
 }

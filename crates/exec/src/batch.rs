@@ -14,7 +14,8 @@
 //! `execute` loop: executions share only the prepared query's plan caches,
 //! whose contents do not depend on scheduling.
 
-use crate::pool::{run_scoped, Pool};
+use crate::pool::Pool;
+use fdjoin_core::run_scoped;
 use fdjoin_core::{ExecOptions, JoinError, JoinResult, PreparedQuery};
 use fdjoin_obs::{Observer, Span, SpanKind};
 use fdjoin_storage::Database;

@@ -128,54 +128,3 @@ fn find_job(inner: &PoolInner, me: usize) -> Option<Job> {
     }
     None
 }
-
-/// Run a fixed set of index-addressed tasks over borrowed data with
-/// work-stealing, on scoped threads (no `'static` bound). `run(i)` is
-/// executed exactly once for every `i in 0..count`; results come back in
-/// index order.
-///
-/// This is the scoped fan-out primitive behind
-/// [`ExecuteBatch`](crate::ExecuteBatch); it is public so other serving
-/// drivers (e.g. `fdjoin_delta`'s multi-view delta application) can reuse
-/// it for borrowed workloads that a persistent pool's `'static` jobs
-/// cannot express.
-pub fn run_scoped<T, F>(count: usize, threads: usize, run: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let threads = threads.clamp(1, count.max(1));
-    if count == 0 {
-        return Vec::new();
-    }
-    if threads == 1 {
-        return (0..count).map(run).collect();
-    }
-    // Round-robin the task indices onto per-worker deques.
-    let queues: Vec<Mutex<VecDeque<usize>>> = (0..threads)
-        .map(|w| Mutex::new((w..count).step_by(threads).collect()))
-        .collect();
-    let results: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for me in 0..threads {
-            let queues = &queues;
-            let results = &results;
-            let run = &run;
-            s.spawn(move || loop {
-                // Own front, then siblings' backs; a fixed task set spawns
-                // nothing, so an empty sweep means the batch is drained.
-                let task = queues[me].lock().unwrap().pop_front().or_else(|| {
-                    (1..threads).find_map(|k| queues[(me + k) % threads].lock().unwrap().pop_back())
-                });
-                match task {
-                    Some(i) => *results[i].lock().unwrap() = Some(run(i)),
-                    None => return,
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("every task ran"))
-        .collect()
-}

@@ -42,6 +42,9 @@ pub enum SpanKind {
     /// One algorithm execution (`PreparedQuery::execute`), carrying the
     /// resolved algorithm and — under `Algorithm::Auto` — the decision.
     Solve,
+    /// One sub-range block of a parallel solve, explicitly parented to its
+    /// `Solve` span (the block may run on any pool worker).
+    SolvePart,
     /// One `ResultStream` descent step that delivered (or failed to
     /// deliver) the next row.
     StreamAdvance,
@@ -66,6 +69,7 @@ impl SpanKind {
             SpanKind::Prepare => "prepare",
             SpanKind::IndexBuild => "index_build",
             SpanKind::Solve => "solve",
+            SpanKind::SolvePart => "solve_part",
             SpanKind::StreamAdvance => "stream_advance",
             SpanKind::StreamPause => "stream_pause",
             SpanKind::DeltaApply => "delta_apply",

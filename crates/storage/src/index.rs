@@ -239,6 +239,31 @@ impl TrieIndex {
         self.data.len() * std::mem::size_of::<Value>() + self.vars.len() * 4
     }
 
+    /// Split the rows into at most `parts` contiguous sub-ranges on
+    /// first-column (root child) boundaries, balanced by measured child
+    /// counts — the split points a parallel solve fans out over. Every
+    /// range covers whole root subtries, so a range-restricted solve never
+    /// sees a torn child; ranges are returned in row order and partition
+    /// `0..len()` exactly. An empty index yields no ranges; a single
+    /// distinct first value cannot be split and yields one range.
+    pub fn split_ranges(&self, parts: usize) -> Vec<Range<usize>> {
+        if self.rows == 0 {
+            return Vec::new();
+        }
+        if self.arity() == 0 {
+            return vec![Range {
+                start: 0,
+                end: self.rows,
+            }];
+        }
+        let groups = self.group_ranges(1);
+        let weights: Vec<u64> = groups.iter().map(|g| g.len() as u64).collect();
+        balanced_ranges(&weights, parts)
+            .into_iter()
+            .map(|b| groups[b.start].start..groups[b.end - 1].end)
+            .collect()
+    }
+
     /// Reattach a saved cursor position to this index: the inverse of
     /// [`Probe::snapshot`]. The snapshot must have been taken from a probe
     /// over an index with identical content (same rows, same order) —
@@ -257,6 +282,46 @@ impl TrieIndex {
             hi: snap.hi,
         }
     }
+}
+
+/// Partition `0..weights.len()` items into at most `parts` contiguous
+/// non-empty blocks with balanced total weight. Greedy: each block closes
+/// once it reaches the average of the *remaining* weight over the
+/// *remaining* blocks, so a single heavy item (e.g. a root child holding
+/// 99% of the rows) gets a block to itself and the light tail spreads
+/// evenly — never a naive equal-width split. Items are never torn across
+/// blocks. Deterministic in its inputs.
+pub fn balanced_ranges(weights: &[u64], parts: usize) -> Vec<Range<usize>> {
+    let n = weights.len();
+    let parts = parts.clamp(1, n.max(1));
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut remaining: u64 = weights.iter().sum();
+    let mut blocks = Vec::with_capacity(parts);
+    let mut start = 0;
+    while start < n {
+        let blocks_left = (parts - blocks.len()).max(1);
+        // Ceiling average so the trailing blocks are never starved.
+        let target = remaining.div_ceil(blocks_left as u64).max(1);
+        let mut end = start;
+        let mut acc = 0u64;
+        while end < n && (acc < target || end == start) {
+            // Leave at least one item for every block still owed.
+            if blocks_left > 1 && end > start && n - end < blocks_left {
+                break;
+            }
+            acc += weights[end];
+            end += 1;
+        }
+        if blocks.len() + 1 == parts {
+            end = n; // the last allowed block takes the tail
+        }
+        remaining -= weights[start..end].iter().sum::<u64>();
+        blocks.push(start..end);
+        start = end;
+    }
+    blocks
 }
 
 /// A paused [`Probe`] position as plain data: the cursor's depth and row
@@ -341,8 +406,32 @@ impl<'a> Probe<'a> {
         self.data[row * self.arity + self.depth]
     }
 
+    /// Hint the cache to pull in the current-depth cell of `row`. No-op on
+    /// non-x86_64 targets; on x86_64 a miss costs nothing (the hint is
+    /// speculative) and a hit hides bisect latency on large levels.
+    #[inline(always)]
+    fn prefetch(&self, row: usize) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let idx = row * self.arity + self.depth;
+            if idx < self.data.len() {
+                // SAFETY: the pointer is in (or one past) `data`'s
+                // allocation; prefetch has no memory effects either way.
+                unsafe {
+                    use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+                    _mm_prefetch(self.data.as_ptr().add(idx) as *const i8, _MM_HINT_T0);
+                }
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = row;
+    }
+
     /// First row in `[from, hi)` whose current-depth column is `>= v`,
-    /// galloping from `from` before bisecting.
+    /// galloping from `from` before bisecting. The bisect is branch-free
+    /// (the range update compiles to a conditional move, never a
+    /// mispredicted jump) and prefetches both possible next midpoints one
+    /// iteration ahead.
     fn lower_bound_from(&self, from: usize, v: Value) -> usize {
         if from >= self.hi || self.at(from) >= v {
             return from;
@@ -362,17 +451,21 @@ impl<'a> Probe<'a> {
             prev = probe;
             step <<= 1;
         }
-        // Bisect (prev, end]: at(prev) < v and (end == hi or at(end) >= v).
-        let (mut lo, mut hi) = (prev + 1, end);
-        while lo < hi {
-            let mid = lo + (hi - lo) / 2;
-            if self.at(mid) < v {
-                lo = mid + 1;
-            } else {
-                hi = mid;
+        // Branch-free bisect over (prev, end]: the invariant is
+        // at(base) < v with the answer in (base, base + len].
+        let mut base = prev;
+        let mut len = end - prev;
+        while len > 1 {
+            let half = len / 2;
+            let quarter = (len - half) / 2;
+            if quarter > 0 {
+                self.prefetch(base + quarter);
+                self.prefetch(base + half + quarter);
             }
+            base += if self.at(base + half) < v { half } else { 0 };
+            len -= half;
         }
-        lo
+        base + 1
     }
 
     /// First row in `[from, hi)` whose current-depth column is `> v`.
@@ -396,6 +489,9 @@ impl<'a> Probe<'a> {
         self.lo = lo;
         self.hi = hi;
         self.depth += 1;
+        // The next read at the child level is almost always its first
+        // cell; warm it while the caller is still deciding.
+        self.prefetch(self.lo);
         true
     }
 
@@ -991,6 +1087,79 @@ mod tests {
         set.get_or_build(key, || TrieIndex::build(&r, &[0, 1]));
         assert_eq!(set.len(), 3);
         assert_eq!(set.stats().builds, 3);
+    }
+
+    #[test]
+    fn split_ranges_empty_index_has_no_ranges() {
+        let r = Relation::new(vec![0, 1]);
+        let ix = TrieIndex::build(&r, &[0, 1]);
+        assert!(ix.split_ranges(8).is_empty());
+    }
+
+    #[test]
+    fn split_ranges_single_first_value_is_one_range() {
+        // Every row shares first-column value 7: no root-child boundary to
+        // split on, so any requested parallelism degenerates to one range.
+        let r = Relation::from_rows(vec![0, 1], (0..10u64).map(|i| [7, i]));
+        let ix = TrieIndex::build(&r, &[0, 1]);
+        for parts in [1, 2, 8, 100] {
+            assert_eq!(ix.split_ranges(parts), vec![0..10]);
+        }
+    }
+
+    #[test]
+    fn split_ranges_more_parts_than_children() {
+        // 3 distinct first values, 8 requested parts: one range per child,
+        // never an empty range.
+        let r = Relation::from_rows(vec![0, 1], [[1, 0], [2, 0], [2, 1], [3, 0]]);
+        let ix = TrieIndex::build(&r, &[0, 1]);
+        let ranges = ix.split_ranges(8);
+        assert_eq!(ranges, vec![0..1, 1..3, 3..4]);
+    }
+
+    #[test]
+    fn split_ranges_balance_by_child_counts_not_width() {
+        // First value 0 owns 99 of 102 rows (99% skew). A naive equal-width
+        // split over the 4 children would pair the heavy child with a light
+        // one; balancing by measured child counts isolates it.
+        let mut rows: Vec<[u64; 2]> = (0..99u64).map(|i| [0, i]).collect();
+        rows.extend([[1, 0], [2, 0], [3, 0]]);
+        let r = Relation::from_rows(vec![0, 1], rows);
+        let ix = TrieIndex::build(&r, &[0, 1]);
+        let ranges = ix.split_ranges(4);
+        assert_eq!(ranges[0], 0..99, "heavy child gets a range to itself");
+        assert_eq!(ranges.last().unwrap().end, 102);
+        // Ranges partition 0..len exactly, in row order.
+        assert!(ranges.windows(2).all(|w| w[0].end == w[1].start));
+        assert_eq!(ranges[0].start, 0);
+    }
+
+    #[test]
+    fn split_ranges_never_tear_a_child() {
+        let r = Relation::from_rows(
+            vec![0, 1],
+            [
+                [1, 0],
+                [1, 1],
+                [1, 2],
+                [2, 0],
+                [2, 1],
+                [3, 0],
+                [3, 1],
+                [3, 2],
+            ],
+        );
+        let ix = TrieIndex::build(&r, &[0, 1]);
+        let boundaries: Vec<usize> = ix.group_ranges(1).iter().map(|g| g.start).collect();
+        for parts in 1..=8 {
+            for range in ix.split_ranges(parts) {
+                assert!(
+                    boundaries.contains(&range.start),
+                    "range start {} splits a root child",
+                    range.start
+                );
+            }
+        }
     }
 
     #[test]

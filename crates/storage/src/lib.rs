@@ -34,7 +34,9 @@ mod stats;
 mod udf;
 
 pub use database::{Database, MissingRelation};
-pub use index::{IndexKey, IndexKind, IndexSet, IndexSetStats, Probe, ProbeSnapshot, TrieIndex};
+pub use index::{
+    balanced_ranges, IndexKey, IndexKind, IndexSet, IndexSetStats, Probe, ProbeSnapshot, TrieIndex,
+};
 pub use relation::{DeltaApplied, HashIndex, Relation};
 pub use stats::RelationStats;
 pub use udf::{UdfFn, UdfRegistry};

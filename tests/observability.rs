@@ -255,6 +255,106 @@ fn stressed_executor_produces_well_formed_trees() {
 }
 
 // ---------------------------------------------------------------------------
+// Parallel-solve stress: many concurrent 8-way solves with tiny sub-ranges
+// — no deadlock, no dropped sub-range (outputs stay byte-identical to the
+// sequential run), and every solve_part span parents under a solve span in
+// a well-formed tree.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn stressed_parallel_solves_stay_deterministic_and_well_parented() {
+    let obs = Observer::enabled();
+    let q = examples::triangle();
+    let mut rng = StdRng::seed_from_u64(17);
+    // Small instances: 8-way fan-out over a handful of root children makes
+    // the sub-ranges tiny, maximizing scheduling churn per unit work.
+    let dbs = Arc::new(
+        (0..8)
+            .map(|_| random_instance(&q, &mut rng, 60, 90))
+            .collect::<Vec<_>>(),
+    );
+
+    let engine = Engine::new().observe(obs.clone());
+    let prepared = Arc::new(engine.prepare(&q));
+    // Sequential references, traced through a separate observer so the
+    // stressed observer sees only the parallel runs.
+    let reference: Vec<_> = {
+        let plain = Arc::new(Engine::new().prepare(&q));
+        dbs.iter()
+            .map(|db| {
+                plain
+                    .execute(db, &ExecOptions::new().parallelism(1))
+                    .unwrap()
+            })
+            .collect()
+    };
+
+    // 3 concurrent submits × 8 databases × 8-way solves on a 4-thread pool:
+    // worker threads fan out scoped sub-range tasks from inside pool jobs.
+    let exec = Executor::with_threads(4).observe(obs.clone());
+    let opts = ExecOptions::new().parallelism(8);
+    let handles: Vec<_> = (0..3)
+        .map(|_| exec.submit(&prepared, &dbs, &opts))
+        .collect();
+    for h in handles {
+        let batch = h.wait();
+        assert_eq!(batch.stats.failed, 0, "no solve deadlocked or died");
+        for (r, seq) in batch.results.iter().zip(&reference) {
+            let r = r.as_ref().unwrap();
+            assert_eq!(r.output, seq.output, "a dropped sub-range changes output");
+            assert_eq!(r.stats.deterministic(), seq.stats.deterministic());
+        }
+    }
+
+    let spans = obs.drain_spans();
+    assert_eq!(obs.dropped_spans(), 0);
+    assert_well_formed(&spans);
+    let by_id: HashMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    let parts: Vec<&SpanRecord> = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::SolvePart)
+        .collect();
+    assert!(!parts.is_empty(), "8-way solves must emit solve_part spans");
+    for p in &parts {
+        let parent = by_id[&p.parent.expect("solve_part spans have parents")];
+        assert_eq!(
+            parent.kind,
+            SpanKind::Solve,
+            "solve_part parents under its solve, not the worker's span"
+        );
+        assert!(p.field("items").is_some(), "solve_part records its size");
+    }
+    // No dropped sub-range in the trace either: a solve may fan out several
+    // times (per chain level / per atom), but within each fan-out of `t`
+    // parts, every index 1..=t must appear — and equally often across
+    // repeated fan-outs of the same width.
+    let mut fanouts: HashMap<(u64, usize), HashMap<usize, usize>> = HashMap::new();
+    for p in &parts {
+        let (i, t) = p
+            .label
+            .strip_prefix("part ")
+            .and_then(|l| l.split_once('/'))
+            .map(|(i, t)| (i.parse().unwrap(), t.parse().unwrap()))
+            .expect("solve_part labels are `part i/total`");
+        *fanouts
+            .entry((p.parent.unwrap(), t))
+            .or_default()
+            .entry(i)
+            .or_default() += 1;
+    }
+    for ((solve, t), seen) in fanouts {
+        let runs = seen.values().copied().max().unwrap();
+        for i in 1..=t {
+            assert_eq!(
+                seen.get(&i).copied().unwrap_or(0),
+                runs,
+                "solve {solve}: part {i}/{t} dropped"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Streaming + delta layers emit through the same observer.
 // ---------------------------------------------------------------------------
 
