@@ -1,29 +1,34 @@
-//! Probe-throughput ablation: the shared access-path layer (cached
-//! `TrieIndex` + zero-allocation `Probe`) against the seed-era pattern
-//! (per-solve `Relation::project` copies + from-scratch `prefix_range`
-//! binary searches keyed by freshly allocated `Vec<Value>`s).
+//! Probe-throughput ablation for the access-path layer.
 //!
-//! Two levels:
+//! Three levels:
 //!
-//! - `storage/*` — the primitive itself: answer a fixed workload of prefix
-//!   lookups against one relation, (a) re-projecting per batch and
-//!   allocating every key the way the algorithms used to, vs. (b) probing
-//!   a pre-built trie index with values taken straight from the workload
-//!   buffer, vs. (c) leapfrog-seeking a sorted workload.
-//! - `engine/*` — the end-to-end effect: executing a prepared query
-//!   repeatedly with the index cache warm, vs. paying the seed-style
-//!   from-scratch access-path cost on every execution (fresh
-//!   `PreparedQuery`, plans pre-warmed separately so the delta is access
-//!   paths, not planning).
+//! - **kernel** (hand-timed, runs first, writes `BENCH_probe.json` at the
+//!   repo root) — the PR-6 layout ablation: the same seek and descend
+//!   workloads driven against (a) the row-major strided layout the engine
+//!   used through PR 5 (a sorted projection probed through the flat
+//!   `Relation::probe` representation — binary search with an
+//!   arity-strided access pattern) and (b) the columnar level-trie
+//!   (`TrieIndex::probe` — contiguous per-level value arrays with the
+//!   gallop + branch-free bisect + SIMD-tail `lower_bound` kernel). The
+//!   acceptance bar is ≥1.5× seek-kernel throughput for the columnar
+//!   layout at n = 16384.
+//! - `storage/*` (criterion shim) — cached trie + zero-allocation probes
+//!   vs the seed-era per-solve `project` + allocated-key `prefix_range`.
+//! - `engine/*` (criterion shim) — end-to-end cache warmth, parallel
+//!   scaling, and the observability overhead guard.
+//!
+//! `FDJOIN_BENCH_FAST=1` shrinks the kernel measurement windows and skips
+//! the criterion groups — the CI smoke mode, which still produces a full
+//! `BENCH_probe.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use fdjoin_core::{Algorithm, Engine, ExecOptions, Observer};
 use fdjoin_instances::bounded_degree_triangle;
 use fdjoin_query::examples;
-use fdjoin_storage::{Relation, TrieIndex, Value};
+use fdjoin_storage::{Probe, Relation, TrieIndex, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn workload(n: usize, keys: usize) -> (Relation, Vec<[Value; 2]>) {
     let mut rng = StdRng::seed_from_u64(42);
@@ -43,6 +48,190 @@ fn workload(n: usize, keys: usize) -> (Relation, Vec<[Value; 2]>) {
         .collect();
     (rel, keys)
 }
+
+// ---------------------------------------------------------------------------
+// Kernel ablation: row-major strided vs columnar level-trie.
+// ---------------------------------------------------------------------------
+
+/// One layout's numbers over the shared kernel workloads.
+struct KernelSeries {
+    build_ns: u128,
+    resident_bytes: usize,
+    seek_ops_per_sec: f64,
+    descend_ops_per_sec: f64,
+}
+
+/// Run `pass` (which returns its op count) repeatedly for at least
+/// `window`, after one warmup pass; returns ops per second, best of three
+/// windows (the max filters out scheduler noise, which only ever slows a
+/// window down).
+fn time_ops<F: FnMut() -> usize>(mut pass: F, window: Duration) -> f64 {
+    black_box(pass());
+    let mut best = 0f64;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let mut ops = 0usize;
+        let elapsed = loop {
+            ops += pass();
+            let e = start.elapsed();
+            if e >= window {
+                break e;
+            }
+        };
+        best = best.max(ops as f64 / elapsed.as_secs_f64());
+    }
+    best
+}
+
+/// The seek workload: one fresh root cursor per target, each paying a
+/// full `lower_bound` over the widest trie level — the cold-probe kernel
+/// cost that dominates Generic-Join's intersection loops. (A leapfrog
+/// over *sorted* targets advances one or two gallop steps per seek and
+/// measures cursor overhead, not the search kernel; the criterion group
+/// below keeps that variant.)
+fn seek_pass<'a, M: Fn() -> Probe<'a>>(mk: M, targets: &[Value]) -> usize {
+    let mut hits = 0usize;
+    for &t in targets {
+        let mut probe = mk();
+        if probe.seek(t).is_some() {
+            hits += 1;
+        }
+    }
+    black_box(hits);
+    targets.len()
+}
+
+/// The descend workload: full-depth point probes (one fresh cursor per
+/// key), half drawn from real rows, half random — the Generic-Join /
+/// expansion access pattern.
+fn descend_pass<'a, M: Fn() -> Probe<'a>>(mk: M, keys: &[[Value; 3]]) -> usize {
+    let mut hits = 0usize;
+    for k in keys {
+        let mut p = mk();
+        if k.iter().all(|&v| p.descend(v)) {
+            hits += p.len();
+        }
+    }
+    black_box(hits);
+    keys.len()
+}
+
+fn kernel_ablation(fast: bool) -> (KernelSeries, KernelSeries, usize, usize) {
+    let n = 1 << 14;
+    let n_keys = 4096usize;
+    let window = if fast {
+        Duration::from_millis(40)
+    } else {
+        Duration::from_millis(500)
+    };
+    // Column 2 (domain 0..n) first: the root level is wide, so the seek
+    // kernel runs over the largest array either layout offers.
+    let order = [2u32, 0, 1];
+    let (rel, _) = workload(n, 0);
+    let mut rng = StdRng::seed_from_u64(7);
+    let seek_targets: Vec<Value> = (0..n_keys).map(|_| rng.gen_range(0..n as u64)).collect();
+    let descend_keys: Vec<[Value; 3]> = (0..n_keys)
+        .map(|i| {
+            if i % 2 == 0 {
+                let r = rel.row(rng.gen_range(0..rel.len()));
+                [r[2], r[0], r[1]]
+            } else {
+                [
+                    rng.gen_range(0..n as u64),
+                    rng.gen_range(0..n as u64 / 8),
+                    rng.gen_range(0..64u64),
+                ]
+            }
+        })
+        .collect();
+
+    // Row-major baseline: the PR-5 layout — a sorted projection probed
+    // through the flat strided representation.
+    let build_reps = if fast { 3 } else { 10 };
+    let rm_build_ns = (0..build_reps)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(rel.project(&order));
+            t.elapsed().as_nanos()
+        })
+        .min()
+        .unwrap();
+    let proj = rel.project(&order);
+    let rm_resident = proj.len() * proj.vars().len() * std::mem::size_of::<Value>();
+    let rm_seek = time_ops(|| seek_pass(|| proj.probe(), &seek_targets), window);
+    let rm_descend = time_ops(|| descend_pass(|| proj.probe(), &descend_keys), window);
+    let row_major = KernelSeries {
+        build_ns: rm_build_ns,
+        resident_bytes: rm_resident,
+        seek_ops_per_sec: rm_seek,
+        descend_ops_per_sec: rm_descend,
+    };
+
+    // Columnar level-trie.
+    let col_build_ns = (0..build_reps)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(TrieIndex::build(&rel, &order));
+            t.elapsed().as_nanos()
+        })
+        .min()
+        .unwrap();
+    let ix = TrieIndex::build(&rel, &order);
+    let col_seek = time_ops(|| seek_pass(|| ix.probe(), &seek_targets), window);
+    let col_descend = time_ops(|| descend_pass(|| ix.probe(), &descend_keys), window);
+    let columnar = KernelSeries {
+        build_ns: col_build_ns,
+        resident_bytes: ix.heap_bytes(),
+        seek_ops_per_sec: col_seek,
+        descend_ops_per_sec: col_descend,
+    };
+
+    (row_major, columnar, n, n_keys)
+}
+
+fn series_json(s: &KernelSeries) -> String {
+    format!(
+        "{{\"build_ns\":{},\"resident_bytes\":{},\"seek_ops_per_sec\":{:.0},\"descend_ops_per_sec\":{:.0}}}",
+        s.build_ns, s.resident_bytes, s.seek_ops_per_sec, s.descend_ops_per_sec
+    )
+}
+
+fn run_kernel_ablation(fast: bool) {
+    let (row_major, columnar, n, n_keys) = kernel_ablation(fast);
+    let seek_speedup = columnar.seek_ops_per_sec / row_major.seek_ops_per_sec;
+    let descend_speedup = columnar.descend_ops_per_sec / row_major.descend_ops_per_sec;
+    println!("kernel ablation (n = {n}, {n_keys} keys, fast = {fast})");
+    println!(
+        "  row_major: build {:>9} ns  resident {:>8} B  seek {:>12.0} ops/s  descend {:>12.0} ops/s",
+        row_major.build_ns,
+        row_major.resident_bytes,
+        row_major.seek_ops_per_sec,
+        row_major.descend_ops_per_sec
+    );
+    println!(
+        "  columnar:  build {:>9} ns  resident {:>8} B  seek {:>12.0} ops/s  descend {:>12.0} ops/s",
+        columnar.build_ns,
+        columnar.resident_bytes,
+        columnar.seek_ops_per_sec,
+        columnar.descend_ops_per_sec
+    );
+    println!("  seek speedup {seek_speedup:.2}x, descend speedup {descend_speedup:.2}x");
+
+    let json = format!(
+        "{{\"bench\":\"probe_ablation\",\"n\":{n},\"keys\":{n_keys},\"fast\":{fast},\
+         \"row_major\":{},\"columnar\":{},\
+         \"seek_speedup\":{seek_speedup:.3},\"descend_speedup\":{descend_speedup:.3}}}\n",
+        series_json(&row_major),
+        series_json(&columnar),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_probe.json");
+    std::fs::write(path, json).expect("write BENCH_probe.json");
+    println!("  wrote {path}");
+}
+
+// ---------------------------------------------------------------------------
+// Criterion-shim groups (unchanged shapes from PR 5).
+// ---------------------------------------------------------------------------
 
 fn bench_storage_probes(c: &mut Criterion) {
     let n = 1 << 14;
@@ -211,4 +400,11 @@ criterion_group!(
     bench_parallel_scaling,
     bench_obs_overhead
 );
-criterion_main!(benches);
+
+fn main() {
+    let fast = std::env::var_os("FDJOIN_BENCH_FAST").is_some();
+    run_kernel_ablation(fast);
+    if !fast {
+        benches();
+    }
+}

@@ -68,8 +68,8 @@ pub(crate) fn execute(
                 if !acc_shared_cols.iter().all(|&c| probe.descend(row[c])) {
                     continue;
                 }
-                for ri in probe.range() {
-                    let ext = index.row(ri);
+                let mut matches = index.walk(probe.range());
+                while let Some(ext) = matches.next() {
                     buf.clear();
                     buf.extend_from_slice(row);
                     buf.extend_from_slice(&ext[shared.len()..]);

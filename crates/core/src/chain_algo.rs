@@ -160,8 +160,8 @@ pub(crate) fn execute(
                 let j_star = covering[ci_star];
                 let (p_star, _) = proj[i][j_star].as_ref().unwrap();
 
-                'ext: for ri in range {
-                    let ext = p_star.row(ri);
+                let mut matches = p_star.walk(range);
+                'ext: while let Some(ext) = matches.next() {
                     // Assemble candidate over C_{i-1} ∪ (R_{j*} ∧ C_i).
                     for (&v, &x) in q_prev.vars().iter().zip(t) {
                         vals[v as usize] = x;

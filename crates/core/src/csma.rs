@@ -216,7 +216,9 @@ fn exec(
         // trie build over the branch's final table.
         if let Some(t) = tables.get(&lat.top()) {
             let all: Vec<u32> = (0..ctx.nv as u32).collect();
-            for row in TrieIndex::build(t, &all).rows() {
+            let ix = TrieIndex::build(t, &all);
+            let mut rows = ix.walk_all();
+            while let Some(row) = rows.next() {
                 out.push_row(row);
                 stats.intermediate_tuples += 1;
             }
@@ -350,8 +352,8 @@ fn join_into(
             if !ta_key_cols.iter().all(|&c| probe.descend(row[c])) {
                 continue;
             }
-            'ext: for r in probe.range() {
-                let ext = guard.row(r);
+            let mut matches = guard.walk(probe.range());
+            'ext: while let Some(ext) = matches.next() {
                 for (&v, &x) in ta.vars().iter().zip(row) {
                     vals[v as usize] = x;
                 }

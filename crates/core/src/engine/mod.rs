@@ -849,6 +849,13 @@ impl PreparedQuery {
                     }
                 }
                 record_execution_metrics(&m, &algorithm, &r.stats, started);
+                // Post-execution index-cache residency, after any builds
+                // and byte-budget evictions this execution triggered.
+                m.set_gauge(
+                    "fdjoin_index_resident_bytes",
+                    &[],
+                    self.indexes.memory_bytes() as u64,
+                );
                 // The ROADMAP calibration loop: estimate vs. observed work,
                 // computed only when someone is listening.
                 if let Ok(est) = self.estimate(db) {

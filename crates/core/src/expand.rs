@@ -79,7 +79,7 @@ impl<'a> Expander<'a> {
             if !lhs.iter().all(|u| probe.descend(vals[u as usize])) || probe.is_empty() {
                 return Err(()); // dangling
             }
-            let found = ix.row(probe.range().start)[probe.depth()];
+            let found = probe.current().expect("guard trie extends past its lhs");
             if already {
                 if vals[*v as usize] != found {
                     return Err(()); // violates the FD
@@ -145,8 +145,7 @@ impl<'a> Expander<'a> {
                 stats.probes += 1;
                 let mut probe = ix.probe();
                 if !lhs.iter().all(|u| probe.descend(vals[u as usize]))
-                    || probe.is_empty()
-                    || ix.row(probe.range().start)[probe.depth()] != vals[*v as usize]
+                    || probe.current() != Some(vals[*v as usize])
                 {
                     return false;
                 }

@@ -40,7 +40,7 @@ use std::sync::Mutex;
 ///
 /// This is the scoped fan-out primitive behind both batch serving
 /// (`fdjoin_exec::ExecuteBatch`) and intra-query sub-range solves
-/// ([`for_blocks`]); it is public (and re-exported as
+/// (`for_blocks`); it is public (and re-exported as
 /// `fdjoin_exec::run_scoped`) so other serving drivers — e.g.
 /// `fdjoin_delta`'s multi-view delta application — can reuse it for
 /// borrowed workloads that a persistent pool's `'static` jobs cannot

@@ -192,18 +192,22 @@ pub(crate) fn execute(
         // T(X ∧ Y) = Π_Z(T(X)) ∩ Π_Z(T(Y)) ∩ Heavy(Z): probe the heavy
         // prefixes against T(X)'s Z-trie, no key materialization.
         let tx_z = atom_trie(&pool, xi, &z_vars, &mut stats);
+        let zlen = z_vars.len();
+        let mut meet_flat: Vec<Value> = Vec::new();
+        let mut meet_count = 0usize;
+        for &r in &heavy_rows {
+            let row = ty.row(r);
+            let prefix = &row[..zlen];
+            stats.probes += 1;
+            if tx_z.contains(prefix) {
+                stats.intermediate_tuples += 1;
+                meet_flat.extend_from_slice(prefix);
+                meet_count += 1;
+            }
+        }
         let t_meet = Relation::from_sorted_unique_rows(
             z_vars.clone(),
-            heavy_rows.iter().filter_map(|&r| {
-                let prefix = &ty.row(r)[..z_vars.len()];
-                stats.probes += 1;
-                if tx_z.contains(prefix) {
-                    stats.intermediate_tuples += 1;
-                    Some(prefix)
-                } else {
-                    None
-                }
-            }),
+            (0..meet_count).map(|k| &meet_flat[k * zlen..(k + 1) * zlen]),
         );
 
         // T(X ∨ Y) = (T(X) ⋈ (T(Y) ⋉ Lite))⁺. `light` is stored Z-first,
@@ -286,7 +290,9 @@ pub(crate) fn execute(
     let mut out = Relation::new(all.clone());
     for e in &pool {
         if e.elem == lat.top() {
-            for row in TrieIndex::build(&e.rel, &all).rows() {
+            let ix = TrieIndex::build(&e.rel, &all);
+            let mut rows = ix.walk_all();
+            while let Some(row) = rows.next() {
                 out.push_row(row);
             }
         }

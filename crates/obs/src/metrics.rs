@@ -112,6 +112,10 @@ type MetricKey = (String, String);
 #[derive(Debug, Default)]
 pub struct Registry {
     counters: RwLock<BTreeMap<MetricKey, Arc<AtomicU64>>>,
+    /// Last-write-wins level metrics (e.g. `fdjoin_index_resident_bytes`,
+    /// the byte-accounted index-cache residency) — same atomic storage as
+    /// counters, but set rather than added, and rendered as `gauge`.
+    gauges: RwLock<BTreeMap<MetricKey, Arc<AtomicU64>>>,
     histograms: RwLock<BTreeMap<MetricKey, Arc<Histogram>>>,
     /// Running sum of signed estimate errors, in milli-log₂ (an `f64`
     /// error ±e becomes `(e * 1000) as i64`; atomics keep the loop
@@ -166,6 +170,32 @@ impl Registry {
     /// Add `v` to the counter named `name{labels}`.
     pub fn add(&self, name: &str, labels: &[(&str, &str)], v: u64) {
         self.counter(name, labels).fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// The gauge named `name{labels}`, created at zero on first use.
+    /// Hold the returned handle across calls on hot paths.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<AtomicU64> {
+        let key = (name.to_string(), render_labels(labels));
+        if let Some(g) = self.gauges.read().unwrap().get(&key) {
+            return Arc::clone(g);
+        }
+        let mut w = self.gauges.write().unwrap();
+        Arc::clone(w.entry(key).or_default())
+    }
+
+    /// Set the gauge named `name{labels}` to `v` (last write wins).
+    pub fn set_gauge(&self, name: &str, labels: &[(&str, &str)], v: u64) {
+        self.gauge(name, labels).store(v, Ordering::Relaxed);
+    }
+
+    /// Current value of a gauge (0 if never set).
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        let key = (name.to_string(), render_labels(labels));
+        self.gauges
+            .read()
+            .unwrap()
+            .get(&key)
+            .map_or(0, |g| g.load(Ordering::Relaxed))
     }
 
     /// The histogram named `name{labels}`, created empty on first use.
@@ -247,6 +277,20 @@ impl Registry {
                 out.push_str(&format!("{name}{{{labels}}} {v}\n"));
             }
         }
+        let gauges = self.gauges.read().unwrap();
+        let mut last_name = "";
+        for ((name, labels), v) in gauges.iter() {
+            if name != last_name {
+                out.push_str(&format!("# TYPE {name} gauge\n"));
+                last_name = name;
+            }
+            let v = v.load(Ordering::Relaxed);
+            if labels.is_empty() {
+                out.push_str(&format!("{name} {v}\n"));
+            } else {
+                out.push_str(&format!("{name}{{{labels}}} {v}\n"));
+            }
+        }
         if let Some(calib) = self.estimate_calibration_log2() {
             out.push_str("# TYPE fdjoin_estimate_calibration_log2 gauge\n");
             out.push_str(&format!("fdjoin_estimate_calibration_log2 {calib}\n"));
@@ -290,13 +334,29 @@ impl Registry {
         out
     }
 
-    /// A point-in-time JSON snapshot: `{"counters": {...}, "histograms":
-    /// {...}, "estimate_calibration_log2": ...}`. Hand-rolled (no serde);
-    /// keys are `name{labels}` strings.
+    /// A point-in-time JSON snapshot: `{"counters": {...}, "gauges":
+    /// {...}, "histograms": {...}, "estimate_calibration_log2": ...}`.
+    /// Hand-rolled (no serde); keys are `name{labels}` strings.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         let counters = self.counters.read().unwrap();
         for (i, ((name, labels), v)) in counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let key = if labels.is_empty() {
+                name.clone()
+            } else {
+                format!("{name}{{{labels}}}")
+            };
+            out.push('"');
+            out.push_str(&crate::export::json_escape(&key));
+            out.push_str("\":");
+            out.push_str(&v.load(Ordering::Relaxed).to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        let gauges = self.gauges.read().unwrap();
+        for (i, ((name, labels), v)) in gauges.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -398,6 +458,22 @@ mod tests {
         let h = r.histogram("fdjoin_work", &[]);
         assert_eq!(h.count(), 2);
         assert_eq!(h.sum(), 5);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let r = Registry::new();
+        assert_eq!(r.gauge_value("fdjoin_index_resident_bytes", &[]), 0);
+        r.set_gauge("fdjoin_index_resident_bytes", &[], 4096);
+        r.set_gauge("fdjoin_index_resident_bytes", &[], 1024);
+        assert_eq!(r.gauge_value("fdjoin_index_resident_bytes", &[]), 1024);
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE fdjoin_index_resident_bytes gauge\n"));
+        assert!(text.contains("fdjoin_index_resident_bytes 1024\n"));
+        crate::export::validate_prometheus(&text).expect("gauge exposition validates");
+        let json = r.to_json();
+        crate::export::validate_json(&json).expect("gauge snapshot is valid JSON");
+        assert!(json.contains("\"gauges\":{\"fdjoin_index_resident_bytes\":1024}"));
     }
 
     #[test]

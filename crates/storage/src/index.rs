@@ -3,31 +3,35 @@
 //!
 //! The paper's algorithms — chain, SMA, CSMA, Generic-Join — are all
 //! sequences of *ordered-prefix probes*: bind a prefix of some column
-//! order, look at the matching tuples, extend. Before this module existed,
-//! each `solve` re-materialized [`Relation::project`] copies per execution
-//! and answered every probe with a from-scratch binary search over the
-//! whole relation, keyed by a freshly allocated `Vec<Value>`. The
-//! worst-case-optimal-join literature (LeapFrog TrieJoin and friends) gets
-//! the same answers from *trie* access paths: one sorted index per
+//! order, look at the matching tuples, extend. The
+//! worst-case-optimal-join literature (LeapFrog TrieJoin and friends)
+//! answers those probes from *trie* access paths: one sorted index per
 //! `(relation, column order)`, navigated by a cursor that only ever
 //! narrows, so every search is bounded by the range the previous level
 //! established.
 //!
 //! Three types implement that here:
 //!
-//! - [`TrieIndex`] — the index for one `(relation, column order)`: the
-//!   deduplicated projection onto `order`, lexicographically sorted. It is
-//!   built once (by sorting a row-id permutation of the source, then
-//!   materializing the distinct projected rows) and reused for the life of
-//!   the relation *version*.
-//! - [`Probe`] — a cheap, `Copy`, zero-allocation cursor over a
-//!   [`TrieIndex`] (or a sorted [`Relation`] via [`Relation::probe`]):
-//!   [`Probe::descend`] narrows to the rows matching one more column
-//!   value, [`Probe::seek`] gallops forward *inside the already-narrowed
-//!   range* to the next value `≥ v` at the current level — the leapfrog
-//!   primitive — and [`Probe::enter`] steps into the current value's
-//!   subtrie. No per-probe key vector is ever assembled: callers descend
-//!   one bound value at a time straight out of their tuple buffers.
+//! - [`TrieIndex`] — the index for one `(relation, column order)`, stored
+//!   as a **columnar level-trie** (struct of arrays): per level ℓ a dense
+//!   `values[ℓ]` array holding every trie node's distinct children
+//!   contiguously, plus a `starts[ℓ]` child-offset array mapping node *i*
+//!   at level ℓ to its children range at level ℓ+1. Shared prefixes are
+//!   stored once — level 0 holds each distinct first value exactly once —
+//!   so the layout is both smaller than the repeated-prefix row-major
+//!   projection and cache-dense: a level-ℓ search touches one contiguous
+//!   `&[Value]` run instead of a strided walk over full rows.
+//! - [`Probe`] — a cheap, `Copy`, zero-allocation cursor navigating
+//!   node-id ranges over those arrays (or a sorted [`Relation`]'s
+//!   row-major data via [`Relation::probe`] — both representations answer
+//!   the same API): [`Probe::descend`] narrows to the subtrie matching one
+//!   more column value, [`Probe::seek`] gallops forward *inside the
+//!   already-narrowed node range* to the next value `≥ v` at the current
+//!   level — the leapfrog primitive — and [`Probe::enter`] steps into the
+//!   current value's subtrie. Because each node's children are adjacent in
+//!   `values[ℓ]`, [`Probe::next_value`] is a constant-time increment, and
+//!   the bound searches run a branch-free, SIMD-friendly kernel over the
+//!   contiguous level array (see `lower_bound`).
 //! - [`IndexSet`] — a concurrent (sharded `RwLock`) cache of
 //!   [`TrieIndex`]es keyed by [`IndexKey`]: relation name, content
 //!   [`Relation::version`], and column order. Because versions are
@@ -36,10 +40,15 @@
 //!   threads, and delta batches — and a version bump (e.g.
 //!   [`Relation::apply_delta`]) simply misses, rebuilding only the touched
 //!   relation's entries. Superseded versions stop being touched and age
-//!   out LRU-wise under per-slot and per-shard caps, so a long-lived
-//!   server neither accumulates dead versions nor thrashes when one query
-//!   serves several live databases. Build/hit counters
+//!   out LRU-wise under a per-slot version cap and a per-shard **byte
+//!   budget** ([`TrieIndex::heap_bytes`]-accounted, so eviction pressure
+//!   tracks actual resident memory, not entry counts). Build/hit counters
 //!   ([`IndexSet::stats`]) make reuse observable and testable.
+//!
+//! Row access over the columnar layout goes through [`RowWalk`], a lending
+//! cursor that reconstitutes full rows in index order at amortized O(1)
+//! per row (an odometer over the `starts` arrays), or [`TrieIndex::row`]
+//! for random access to a single row.
 
 use crate::relation::Relation;
 use crate::Value;
@@ -52,31 +61,114 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// A trie-shaped index: the distinct projection of a source relation onto
-/// one column order, lexicographically sorted so that every prefix of
-/// `order` corresponds to a contiguous row range (a trie node).
+/// one column order, lexicographically sorted, stored level-wise.
+///
+/// Level ℓ has one *node* per distinct (ℓ+1)-prefix, in lexicographic
+/// order. `values[ℓ][i]` is the last key of node *i*'s prefix;
+/// `starts[ℓ][i]..starts[ℓ][i+1]` is the node-id range of its children at
+/// level ℓ+1 (`starts[ℓ]` carries a trailing sentinel, so it has one more
+/// entry than `values[ℓ]`). Leaf-level node ids coincide with row ids:
+/// `values[arity-1]` has exactly [`TrieIndex::len`] entries, and every
+/// range-flavored API ([`TrieIndex::group_ranges`],
+/// [`TrieIndex::split_ranges`], [`Probe::range`], …) speaks row ids.
 ///
 /// Navigation happens through [`TrieIndex::probe`]; bulk access through
-/// [`TrieIndex::row`] / [`TrieIndex::rows`]. The index owns its (projected,
-/// deduplicated) data, so it stays valid in a cache after the source
-/// relation moves or is replaced.
+/// [`TrieIndex::walk`] / [`TrieIndex::row`]. The index owns its data, so
+/// it stays valid in a cache after the source relation moves or is
+/// replaced.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TrieIndex {
     vars: Vec<u32>,
-    data: Vec<Value>,
+    /// `values[l]` — one entry per trie node at level `l`, grouped by
+    /// parent, strictly increasing within each parent's run.
+    values: Vec<Vec<Value>>,
+    /// `starts[l]` — child offsets into level `l+1`, with sentinel;
+    /// `starts.len() == arity - 1` (leaves have no children).
+    starts: Vec<Vec<u32>>,
     rows: usize,
+}
+
+/// Streaming level-trie builder: feed it the sorted, deduplicated
+/// projected rows in order; it extends each level array from the first
+/// column where the row differs from its predecessor.
+struct LevelBuilder {
+    vars: Vec<u32>,
+    values: Vec<Vec<Value>>,
+    starts: Vec<Vec<u32>>,
+    rows: usize,
+    last: Vec<Value>,
+}
+
+impl LevelBuilder {
+    fn new(vars: Vec<u32>) -> LevelBuilder {
+        let arity = vars.len();
+        LevelBuilder {
+            vars,
+            values: vec![Vec::new(); arity],
+            starts: vec![Vec::new(); arity.saturating_sub(1)],
+            rows: 0,
+            last: Vec::with_capacity(arity),
+        }
+    }
+
+    /// Append one projected row (must be strictly greater than the
+    /// previous one in lexicographic order).
+    fn push(&mut self, row: &[Value]) {
+        let a = self.values.len();
+        debug_assert_eq!(row.len(), a);
+        let d = if self.rows == 0 {
+            0
+        } else {
+            let d = self
+                .last
+                .iter()
+                .zip(row)
+                .position(|(x, y)| x != y)
+                .unwrap_or(a);
+            debug_assert!(d < a, "duplicate or unsorted row pushed");
+            d
+        };
+        // A fresh node at level `l` records where its children will begin
+        // *before* any of them are appended to level `l+1`.
+        for (l, &v) in row.iter().enumerate().take(a).skip(d) {
+            if l + 1 < a {
+                debug_assert!(self.values[l + 1].len() <= u32::MAX as usize);
+                self.starts[l].push(self.values[l + 1].len() as u32);
+            }
+            self.values[l].push(v);
+        }
+        self.last.clear();
+        self.last.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    fn finish(mut self) -> TrieIndex {
+        for l in 0..self.starts.len() {
+            let sentinel = self.values[l + 1].len() as u32;
+            self.starts[l].push(sentinel);
+        }
+        TrieIndex {
+            vars: self.vars,
+            values: self.values,
+            starts: self.starts,
+            rows: self.rows,
+        }
+    }
 }
 
 impl TrieIndex {
     /// Build the index of `rel` for `order` (a duplicate-free subset of
-    /// `rel`'s variables, in any order). The build sorts a row-id
-    /// permutation of the source — rows themselves are moved only once,
-    /// into the deduplicated projection.
+    /// `rel`'s variables, in any order). The build extracts the projected
+    /// sort keys once into a flat buffer — the comparator never re-reads
+    /// source rows — sorts a row-id permutation, and streams the distinct
+    /// projected rows into the level arrays.
     pub fn build(rel: &Relation, order: &[u32]) -> TrieIndex {
         let arity = order.len();
         if arity == 0 {
             return TrieIndex {
                 vars: Vec::new(),
-                data: Vec::new(),
+                values: Vec::new(),
+                starts: Vec::new(),
                 rows: usize::from(!rel.is_empty()),
             };
         }
@@ -84,47 +176,36 @@ impl TrieIndex {
             .iter()
             .map(|&v| rel.col_of(v).expect("index variable not in relation"))
             .collect();
+        let mut b = LevelBuilder::new(order.to_vec());
         // Fast path: the relation is already stored in exactly this order.
         if rel.is_sorted() && rel.vars() == order {
-            let mut data = Vec::with_capacity(rel.len() * arity);
             for row in rel.rows() {
-                data.extend_from_slice(row);
+                b.push(row);
             }
-            let rows = rel.len();
-            return TrieIndex {
-                vars: order.to_vec(),
-                data,
-                rows,
-            };
+            return b.finish();
         }
+        // Extract per-row keys once (columns gathered a single time), so
+        // each sort comparison is a contiguous slice compare instead of a
+        // re-walk of `cols` over the source row store.
         let n = rel.len();
+        let mut keys: Vec<Value> = Vec::with_capacity(n * arity);
+        for i in 0..n {
+            let row = rel.row(i);
+            keys.extend(cols.iter().map(|&c| row[c]));
+        }
+        let key = |i: u32| &keys[i as usize * arity..(i as usize + 1) * arity];
         let mut perm: Vec<u32> = (0..n as u32).collect();
-        let key_cmp = |i: u32, j: u32| {
-            let (a, b) = (rel.row(i as usize), rel.row(j as usize));
-            for &c in &cols {
-                match a[c].cmp(&b[c]) {
-                    std::cmp::Ordering::Equal => continue,
-                    other => return other,
-                }
-            }
-            std::cmp::Ordering::Equal
-        };
-        perm.sort_unstable_by(|&i, &j| key_cmp(i, j));
-        let mut data: Vec<Value> = Vec::with_capacity(n * arity);
-        let mut rows = 0usize;
-        for w in 0..n {
-            if w > 0 && key_cmp(perm[w - 1], perm[w]) == std::cmp::Ordering::Equal {
+        perm.sort_unstable_by(|&i, &j| key(i).cmp(key(j)));
+        let mut prev: Option<&[Value]> = None;
+        for &p in &perm {
+            let k = key(p);
+            if prev == Some(k) {
                 continue;
             }
-            let row = rel.row(perm[w] as usize);
-            data.extend(cols.iter().map(|&c| row[c]));
-            rows += 1;
+            b.push(k);
+            prev = Some(k);
         }
-        TrieIndex {
-            vars: order.to_vec(),
-            data,
-            rows,
-        }
+        b.finish()
     }
 
     /// The indexed column order.
@@ -147,29 +228,77 @@ impl TrieIndex {
         self.rows == 0
     }
 
-    /// Row accessor (rows are in lexicographic order of the index order).
-    pub fn row(&self, i: usize) -> &[Value] {
-        let a = self.arity();
-        if a == 0 {
-            &[]
+    /// Number of trie nodes at `level` (`rows` at and past the leaf
+    /// level, and for nullary indexes).
+    fn n_nodes(&self, level: usize) -> usize {
+        if level >= self.values.len() {
+            self.rows
         } else {
-            &self.data[i * a..(i + 1) * a]
+            self.values[level].len()
         }
     }
 
-    /// Iterate over all rows in index order.
-    pub fn rows(&self) -> impl Iterator<Item = &[Value]> {
-        (0..self.rows).map(move |i| self.row(i))
+    /// The first row id under node `node` at `level` — the level-wise
+    /// `starts` chain down to the leaves. Accepts the one-past-the-end
+    /// node (the sentinel entries make it map to the one-past-the-end
+    /// row), so a node range maps to a row range by two calls.
+    #[inline]
+    fn first_row(&self, level: usize, mut node: usize) -> usize {
+        for l in level..self.starts.len() {
+            node = self.starts[l][node] as usize;
+        }
+        node
     }
 
-    /// A cursor positioned at the trie root (all rows, depth 0).
+    /// Random access to one projected row (rows are in lexicographic
+    /// order of the index order). Reconstitutes the row from the level
+    /// arrays — O(arity · log) — so bulk iteration should use
+    /// [`TrieIndex::walk`] instead.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        debug_assert!(i < self.rows, "row index out of range");
+        let a = self.arity();
+        let mut out = Vec::with_capacity(a);
+        let mut node = i;
+        for l in (0..a).rev() {
+            out.push(self.values[l][node]);
+            if l > 0 {
+                // Parent of `node`: the last level-(l-1) node whose
+                // children start at or before it.
+                node = self.starts[l - 1].partition_point(|&s| (s as usize) <= node) - 1;
+            }
+        }
+        out.reverse();
+        out
+    }
+
+    /// A lending cursor over the rows in `range` (row ids), yielding each
+    /// full row in index order at amortized O(1) per row.
+    pub fn walk(&self, range: Range<usize>) -> RowWalk<'_> {
+        debug_assert!(range.start <= range.end && range.end <= self.rows);
+        let a = self.arity();
+        RowWalk {
+            ix: self,
+            next_row: range.start,
+            end: range.end,
+            path: vec![0; a],
+            buf: vec![0; a],
+            primed: false,
+        }
+    }
+
+    /// [`TrieIndex::walk`] over every row.
+    pub fn walk_all(&self) -> RowWalk<'_> {
+        self.walk(0..self.rows)
+    }
+
+    /// A cursor positioned at the trie root: depth 0, spanning every
+    /// root child (node ids at level 0).
     pub fn probe(&self) -> Probe<'_> {
         Probe {
-            data: &self.data,
-            arity: self.arity(),
+            repr: Repr::Trie(self),
             depth: 0,
             lo: 0,
-            hi: self.rows,
+            hi: self.n_nodes(0),
         }
     }
 
@@ -195,21 +324,22 @@ impl TrieIndex {
     }
 
     /// Group the rows by their first `prefix_len` columns (trie nodes at
-    /// that depth), in index order.
+    /// that depth), in index order. Read straight off the `starts`
+    /// arrays — no row data is touched.
     pub fn group_ranges(&self, prefix_len: usize) -> Vec<Range<usize>> {
         debug_assert!(prefix_len <= self.arity());
-        let n = self.rows;
-        let a = self.arity();
-        let mut out = Vec::new();
+        if self.rows == 0 {
+            return Vec::new();
+        }
+        if prefix_len == 0 {
+            return std::iter::once(0..self.rows).collect();
+        }
+        let level = prefix_len - 1;
+        let n = self.n_nodes(level);
+        let mut out = Vec::with_capacity(n);
         let mut start = 0usize;
-        while start < n {
-            let mut end = start + 1;
-            while end < n
-                && self.data[end * a..end * a + prefix_len]
-                    == self.data[start * a..start * a + prefix_len]
-            {
-                end += 1;
-            }
+        for node in 1..=n {
+            let end = self.first_row(level, node);
             out.push(start..end);
             start = end;
         }
@@ -219,7 +349,7 @@ impl TrieIndex {
     /// Materialize the whole index as a relation (already sorted and
     /// deduplicated — no re-sort happens).
     pub fn to_relation(&self) -> Relation {
-        Relation::from_sorted_unique_rows(self.vars.clone(), self.rows())
+        self.relation_of_ranges(std::iter::once(0..self.rows))
     }
 
     /// Materialize a subset of rows, given as ascending, disjoint row
@@ -228,24 +358,53 @@ impl TrieIndex {
     where
         I: IntoIterator<Item = Range<usize>>,
     {
-        Relation::from_sorted_unique_rows(
-            self.vars.clone(),
-            ranges.into_iter().flat_map(|r| r.map(|i| self.row(i))),
-        )
+        let a = self.arity();
+        if a == 0 {
+            let n: usize = ranges.into_iter().map(|r| r.len()).sum();
+            return Relation::from_sorted_unique_rows(
+                self.vars.clone(),
+                (0..n).map(|_| &[] as &[Value]),
+            );
+        }
+        let mut flat: Vec<Value> = Vec::new();
+        for r in ranges {
+            let mut w = self.walk(r);
+            while let Some(row) = w.next() {
+                flat.extend_from_slice(row);
+            }
+        }
+        Relation::from_sorted_unique_rows(self.vars.clone(), flat.chunks_exact(a))
     }
 
-    /// Approximate heap footprint in bytes (for cache observability).
+    /// Exact heap footprint of the level arrays, in bytes — what the
+    /// byte-accounted [`IndexSet`] budget charges for this index.
+    pub fn heap_bytes(&self) -> usize {
+        self.values
+            .iter()
+            .map(|v| v.len() * std::mem::size_of::<Value>())
+            .sum::<usize>()
+            + self
+                .starts
+                .iter()
+                .map(|s| s.len() * std::mem::size_of::<u32>())
+                .sum::<usize>()
+            + self.vars.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Approximate heap footprint in bytes (alias of
+    /// [`TrieIndex::heap_bytes`], kept for cache observability callers).
     pub fn memory_bytes(&self) -> usize {
-        self.data.len() * std::mem::size_of::<Value>() + self.vars.len() * 4
+        self.heap_bytes()
     }
 
     /// Split the rows into at most `parts` contiguous sub-ranges on
     /// first-column (root child) boundaries, balanced by measured child
-    /// counts — the split points a parallel solve fans out over. Every
-    /// range covers whole root subtries, so a range-restricted solve never
-    /// sees a torn child; ranges are returned in row order and partition
-    /// `0..len()` exactly. An empty index yields no ranges; a single
-    /// distinct first value cannot be split and yields one range.
+    /// counts — the split points a parallel solve fans out over. The
+    /// per-child weights come straight off `starts[0]`'s offset chain.
+    /// Every range covers whole root subtries, so a range-restricted
+    /// solve never sees a torn child; ranges are returned in row order
+    /// and partition `0..len()` exactly. An empty index yields no ranges;
+    /// a single distinct first value cannot be split and yields one range.
     pub fn split_ranges(&self, parts: usize) -> Vec<Range<usize>> {
         if self.rows == 0 {
             return Vec::new();
@@ -269,18 +428,83 @@ impl TrieIndex {
     /// over an index with identical content (same rows, same order) —
     /// callers pausing across database versions must re-validate content
     /// identity (e.g. via [`Relation::version`]) before resuming; a
-    /// snapshot from different content silently addresses the wrong rows.
+    /// snapshot from different content silently addresses the wrong
+    /// nodes.
     pub fn resume(&self, snap: ProbeSnapshot) -> Probe<'_> {
         debug_assert!(snap.depth <= self.arity(), "snapshot depth out of range");
-        debug_assert!(snap.hi <= self.rows, "snapshot range out of range");
+        debug_assert!(
+            snap.hi <= self.n_nodes(snap.depth),
+            "snapshot range out of range"
+        );
         debug_assert!(snap.lo <= snap.hi, "snapshot range inverted");
         Probe {
-            data: &self.data,
-            arity: self.arity(),
+            repr: Repr::Trie(self),
             depth: snap.depth,
             lo: snap.lo,
             hi: snap.hi,
         }
+    }
+}
+
+/// A lending row cursor over a [`TrieIndex`]: yields each row of a row
+/// range in index order, reconstituted from the level arrays.
+///
+/// Positioning pays one `partition_point` per level; every subsequent row
+/// is an odometer step — increment the leaf id, carry into parent levels
+/// while a `starts` sentinel is crossed — so a full scan costs amortized
+/// O(1) per row and touches only the levels that actually change.
+#[derive(Debug)]
+pub struct RowWalk<'a> {
+    ix: &'a TrieIndex,
+    next_row: usize,
+    end: usize,
+    /// Node id per level for the current row.
+    path: Vec<usize>,
+    /// The materialized current row.
+    buf: Vec<Value>,
+    primed: bool,
+}
+
+impl RowWalk<'_> {
+    /// Advance to the next row and return it, or `None` past the end.
+    /// (A lending iterator — the row borrows the walker's buffer — so
+    /// this is an inherent method, not `Iterator::next`.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<&[Value]> {
+        if self.next_row >= self.end {
+            return None;
+        }
+        let a = self.ix.arity();
+        let row = self.next_row;
+        self.next_row += 1;
+        if a == 0 {
+            return Some(&[]);
+        }
+        let refresh_from = if !self.primed {
+            self.primed = true;
+            // Position the path at `row`: leaf id is the row id, parents
+            // found by offset bisection level by level.
+            self.path[a - 1] = row;
+            for l in (0..a - 1).rev() {
+                self.path[l] =
+                    self.ix.starts[l].partition_point(|&s| (s as usize) <= self.path[l + 1]) - 1;
+            }
+            0
+        } else {
+            // Odometer step: bump the leaf, carry upward across each
+            // parent whose child range we just walked off the end of.
+            self.path[a - 1] = row;
+            let mut l = a - 1;
+            while l > 0 && self.path[l] >= self.ix.starts[l - 1][self.path[l - 1] + 1] as usize {
+                self.path[l - 1] += 1;
+                l -= 1;
+            }
+            l
+        };
+        for k in refresh_from..a {
+            self.buf[k] = self.ix.values[k][self.path[k]];
+        }
+        Some(&self.buf)
     }
 }
 
@@ -324,38 +548,238 @@ pub fn balanced_ranges(weights: &[u64], parts: usize) -> Vec<Range<usize>> {
     blocks
 }
 
-/// A paused [`Probe`] position as plain data: the cursor's depth and row
-/// range, detached from the index's lifetime.
+// ---------------------------------------------------------------------------
+// The probe kernel: contiguous lower-bound search over one level array.
+// ---------------------------------------------------------------------------
+
+/// Below this span the bisect hands off to the branch-free chunked
+/// compare loop — at that size a predictable linear sweep beats the
+/// data-dependent loads of further halving.
+const LINEAR_SPAN: usize = 32;
+
+/// Hint the cache to pull in `s[i]`. No-op on non-x86_64 targets and out
+/// of bounds; on x86_64 a miss costs nothing (the hint is speculative)
+/// and a hit hides bisect latency on large levels.
+#[inline(always)]
+#[allow(unused_variables)]
+fn prefetch_value(s: &[Value], i: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if i < s.len() {
+        // SAFETY: the pointer is inside `s`'s allocation; prefetch has no
+        // memory effects either way.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch(s.as_ptr().add(i) as *const i8, _MM_HINT_T0);
+        }
+    }
+}
+
+/// Number of elements of `s` strictly less than `v`, counted without a
+/// single branch on element values: every compare becomes a flag add, so
+/// the chunked loop vectorizes instead of mispredicting at the boundary.
+#[inline]
+fn count_lt(s: &[Value], v: Value) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("sse4.2") {
+        // SAFETY: the required target feature was just detected.
+        return unsafe { count_lt_sse42(s, v) };
+    }
+    count_lt_portable(s, v)
+}
+
+/// Portable branch-free fallback; the fixed-width chunks give the
+/// autovectorizer a clean reduction shape.
+#[inline]
+fn count_lt_portable(s: &[Value], v: Value) -> usize {
+    let mut n = 0usize;
+    let mut chunks = s.chunks_exact(8);
+    for c in &mut chunks {
+        n += c.iter().map(|&x| usize::from(x < v)).sum::<usize>();
+    }
+    n + chunks
+        .remainder()
+        .iter()
+        .map(|&x| usize::from(x < v))
+        .sum::<usize>()
+}
+
+/// SSE4.2 path: two u64 lanes per step, biased into signed space so
+/// `_mm_cmpgt_epi64` answers unsigned `<`, accumulated by subtracting the
+/// all-ones compare masks.
+///
+/// # Safety
+/// Caller must ensure SSE4.2 is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse4.2")]
+unsafe fn count_lt_sse42(s: &[Value], v: Value) -> usize {
+    use std::arch::x86_64::*;
+    // SAFETY: loads are unaligned (`loadu`) and stay within `s`.
+    unsafe {
+        let bias = _mm_set1_epi64x(i64::MIN);
+        let pivot = _mm_xor_si128(_mm_set1_epi64x(v as i64), bias);
+        let mut acc = _mm_setzero_si128();
+        let chunks = s.chunks_exact(2);
+        let rem = chunks.remainder();
+        for c in chunks {
+            let x = _mm_loadu_si128(c.as_ptr() as *const __m128i);
+            let lt = _mm_cmpgt_epi64(pivot, _mm_xor_si128(x, bias));
+            acc = _mm_sub_epi64(acc, lt);
+        }
+        let mut lanes = [0u64; 2];
+        _mm_storeu_si128(lanes.as_mut_ptr() as *mut __m128i, acc);
+        (lanes[0] + lanes[1]) as usize + rem.iter().filter(|&&x| x < v).count()
+    }
+}
+
+/// First position in `s[from..hi]` whose value is `>= v`, assuming that
+/// subrange is sorted: gallop from `from`, branch-free bisect (the range
+/// update compiles to a conditional move, never a mispredicted jump, with
+/// both possible next midpoints prefetched one iteration ahead) down to
+/// `LINEAR_SPAN`, then the branch-free chunked `count_lt` sweep over
+/// the short contiguous tail.
+fn lower_bound(s: &[Value], from: usize, hi: usize, v: Value) -> usize {
+    debug_assert!(from <= hi && hi <= s.len());
+    if from >= hi || s[from] >= v {
+        return from;
+    }
+    // Gallop: exponentially widen [prev, probe] until s[probe] >= v.
+    let (mut prev, mut step) = (from, 1usize);
+    let mut end = hi;
+    loop {
+        let probe = match prev.checked_add(step) {
+            Some(p) if p < hi => p,
+            _ => break,
+        };
+        if s[probe] >= v {
+            end = probe;
+            break;
+        }
+        prev = probe;
+        step <<= 1;
+    }
+    // Invariant: s[base] < v, answer in (base, base + len].
+    let mut base = prev;
+    let mut len = end - prev;
+    while len > LINEAR_SPAN {
+        let half = len / 2;
+        let quarter = (len - half) / 2;
+        if quarter > 0 {
+            prefetch_value(s, base + quarter);
+            prefetch_value(s, base + half + quarter);
+        }
+        base += if s[base + half] < v { half } else { 0 };
+        len -= half;
+    }
+    base + 1 + count_lt(&s[base + 1..base + len], v)
+}
+
+/// Strided variant for row-major data (a sorted [`Relation`]'s row store,
+/// reached via [`Relation::probe`]): same gallop + branch-free bisect,
+/// reading `data[row * arity + depth]`.
+fn lower_bound_strided(
+    data: &[Value],
+    arity: usize,
+    depth: usize,
+    from: usize,
+    hi: usize,
+    v: Value,
+) -> usize {
+    let at = |row: usize| data[row * arity + depth];
+    if from >= hi || at(from) >= v {
+        return from;
+    }
+    let (mut prev, mut step) = (from, 1usize);
+    let mut end = hi;
+    loop {
+        let probe = match prev.checked_add(step) {
+            Some(p) if p < hi => p,
+            _ => break,
+        };
+        if at(probe) >= v {
+            end = probe;
+            break;
+        }
+        prev = probe;
+        step <<= 1;
+    }
+    let mut base = prev;
+    let mut len = end - prev;
+    while len > 1 {
+        let half = len / 2;
+        let quarter = (len - half) / 2;
+        if quarter > 0 {
+            prefetch_value(data, (base + quarter) * arity + depth);
+            prefetch_value(data, (base + half + quarter) * arity + depth);
+        }
+        base += if at(base + half) < v { half } else { 0 };
+        len -= half;
+    }
+    base + 1
+}
+
+fn upper_bound_strided(
+    data: &[Value],
+    arity: usize,
+    depth: usize,
+    from: usize,
+    hi: usize,
+    v: Value,
+) -> usize {
+    match v.checked_add(1) {
+        Some(next) => lower_bound_strided(data, arity, depth, from, hi, next),
+        None => hi,
+    }
+}
+
+/// A paused [`Probe`] position as plain data: the cursor's depth and
+/// **node-id** range at that depth, detached from the index's lifetime.
 ///
 /// `Probe` borrows its index, so a suspended search (e.g. a paused result
 /// stream) cannot hold live probes alongside the owning
 /// `Arc<`[`TrieIndex`]`>`s. A snapshot is the three word-sized fields that
 /// identify the position; [`TrieIndex::resume`] turns it back into a live
-/// cursor in O(1). Snapshots are only meaningful against an index with the
-/// same content they were taken from.
+/// cursor in O(1). The coordinates are trie-node ids at `depth` (row ids
+/// exactly at the leaf level); snapshots are only meaningful against an
+/// index with the same content they were taken from.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ProbeSnapshot {
     /// How many leading columns the paused cursor had bound.
     pub depth: usize,
-    /// Start of the paused row range.
+    /// Start of the paused node range at `depth`.
     pub lo: usize,
-    /// End (exclusive) of the paused row range.
+    /// End (exclusive) of the paused node range at `depth`.
     pub hi: usize,
 }
 
-/// A zero-allocation trie cursor: a current depth and a row range that only
-/// ever narrows.
+/// The data a [`Probe`] navigates: the columnar level-trie arrays of a
+/// [`TrieIndex`], or a sorted relation's row-major store (the
+/// [`Relation::probe`] path, where node ids and row ids coincide at every
+/// depth).
+#[derive(Clone, Copy)]
+enum Repr<'a> {
+    Flat { data: &'a [Value], arity: usize },
+    Trie(&'a TrieIndex),
+}
+
+/// A zero-allocation trie cursor: a current depth and a node range that
+/// only ever narrows.
 ///
-/// `Probe` is `Copy` (a slice pointer and three word-sized fields), so
+/// Over a [`TrieIndex`] the cursor holds a **node-id** range at its
+/// current level; the level arrays keep each node's children contiguous,
+/// so every search ([`Probe::descend`], the [`Probe::seek`] leapfrog)
+/// runs the branch-free `lower_bound` kernel over one dense `&[Value]`
+/// run, and [`Probe::next_value`] is a constant-time increment. Row-range
+/// views ([`Probe::range`], [`Probe::group`], [`Probe::len`]) translate
+/// through the `starts` offset chain, so callers keep speaking row ids.
+///
+/// `Probe` is `Copy` (a reference and three word-sized fields), so
 /// backtracking search keeps per-level snapshots by value instead of
-/// re-deriving ranges with global binary searches. All searches — the
-/// [`Probe::descend`] bounds and the [`Probe::seek`] leapfrog — gallop
+/// re-deriving ranges with global binary searches. All searches gallop
 /// from the current position before bisecting, so a run of nearby probes
 /// costs `O(log gap)`, not `O(log n)`.
 #[derive(Clone, Copy)]
 pub struct Probe<'a> {
-    data: &'a [Value],
-    arity: usize,
+    repr: Repr<'a>,
     depth: usize,
     lo: usize,
     hi: usize,
@@ -365,7 +789,8 @@ impl fmt::Debug for Probe<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Probe")
             .field("depth", &self.depth)
-            .field("range", &(self.lo..self.hi))
+            .field("nodes", &(self.lo..self.hi))
+            .field("rows", &self.range())
             .finish()
     }
 }
@@ -373,11 +798,18 @@ impl fmt::Debug for Probe<'_> {
 impl<'a> Probe<'a> {
     pub(crate) fn over(data: &'a [Value], arity: usize, rows: usize) -> Probe<'a> {
         Probe {
-            data,
-            arity,
+            repr: Repr::Flat { data, arity },
             depth: 0,
             lo: 0,
             hi: rows,
+        }
+    }
+
+    #[inline]
+    fn arity(&self) -> usize {
+        match self.repr {
+            Repr::Flat { arity, .. } => arity,
+            Repr::Trie(ix) => ix.arity(),
         }
     }
 
@@ -386,14 +818,19 @@ impl<'a> Probe<'a> {
         self.depth
     }
 
-    /// The current row range (indices into the underlying index/relation).
+    /// The current **row** range (indices into the underlying
+    /// index/relation), however deep the cursor is.
     pub fn range(&self) -> Range<usize> {
-        self.lo..self.hi
+        match self.repr {
+            Repr::Flat { .. } => self.lo..self.hi,
+            Repr::Trie(ix) => ix.first_row(self.depth, self.lo)..ix.first_row(self.depth, self.hi),
+        }
     }
 
     /// Number of rows in the current range.
     pub fn len(&self) -> usize {
-        self.hi - self.lo
+        let r = self.range();
+        r.end - r.start
     }
 
     /// Whether the current range is empty.
@@ -401,98 +838,46 @@ impl<'a> Probe<'a> {
         self.lo >= self.hi
     }
 
-    #[inline]
-    fn at(&self, row: usize) -> Value {
-        self.data[row * self.arity + self.depth]
-    }
-
-    /// Hint the cache to pull in the current-depth cell of `row`. No-op on
-    /// non-x86_64 targets; on x86_64 a miss costs nothing (the hint is
-    /// speculative) and a hit hides bisect latency on large levels.
-    #[inline(always)]
-    fn prefetch(&self, row: usize) {
-        #[cfg(target_arch = "x86_64")]
-        {
-            let idx = row * self.arity + self.depth;
-            if idx < self.data.len() {
-                // SAFETY: the pointer is in (or one past) `data`'s
-                // allocation; prefetch has no memory effects either way.
-                unsafe {
-                    use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
-                    _mm_prefetch(self.data.as_ptr().add(idx) as *const i8, _MM_HINT_T0);
-                }
-            }
-        }
-        #[cfg(not(target_arch = "x86_64"))]
-        let _ = row;
-    }
-
-    /// First row in `[from, hi)` whose current-depth column is `>= v`,
-    /// galloping from `from` before bisecting. The bisect is branch-free
-    /// (the range update compiles to a conditional move, never a
-    /// mispredicted jump) and prefetches both possible next midpoints one
-    /// iteration ahead.
-    fn lower_bound_from(&self, from: usize, v: Value) -> usize {
-        if from >= self.hi || self.at(from) >= v {
-            return from;
-        }
-        // Gallop: exponentially widen [prev, probe] until at(probe) >= v.
-        let (mut prev, mut step) = (from, 1usize);
-        let mut end = self.hi;
-        loop {
-            let probe = match prev.checked_add(step) {
-                Some(p) if p < self.hi => p,
-                _ => break,
-            };
-            if self.at(probe) >= v {
-                end = probe;
-                break;
-            }
-            prev = probe;
-            step <<= 1;
-        }
-        // Branch-free bisect over (prev, end]: the invariant is
-        // at(base) < v with the answer in (base, base + len].
-        let mut base = prev;
-        let mut len = end - prev;
-        while len > 1 {
-            let half = len / 2;
-            let quarter = (len - half) / 2;
-            if quarter > 0 {
-                self.prefetch(base + quarter);
-                self.prefetch(base + half + quarter);
-            }
-            base += if self.at(base + half) < v { half } else { 0 };
-            len -= half;
-        }
-        base + 1
-    }
-
-    /// First row in `[from, hi)` whose current-depth column is `> v`.
-    fn upper_bound_from(&self, from: usize, v: Value) -> usize {
-        match v.checked_add(1) {
-            Some(next) => self.lower_bound_from(from, next),
-            None => self.hi,
-        }
-    }
-
-    /// Narrow the range to the rows whose next column equals `v` and move
-    /// one level down. Returns `false` (leaving the cursor unchanged) when
-    /// no row matches.
+    /// Narrow the range to the subtrie whose next column equals `v` and
+    /// move one level down. Returns `false` (leaving the cursor
+    /// unchanged) when no row matches.
     pub fn descend(&mut self, v: Value) -> bool {
-        debug_assert!(self.depth < self.arity, "descend below the leaf level");
-        let lo = self.lower_bound_from(self.lo, v);
-        if lo >= self.hi || self.at(lo) != v {
-            return false;
+        match self.repr {
+            Repr::Flat { data, arity } => {
+                debug_assert!(self.depth < arity, "descend below the leaf level");
+                let lo = lower_bound_strided(data, arity, self.depth, self.lo, self.hi, v);
+                if lo >= self.hi || data[lo * arity + self.depth] != v {
+                    return false;
+                }
+                self.hi = upper_bound_strided(data, arity, self.depth, lo, self.hi, v);
+                self.lo = lo;
+                self.depth += 1;
+                // The next read at the child level is almost always its
+                // first cell; warm it while the caller is still deciding.
+                prefetch_value(data, self.lo * arity + self.depth);
+                true
+            }
+            Repr::Trie(ix) => {
+                let arity = ix.arity();
+                debug_assert!(self.depth < arity, "descend below the leaf level");
+                let level = &ix.values[self.depth];
+                let i = lower_bound(level, self.lo, self.hi, v);
+                if i >= self.hi || level[i] != v {
+                    return false;
+                }
+                if self.depth + 1 < arity {
+                    self.lo = ix.starts[self.depth][i] as usize;
+                    self.hi = ix.starts[self.depth][i + 1] as usize;
+                    prefetch_value(&ix.values[self.depth + 1], self.lo);
+                } else {
+                    // Leaf level: the node id is the row id.
+                    self.lo = i;
+                    self.hi = i + 1;
+                }
+                self.depth += 1;
+                true
+            }
         }
-        let hi = self.upper_bound_from(lo, v);
-        self.lo = lo;
-        self.hi = hi;
-        self.depth += 1;
-        // The next read at the child level is almost always its first
-        // cell; warm it while the caller is still deciding.
-        self.prefetch(self.lo);
-        true
     }
 
     /// [`Probe::descend`] through each value of `key` in turn.
@@ -500,44 +885,74 @@ impl<'a> Probe<'a> {
         key.iter().all(|&v| self.descend(v))
     }
 
-    /// The value at the current depth of the first row in range — i.e. the
-    /// smallest un-visited value at this trie level.
+    /// The value at the current depth of the first node in range — i.e.
+    /// the smallest un-visited value at this trie level.
     pub fn current(&self) -> Option<Value> {
-        if self.is_empty() || self.depth >= self.arity {
-            None
-        } else {
-            Some(self.at(self.lo))
+        if self.is_empty() || self.depth >= self.arity() {
+            return None;
         }
+        Some(match self.repr {
+            Repr::Flat { data, arity } => data[self.lo * arity + self.depth],
+            Repr::Trie(ix) => ix.values[self.depth][self.lo],
+        })
     }
 
-    /// Leapfrog: advance the range start to the first row whose
-    /// current-depth value is `≥ v` and return that value. The cursor only
-    /// moves forward, so a sorted sequence of seeks over one level is
-    /// amortized linear in the range.
+    /// Leapfrog: advance the range start to the first value `≥ v` at the
+    /// current level and return it. The cursor only moves forward, so a
+    /// sorted sequence of seeks over one level is amortized linear in the
+    /// range.
     pub fn seek(&mut self, v: Value) -> Option<Value> {
-        debug_assert!(self.depth < self.arity);
-        self.lo = self.lower_bound_from(self.lo, v);
+        match self.repr {
+            Repr::Flat { data, arity } => {
+                debug_assert!(self.depth < arity);
+                self.lo = lower_bound_strided(data, arity, self.depth, self.lo, self.hi, v);
+            }
+            Repr::Trie(ix) => {
+                debug_assert!(self.depth < ix.arity());
+                self.lo = lower_bound(&ix.values[self.depth], self.lo, self.hi, v);
+            }
+        }
         self.current()
     }
 
-    /// Skip past every row carrying the current value and return the next
-    /// distinct value at this level, if any.
+    /// Skip past the current value and return the next distinct value at
+    /// this level, if any. Over the columnar layout this is O(1): one
+    /// node per distinct value, adjacent in the level array.
     pub fn next_value(&mut self) -> Option<Value> {
         let cur = self.current()?;
-        self.lo = self.upper_bound_from(self.lo, cur);
+        match self.repr {
+            Repr::Flat { data, arity } => {
+                self.lo = upper_bound_strided(data, arity, self.depth, self.lo, self.hi, cur);
+            }
+            Repr::Trie(_) => {
+                self.lo += 1;
+            }
+        }
         self.current()
     }
 
-    /// The subrange of rows carrying the current value at this level.
+    /// The subrange of **rows** carrying the current value at this level.
     pub fn group(&self) -> Range<usize> {
-        match self.current() {
-            None => self.lo..self.lo,
-            Some(v) => self.lo..self.upper_bound_from(self.lo, v),
+        match self.repr {
+            Repr::Flat { data, arity } => match self.current() {
+                None => self.lo..self.lo,
+                Some(v) => {
+                    self.lo..upper_bound_strided(data, arity, self.depth, self.lo, self.hi, v)
+                }
+            },
+            Repr::Trie(ix) => {
+                if self.current().is_none() {
+                    let r = ix.first_row(self.depth, self.lo);
+                    return r..r;
+                }
+                ix.first_row(self.depth, self.lo)..ix.first_row(self.depth, self.lo + 1)
+            }
         }
     }
 
-    /// Save this cursor's position as plain data, detached from the index
-    /// lifetime; [`TrieIndex::resume`] restores it in O(1).
+    /// Save this cursor's position as plain data (node coordinates),
+    /// detached from the index lifetime; [`TrieIndex::resume`] restores
+    /// it in O(1).
     pub fn snapshot(&self) -> ProbeSnapshot {
         ProbeSnapshot {
             depth: self.depth,
@@ -547,15 +962,42 @@ impl<'a> Probe<'a> {
     }
 
     /// Step into the current value's subtrie: a child cursor over exactly
-    /// the rows carrying [`Probe::current`], one level deeper.
+    /// the nodes below [`Probe::current`], one level deeper.
     pub fn enter(&self) -> Probe<'a> {
-        let g = self.group();
-        Probe {
-            data: self.data,
-            arity: self.arity,
-            depth: self.depth + 1,
-            lo: g.start,
-            hi: g.end,
+        match self.repr {
+            Repr::Flat { .. } => {
+                let g = self.group();
+                Probe {
+                    repr: self.repr,
+                    depth: self.depth + 1,
+                    lo: g.start,
+                    hi: g.end,
+                }
+            }
+            Repr::Trie(ix) => {
+                if self.current().is_none() {
+                    return Probe {
+                        repr: self.repr,
+                        depth: self.depth + 1,
+                        lo: 0,
+                        hi: 0,
+                    };
+                }
+                let (lo, hi) = if self.depth + 1 < ix.arity() {
+                    (
+                        ix.starts[self.depth][self.lo] as usize,
+                        ix.starts[self.depth][self.lo + 1] as usize,
+                    )
+                } else {
+                    (self.lo, self.lo + 1)
+                };
+                Probe {
+                    repr: self.repr,
+                    depth: self.depth + 1,
+                    lo,
+                    hi,
+                }
+            }
         }
     }
 }
@@ -662,7 +1104,7 @@ impl IndexSetStats {
 /// Number of shards. Lookups hash the `(name, kind, order)` slot, so
 /// concurrent executions probing different relations never contend, while
 /// version siblings of one slot colocate for cheap eviction.
-const SHARDS: usize = 8;
+pub(crate) const SHARDS: usize = 8;
 
 /// How many content versions of one `(name, kind, order)` slot stay
 /// resident. A delta-superseded version is dead and ages out under this
@@ -671,9 +1113,10 @@ const SHARDS: usize = 8;
 /// thrashing.
 const MAX_VERSIONS_PER_SLOT: usize = 16;
 
-/// Per-shard entry cap (a memory bound, never a correctness concern —
-/// evicted indexes rebuild on their next use).
-const MAX_PER_SHARD: usize = 256;
+/// Default resident-byte budget across all shards. Eviction is accounted
+/// in [`TrieIndex::heap_bytes`], so the bound tracks actual memory: many
+/// small indexes coexist where few huge ones would thrash.
+const DEFAULT_BYTE_BUDGET: usize = 256 << 20;
 
 /// One cached index plus its last-used tick (LRU bookkeeping; updated with
 /// a relaxed store under the shard *read* lock, so hits never serialize).
@@ -683,6 +1126,29 @@ struct Entry {
     last_used: AtomicU64,
 }
 
+/// One shard's entries plus their tracked resident-byte total, so the
+/// budget check on insert is O(1) rather than a walk of the map.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<IndexKey, Entry>,
+    bytes: usize,
+}
+
+impl Shard {
+    fn remove(&mut self, key: &IndexKey) {
+        if let Some(e) = self.map.remove(key) {
+            self.bytes -= e.ix.heap_bytes();
+        }
+    }
+
+    fn lru_key(&self) -> Option<IndexKey> {
+        self.map
+            .iter()
+            .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+            .map(|(k, _)| k.clone())
+    }
+}
+
 /// A concurrent, self-invalidating cache of [`TrieIndex`]es.
 ///
 /// `get_or_build` is the whole protocol: a shard read lock on the hit
@@ -690,15 +1156,22 @@ struct Entry {
 /// insert, so a racing duplicate build is possible but harmless — never a
 /// blocked shard). Version bumps invalidate by construction — the new
 /// version is a different key, so it misses and rebuilds — while
-/// superseded versions age out LRU-wise under per-slot
-/// (`MAX_VERSIONS_PER_SLOT`) and per-shard (`MAX_PER_SHARD`) caps.
+/// superseded versions age out LRU-wise under a per-slot version cap
+/// (`MAX_VERSIONS_PER_SLOT`) and a per-shard **byte budget**: each shard
+/// tracks the [`TrieIndex::heap_bytes`] of its residents and evicts
+/// least-recently-used entries until a new index fits (a sole oversized
+/// index is kept — eviction never empties a shard just to admit it).
+/// Evicted indexes rebuild on their next use; the budget is a memory
+/// bound, never a correctness concern.
 ///
 /// One `IndexSet` lives on each `fdjoin_core` `PreparedQuery` (shared
 /// `Arc`-wise with batch executors and delta views); nothing stops a
 /// caller from owning one directly next to a [`crate::Database`].
 #[derive(Debug)]
 pub struct IndexSet {
-    shards: Vec<RwLock<HashMap<IndexKey, Entry>>>,
+    shards: Vec<RwLock<Shard>>,
+    /// Per-shard slice of the construction-time byte budget.
+    shard_byte_budget: usize,
     /// Interned derivation signatures: input-version vectors → unique ids.
     signatures: RwLock<SigTable>,
     tick: AtomicU64,
@@ -727,10 +1200,17 @@ struct SigTable {
 }
 
 impl IndexSet {
-    /// An empty cache.
+    /// An empty cache with the default byte budget.
     pub fn new() -> IndexSet {
+        IndexSet::with_byte_budget(DEFAULT_BYTE_BUDGET)
+    }
+
+    /// An empty cache bounding resident indexes to roughly `total_bytes`
+    /// of [`TrieIndex::heap_bytes`] (split evenly across shards).
+    pub fn with_byte_budget(total_bytes: usize) -> IndexSet {
         IndexSet {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| RwLock::new(Shard::default())).collect(),
+            shard_byte_budget: (total_bytes / SHARDS).max(1),
             signatures: RwLock::new(SigTable::default()),
             tick: AtomicU64::new(0),
             builds: AtomicU64::new(0),
@@ -768,7 +1248,7 @@ impl IndexSet {
         sig
     }
 
-    fn shard(&self, key: &IndexKey) -> &RwLock<HashMap<IndexKey, Entry>> {
+    fn shard(&self, key: &IndexKey) -> &RwLock<Shard> {
         &self.shards[(key.slot_hash() as usize) % SHARDS]
     }
 
@@ -793,23 +1273,23 @@ impl IndexSet {
         build: impl FnOnce() -> TrieIndex,
     ) -> (Arc<TrieIndex>, bool) {
         let shard = self.shard(&key);
-        if let Some(hit) = shard.read().unwrap().get(&key) {
+        if let Some(hit) = shard.read().unwrap().map.get(&key) {
             self.touch(hit);
             self.hits.fetch_add(1, Ordering::Relaxed);
             return (Arc::clone(&hit.ix), false);
         }
         let ix = Arc::new(build());
-        let mut map = shard.write().unwrap();
-        if let Some(hit) = map.get(&key) {
+        let mut guard = shard.write().unwrap();
+        if let Some(hit) = guard.map.get(&key) {
             // Raced with another builder; their copy wins, ours is dropped.
             self.touch(hit);
             self.hits.fetch_add(1, Ordering::Relaxed);
             return (Arc::clone(&hit.ix), false);
         }
         // Age out version siblings past the per-slot cap (superseded
-        // versions stop being touched and are the ones that leave), then
-        // enforce the shard-wide bound.
-        let mut siblings: Vec<(IndexKey, u64)> = map
+        // versions stop being touched and are the ones that leave).
+        let mut siblings: Vec<(IndexKey, u64)> = guard
+            .map
             .iter()
             .filter(|(k, _)| key.sibling_of(k))
             .map(|(k, e)| (k.clone(), e.last_used.load(Ordering::Relaxed)))
@@ -821,25 +1301,25 @@ impl IndexSet {
                 .min_by_key(|(_, (_, t))| *t)
                 .expect("nonempty sibling list");
             let (victim, _) = siblings.swap_remove(pos);
-            map.remove(&victim);
+            guard.remove(&victim);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
-        if map.len() >= MAX_PER_SHARD {
-            if let Some(victim) = map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
-                .map(|(k, _)| k.clone())
-            {
-                map.remove(&victim);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-            }
+        // Enforce the shard byte budget: evict LRU until the new index
+        // fits, but never clear the shard entirely for an oversized one —
+        // a sole too-big index is still worth keeping resident.
+        let added = ix.heap_bytes();
+        while guard.bytes + added > self.shard_byte_budget && !guard.map.is_empty() {
+            let victim = guard.lru_key().expect("nonempty shard map");
+            guard.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         self.builds.fetch_add(1, Ordering::Relaxed);
+        guard.bytes += added;
         let entry = Entry {
             ix: Arc::clone(&ix),
             last_used: AtomicU64::new(self.tick.fetch_add(1, Ordering::Relaxed)),
         };
-        map.insert(key, entry);
+        guard.map.insert(key, entry);
         (ix, true)
     }
 
@@ -853,7 +1333,10 @@ impl IndexSet {
 
     /// Number of resident indexes.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap().map.len())
+            .sum()
     }
 
     /// Whether the cache is empty.
@@ -871,6 +1354,7 @@ impl IndexSet {
             .map(|s| {
                 s.read()
                     .unwrap()
+                    .map
                     .keys()
                     .filter(|k| k.version == version && k.name == name)
                     .count()
@@ -887,18 +1371,11 @@ impl IndexSet {
         }
     }
 
-    /// Approximate heap footprint of all resident indexes, in bytes.
+    /// Heap footprint of all resident indexes, in bytes — the tracked
+    /// per-shard totals, the same accounting the eviction budget uses.
+    /// Exported as the `fdjoin_index_resident_bytes` gauge by the engine.
     pub fn memory_bytes(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| {
-                s.read()
-                    .unwrap()
-                    .values()
-                    .map(|e| e.ix.memory_bytes())
-                    .sum::<usize>()
-            })
-            .sum()
+        self.shards.iter().map(|s| s.read().unwrap().bytes).sum()
     }
 }
 
@@ -933,6 +1410,108 @@ mod tests {
                 assert_eq!(ix.row(i), p.row(i), "order {order:?} row {i}");
             }
             assert_eq!(ix.to_relation(), p);
+        }
+    }
+
+    #[test]
+    fn columnar_layout_shares_prefixes() {
+        // Rows sorted: (1,10,100) (1,10,101) (1,11,100) (2,10,100) (2,12,107).
+        let ix = TrieIndex::build(&rel(), &[0, 1, 2]);
+        assert_eq!(
+            ix.values[0],
+            vec![1, 2],
+            "level 0: one node per distinct value"
+        );
+        assert_eq!(ix.starts[0], vec![0, 2, 4]);
+        assert_eq!(ix.values[1], vec![10, 11, 10, 12]);
+        assert_eq!(ix.starts[1], vec![0, 2, 3, 4, 5]);
+        assert_eq!(ix.values[2], vec![100, 101, 100, 100, 107]);
+        assert_eq!(ix.len(), 5);
+    }
+
+    #[test]
+    fn heap_bytes_shrink_with_shared_prefixes() {
+        // 1000 rows whose first two columns repeat heavily: the level
+        // arrays hold 10 + 100 + 1000 values vs 3000 row-major cells.
+        let r = Relation::from_rows(vec![0, 1, 2], (0..1000u64).map(|i| [i / 100, i / 10, i]));
+        let ix = TrieIndex::build(&r, &[0, 1, 2]);
+        let row_major = ix.len() * ix.arity() * std::mem::size_of::<Value>();
+        assert!(
+            ix.heap_bytes() < row_major,
+            "columnar {} !< row-major {}",
+            ix.heap_bytes(),
+            row_major
+        );
+        assert_eq!(ix.memory_bytes(), ix.heap_bytes());
+    }
+
+    #[test]
+    fn walk_visits_rows_in_order() {
+        let r = rel();
+        for order in [vec![0, 1, 2], vec![2, 0, 1], vec![1], vec![]] {
+            let ix = TrieIndex::build(&r, &order);
+            let p = r.project(&order);
+            let mut w = ix.walk_all();
+            let mut i = 0;
+            while let Some(row) = w.next() {
+                assert_eq!(row, p.row(i), "order {order:?} row {i}");
+                i += 1;
+            }
+            assert_eq!(i, ix.len(), "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn walk_subrange_matches_row() {
+        let ix = TrieIndex::build(&rel(), &[0, 1, 2]);
+        for start in 0..=ix.len() {
+            for end in start..=ix.len() {
+                let mut w = ix.walk(start..end);
+                let mut i = start;
+                while let Some(row) = w.next() {
+                    assert_eq!(row, &ix.row(i)[..], "walk({start}..{end}) at {i}");
+                    i += 1;
+                }
+                assert_eq!(i, end);
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bound_matches_partition_point() {
+        let mut s: Vec<Value> = Vec::new();
+        let mut x = 7u64;
+        for _ in 0..500 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s.push(x % 997);
+        }
+        s.sort_unstable();
+        for from in [0usize, 3, 100, 257, 499, 500] {
+            for v in [0u64, 1, 13, 500, 996, 997, u64::MAX] {
+                let want = from + s[from..].partition_point(|&x| x < v);
+                assert_eq!(lower_bound(&s, from, s.len(), v), want, "from {from} v {v}");
+            }
+        }
+        // Restricted hi clamps the gallop.
+        assert_eq!(lower_bound(&s, 0, 0, 5), 0);
+        let want = s[..10].partition_point(|&x| x < u64::MAX);
+        assert_eq!(lower_bound(&s, 0, 10, u64::MAX), want);
+    }
+
+    #[test]
+    fn count_lt_matches_scalar() {
+        let s: Vec<Value> = (0..100u64).map(|i| i * 37 % 100).collect();
+        for v in [0u64, 1, 50, 99, 100, u64::MAX] {
+            let want = s.iter().filter(|&&x| x < v).count();
+            assert_eq!(count_lt(&s, v), want, "v {v}");
+            assert_eq!(count_lt_portable(&s, v), want, "portable v {v}");
+            #[cfg(target_arch = "x86_64")]
+            if std::arch::is_x86_feature_detected!("sse4.2") {
+                // SAFETY: feature just detected.
+                assert_eq!(unsafe { count_lt_sse42(&s, v) }, want, "sse v {v}");
+            }
         }
     }
 
@@ -1003,6 +1582,20 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_is_in_node_coordinates() {
+        let ix = TrieIndex::build(&rel(), &[0, 1, 2]);
+        let mut p = ix.probe();
+        assert!(p.descend(2)); // second root child
+        let snap = p.snapshot();
+        assert_eq!(snap.depth, 1);
+        // Root child `2` owns level-1 nodes 2..4 (values 10, 12) ...
+        assert_eq!((snap.lo, snap.hi), (2, 4));
+        // ... which the starts chain maps to rows 3..5.
+        assert_eq!(ix.resume(snap).range(), 3..5);
+        assert_eq!(ix.resume(snap).current(), Some(10));
+    }
+
+    #[test]
     fn prefix_range_agrees_with_relation() {
         let r = rel();
         let ix = TrieIndex::build(&r, &[0, 1, 2]);
@@ -1017,6 +1610,21 @@ mod tests {
         }
         assert!(ix.contains(&[2, 12, 107]));
         assert!(!ix.contains(&[2, 12, 108]));
+    }
+
+    #[test]
+    fn group_ranges_by_prefix_depth() {
+        let ix = TrieIndex::build(&rel(), &[0, 1, 2]);
+        assert_eq!(ix.group_ranges(0), vec![0..5]);
+        assert_eq!(ix.group_ranges(1), vec![0..3, 3..5]);
+        assert_eq!(ix.group_ranges(2), vec![0..2, 2..3, 3..4, 4..5]);
+        assert_eq!(
+            ix.group_ranges(3),
+            (0..5).map(|i| i..i + 1).collect::<Vec<_>>()
+        );
+        let empty = TrieIndex::build(&Relation::new(vec![0, 1]), &[0, 1]);
+        assert!(empty.group_ranges(1).is_empty());
+        assert!(empty.group_ranges(0).is_empty());
     }
 
     #[test]
@@ -1075,6 +1683,41 @@ mod tests {
         let (_, built2) = set.index_of("R", &r2, &[0, 1]);
         assert!(!built1 && !built2, "both versions resident");
         assert_eq!(set.stats().evictions, 0);
+    }
+
+    #[test]
+    fn byte_budget_evicts_by_resident_bytes() {
+        let mut r = Relation::from_rows(vec![0, 1], (0..512u64).map(|i| [i, i]));
+        let per = TrieIndex::build(&r, &[0, 1]).heap_bytes();
+        // Per-shard budget ≈ one such index: every new version evicts the
+        // previous one, but the sole (slightly oversized) survivor stays.
+        let set = IndexSet::with_byte_budget(per * SHARDS + SHARDS);
+        for i in 0..4u64 {
+            set.index_of("R", &r, &[0, 1]);
+            r.apply_delta([[1000 + i, 1000 + i]], [] as [&[Value]; 0]);
+        }
+        assert_eq!(set.stats().builds, 4);
+        assert!(
+            set.stats().evictions >= 3,
+            "byte budget evicted old versions"
+        );
+        assert_eq!(set.len(), 1, "one index fits the shard budget");
+        let resident = set.memory_bytes();
+        assert!(
+            resident >= per && resident < 2 * per + 256,
+            "tracked bytes follow the survivor"
+        );
+        // Eviction frees budget: the survivor still hits.
+        let tracked_before = set.stats().hits;
+        // (r moved past the last indexed version, so re-index the current one.)
+        let (_, built) = set.index_of("R", &r, &[0, 1]);
+        assert!(built);
+        assert_eq!(
+            set.len(),
+            1,
+            "previous survivor evicted to admit the new one"
+        );
+        assert_eq!(set.stats().hits, tracked_before);
     }
 
     #[test]

@@ -35,7 +35,8 @@ mod udf;
 
 pub use database::{Database, MissingRelation};
 pub use index::{
-    balanced_ranges, IndexKey, IndexKind, IndexSet, IndexSetStats, Probe, ProbeSnapshot, TrieIndex,
+    balanced_ranges, IndexKey, IndexKind, IndexSet, IndexSetStats, Probe, ProbeSnapshot, RowWalk,
+    TrieIndex,
 };
 pub use relation::{DeltaApplied, HashIndex, Relation};
 pub use stats::RelationStats;

@@ -87,7 +87,7 @@ proptest! {
         rel.sort_dedup();
         let ix = TrieIndex::build(&rel, &order);
         // Walking next_value() visits exactly the distinct level-0 values.
-        let expect: BTreeSet<Value> = ix.rows().map(|r| r[0]).collect();
+        let expect: BTreeSet<Value> = (0..ix.len()).map(|i| ix.row(i)[0]).collect();
         let mut walked = Vec::new();
         let mut p = ix.probe();
         let mut cur = p.current();
@@ -150,5 +150,162 @@ proptest! {
         let (mutated_ix, built4) = set.index_of("R", &mutated, &order);
         prop_assert!(built4, "new content version must rebuild");
         prop_assert_eq!(&*mutated_ix, &TrieIndex::build(&mutated, &order));
+    }
+}
+
+/// One cursor operation of the differential suite: applied in lockstep to
+/// a columnar-trie probe and to a flat-projection probe over identical
+/// content, after which every observable (depth, current value, row range,
+/// group) must agree.
+#[derive(Debug, Clone)]
+enum Op {
+    Descend(Value),
+    Seek(Value),
+    NextValue,
+    Enter,
+    SnapshotResume,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..6, 0u64..7).prop_map(|(k, v)| match k {
+        0 | 1 => Op::Descend(v % 6),
+        2 => Op::Seek(v),
+        3 => Op::NextValue,
+        4 => Op::Enter,
+        _ => Op::SnapshotResume,
+    })
+}
+
+proptest! {
+    /// Differential suite: the columnar level-trie probe and the seed-era
+    /// flat sorted-projection probe answer every cursor-op sequence
+    /// identically — same descend/seek outcomes, same visited values, same
+    /// row-coordinate ranges and groups. The projection's rows coincide
+    /// with the index's rows, so row ranges are directly comparable.
+    #[test]
+    fn probe_ops_match_flat_projection(
+        rows in rows_strategy(3),
+        oi in 0usize..15,
+        ops in proptest::collection::vec(op_strategy(), 0..24),
+    ) {
+        let order = orders()[oi].clone();
+        let mut rel = Relation::from_rows(vec![0, 1, 2], rows);
+        rel.sort_dedup();
+        let ix = TrieIndex::build(&rel, &order);
+        let proj = rel.project(&order);
+        let mut t = ix.probe();
+        let mut f = proj.probe();
+        for op in ops {
+            match op {
+                Op::Descend(v) => {
+                    if t.depth() >= order.len() {
+                        continue;
+                    }
+                    prop_assert_eq!(t.descend(v), f.descend(v), "descend({})", v);
+                }
+                Op::Seek(v) => {
+                    if t.depth() >= order.len() {
+                        continue;
+                    }
+                    prop_assert_eq!(t.seek(v), f.seek(v), "seek({})", v);
+                }
+                Op::NextValue => {
+                    if t.depth() >= order.len() {
+                        continue;
+                    }
+                    prop_assert_eq!(t.next_value(), f.next_value());
+                }
+                Op::Enter => {
+                    // Entering an exhausted level puts the two layouts'
+                    // empty children at incomparable positions; only a
+                    // live current value has a well-defined subtrie.
+                    if t.current().is_none() {
+                        continue;
+                    }
+                    t = t.enter();
+                    f = f.enter();
+                }
+                Op::SnapshotResume => {
+                    t = ix.resume(t.snapshot());
+                }
+            }
+            prop_assert_eq!(t.depth(), f.depth());
+            prop_assert_eq!(t.current(), f.current());
+            prop_assert_eq!(t.range(), f.range(), "row ranges diverge");
+            prop_assert_eq!(t.len(), f.len());
+            prop_assert_eq!(t.group(), f.group(), "groups diverge");
+        }
+    }
+
+    /// Snapshot/resume round-trips at random depths: the snapshot's
+    /// node-coordinate fields reattach to an equivalent live cursor —
+    /// same depth, same row range, same remaining value walk.
+    #[test]
+    fn snapshot_resume_at_random_depths(
+        rows in rows_strategy(3),
+        oi in 0usize..6,
+        prefix in proptest::collection::vec(0u64..6, 0..3),
+    ) {
+        let order = orders()[oi].clone();
+        let mut rel = Relation::from_rows(vec![0, 1, 2], rows);
+        rel.sort_dedup();
+        let ix = TrieIndex::build(&rel, &order);
+        let mut p = ix.probe();
+        for &v in &prefix {
+            if !p.descend(v) {
+                break;
+            }
+        }
+        let snap = p.snapshot();
+        prop_assert_eq!(snap.depth, p.depth());
+        let mut resumed = ix.resume(snap);
+        prop_assert_eq!(resumed.depth(), p.depth());
+        prop_assert_eq!(resumed.range(), p.range());
+        prop_assert_eq!(resumed.current(), p.current());
+        let mut live = p;
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        while let Some(v) = live.current() {
+            a.push(v);
+            if live.next_value().is_none() {
+                break;
+            }
+        }
+        while let Some(v) = resumed.current() {
+            b.push(v);
+            if resumed.next_value().is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(a, b, "resumed cursor walks the same values");
+    }
+
+    /// The lending row walker reproduces the projection exactly, over the
+    /// full index and over arbitrary subranges.
+    #[test]
+    fn row_walk_matches_projection(
+        rows in rows_strategy(3),
+        oi in 0usize..15,
+        cut in 0usize..40,
+    ) {
+        let order = orders()[oi].clone();
+        let mut rel = Relation::from_rows(vec![0, 1, 2], rows);
+        rel.sort_dedup();
+        let ix = TrieIndex::build(&rel, &order);
+        let proj = rel.project(&order);
+        let mut w = ix.walk_all();
+        let mut i = 0;
+        while let Some(row) = w.next() {
+            prop_assert_eq!(row, proj.row(i));
+            i += 1;
+        }
+        prop_assert_eq!(i, proj.len());
+        let start = cut.min(ix.len());
+        let mut w = ix.walk(start..ix.len());
+        let mut i = start;
+        while let Some(row) = w.next() {
+            prop_assert_eq!(row, proj.row(i));
+            i += 1;
+        }
+        prop_assert_eq!(i, ix.len());
     }
 }

@@ -306,10 +306,14 @@ impl<'a> ResultStream<'a> {
                             return true;
                         }
                     } else {
+                        // Tie-break by matching *row* count (snapshots hold
+                        // node coordinates, whose width is the distinct-value
+                        // count) so the choice — and the deterministic stats —
+                        // agree with the materialized Generic-Join driver.
                         lead[d + 1] = at_depth[d + 1]
                             .iter()
                             .copied()
-                            .min_by_key(|&ai| next[ai].hi - next[ai].lo)
+                            .min_by_key(|&ai| atoms[ai].idx.resume(next[ai]).len())
                             .expect("search variables occur in some atom");
                         *depth = d + 1;
                         continue 'outer;
@@ -465,7 +469,7 @@ impl<'a> ResultStream<'a> {
     /// [`StreamError::StaleCheckpoint`] if any relation the enumeration
     /// reads (atoms and FD guards are all atoms) or the UDF registry has
     /// changed content since the checkpoint was taken; cursor positions are
-    /// row ranges, meaningful only against identical content.
+    /// trie-node ranges, meaningful only against identical content.
     pub fn resume(
         prepared: &'a PreparedQuery,
         db: &'a Database,

@@ -121,6 +121,57 @@ fn paginate(prepared: &PreparedQuery, db: &Database, pause_after: usize) -> Vec<
     rows
 }
 
+/// Checkpoints hold trie-*node* coordinates of the columnar level-trie
+/// layout, so they are only sound if node ids are a deterministic function
+/// of relation content — not of any particular build. Exercise exactly
+/// that: pause at every row boundary, then resume each checkpoint through
+/// a *freshly prepared* query whose access-path cache is empty, forcing
+/// every index to be rebuilt before the cursor reattaches. The resumed
+/// enumeration must continue row-exact, and the deterministic work
+/// counters carried through the checkpoint must land on the same totals
+/// as the uninterrupted drain.
+#[test]
+fn checkpoint_survives_fresh_index_builds_at_every_boundary() {
+    let q = examples::fig4_query();
+    let db = instance(&q, 7, 20, 85);
+    let prepared = Engine::new().prepare(&q);
+
+    let mut baseline = ResultStream::open(&prepared, &db).expect("open");
+    let uninterrupted = drain(&mut baseline);
+    let full_stats = baseline.stats().deterministic();
+    assert!(uninterrupted.len() > 4, "instance must be non-trivial");
+
+    for pause_after in 0..=uninterrupted.len() {
+        let mut first = ResultStream::open(&prepared, &db).expect("open");
+        let mut rows = Vec::new();
+        for _ in 0..pause_after {
+            rows.push(
+                first
+                    .next_row()
+                    .expect("pause point within bounds")
+                    .to_vec(),
+            );
+        }
+        let ck = first.checkpoint();
+        assert_eq!(ck.rows_streamed(), pause_after as u64);
+        drop(first);
+
+        // A fresh engine: empty IndexSet, every trie rebuilt from content.
+        let fresh = Engine::new().prepare(&q);
+        let mut second = ResultStream::resume(&fresh, &db, &ck).expect("resume");
+        rows.extend(drain(&mut second));
+        assert_eq!(
+            rows, uninterrupted,
+            "resume after {pause_after} rows through rebuilt indexes"
+        );
+        assert_eq!(
+            second.stats().deterministic(),
+            full_stats,
+            "deterministic work must be pause-invariant (pause at {pause_after})"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
